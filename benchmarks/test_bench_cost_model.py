@@ -1,0 +1,40 @@
+"""Benches for the §3 cost artifacts: Figure 1, Table 1, Table 2, Figure 3."""
+
+from conftest import run_once
+
+from repro.experiments import (
+    format_fig01,
+    format_fig03,
+    format_tab01,
+    format_tab02,
+    run_fig01,
+    run_fig03,
+    run_tab01,
+    run_tab02,
+)
+
+
+def test_bench_fig01_price_trends(benchmark, show):
+    result = run_once(benchmark, run_fig01)
+    show(format_fig01(result))
+    assert all(y < x for x, y in result["cpu"])
+    assert all(y > x for x, y in result["nic"])
+
+
+def test_bench_tab01_server_configs(benchmark, show):
+    rows = run_once(benchmark, run_tab01)
+    show(format_tab01(rows))
+    assert len(rows) == 4
+
+
+def test_bench_tab02_rack_prices(benchmark, show):
+    rows = run_once(benchmark, run_tab02)
+    show(format_tab02(rows))
+    assert all(r["diff_percent"] < 0 for r in rows)  # vRIO always cheaper
+
+
+def test_bench_fig03_ssd_consolidation(benchmark, show):
+    rows = run_once(benchmark, run_fig03)
+    show(format_fig03(rows))
+    ratios = [r["vrio_over_elvis"] for r in rows]
+    assert 0.60 < min(ratios) and max(ratios) < 1.0

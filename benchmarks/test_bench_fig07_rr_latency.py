@@ -1,0 +1,16 @@
+"""Bench for Figure 7: netperf RR latency vs number of VMs."""
+
+from conftest import run_once
+
+from repro.experiments import format_fig07, run_fig07
+from repro.sim import ms
+
+
+def test_bench_fig07_rr_latency(benchmark, show):
+    points = run_once(benchmark, run_fig07, vm_counts=range(1, 8),
+                      run_ns=ms(30))
+    show(format_fig07(points))
+    by = {(p.model, p.n_vms): p.value for p in points}
+    assert by[("optimum", 1)] < by[("elvis", 1)] < by[("vrio", 1)]
+    assert by[("elvis", 7)] >= by[("vrio", 7)] - 1.0  # the N~6 crossover
+    assert by[("baseline", 7)] == max(v for (m, n), v in by.items() if n == 7)

@@ -1,0 +1,17 @@
+"""Bench for Figure 8: vRIO latency gap and IOhost contention."""
+
+from conftest import run_once
+
+from repro.experiments import format_fig08, run_fig08
+from repro.sim import ms
+
+
+def test_bench_fig08_contention(benchmark, show):
+    rows = run_once(benchmark, run_fig08, vm_counts=(1, 3, 5, 7),
+                    run_ns=ms(30))
+    show(format_fig08(rows))
+    gaps = [r["latency_gap_us"] for r in rows]
+    assert 10 < gaps[0] < 16
+    assert gaps[-1] >= gaps[0]          # the gap grows slightly...
+    contention = [r["contention_pct"] for r in rows]
+    assert contention[-1] > contention[0]  # ...with worker contention

@@ -1,0 +1,16 @@
+"""Bench for Figure 9: netperf 64 B stream throughput vs N."""
+
+from conftest import run_once
+
+from repro.experiments import format_fig09, run_fig09
+from repro.sim import ms
+
+
+def test_bench_fig09_stream_throughput(benchmark, show):
+    points = run_once(benchmark, run_fig09, vm_counts=(1, 2, 3, 4, 5, 6, 7),
+                      run_ns=ms(25))
+    show(format_fig09(points))
+    by = {(p.model, p.n_vms): p.value for p in points}
+    # vRIO 5-8% below the optimum; baseline far behind.
+    assert 0.86 < by[("vrio", 7)] / by[("optimum", 7)] < 0.97
+    assert by[("baseline", 7)] < 0.8 * by[("optimum", 7)]

@@ -1,0 +1,13 @@
+"""Bench for Figure 10: per-packet processing cycles (N=1 stream)."""
+
+from conftest import run_once
+
+from repro.experiments import format_fig10, run_fig10
+from repro.sim import ms
+
+
+def test_bench_fig10_cycles_per_packet(benchmark, show):
+    rows = run_once(benchmark, run_fig10, run_ns=ms(30))
+    show(format_fig10(rows))
+    rel = {r["model"]: r["relative_to_optimum"] for r in rows}
+    assert rel["elvis"] < rel["vrio"] < rel["baseline"]

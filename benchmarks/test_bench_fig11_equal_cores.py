@@ -1,0 +1,15 @@
+"""Bench for Figure 11: the cost of interposability with equalized cores."""
+
+from conftest import run_once
+
+from repro.experiments import format_fig11, run_fig11
+from repro.sim import ms
+
+
+def test_bench_fig11_equal_cores(benchmark, show):
+    rows = run_once(benchmark, run_fig11, run_ns=ms(25))
+    show(format_fig11(rows))
+    by = {r["label"]: r["relative"] for r in rows}
+    assert by["optimum_8vms"] == 0.0
+    assert all(v < 0 for k, v in by.items() if k != "optimum_8vms")
+    assert by["baseline"] == min(by.values())

@@ -1,0 +1,16 @@
+"""Bench for Figure 12: memcached and Apache transactions/sec vs N."""
+
+from conftest import run_once
+
+from repro.experiments import format_fig12, run_fig12
+from repro.sim import ms
+
+
+def test_bench_fig12_macrobenchmarks(benchmark, show):
+    result = run_once(benchmark, run_fig12, vm_counts=(1, 4, 7),
+                      run_ns=ms(25))
+    show(format_fig12(result))
+    mem7 = {p.model: p.value for p in result["memcached"] if p.n_vms == 7}
+    # vRIO approaches the optimum; Elvis falls behind; baseline last.
+    assert mem7["vrio"] > mem7["elvis"] > mem7["baseline"]
+    assert mem7["vrio"] > 0.75 * mem7["optimum"]

@@ -1,0 +1,28 @@
+"""Bench for Figure 13: one IOhost serving four VMhosts (latency and
+throughput with 1/2/4 sidecores)."""
+
+from conftest import run_once
+
+from repro.experiments import format_fig13, run_fig13a, run_fig13b
+from repro.sim import ms
+
+
+def _both():
+    rows_a = run_fig13a(total_vms=(4, 12, 20, 28), run_ns=ms(25))
+    rows_b = run_fig13b(total_vms=(4, 12, 20, 28), run_ns=ms(25))
+    return rows_a, rows_b
+
+
+def test_bench_fig13_iohost_scalability(benchmark, show):
+    rows_a, rows_b = run_once(benchmark, _both)
+    show(format_fig13(rows_a, rows_b))
+    # 13a: more sidecores -> lower latency at high load.
+    lat = {(r["workers"], r["n_vms"]): r["latency_us"] for r in rows_a}
+    assert lat[(4, 28)] < lat[(1, 28)]
+    # 13b: one sidecore saturates near 13 Gbps (paper: ~13 Gbps at ~13 VMs).
+    thr = {(r["workers"], r["n_vms"]): r["throughput_gbps"] for r in rows_b}
+    assert 9 < thr[(1, 28)] < 16
+    # Unsaturated curves converge regardless of worker count.
+    assert abs(thr[(1, 4)] - thr[(4, 4)]) < 0.5
+    # More sidecores push the saturation point out.
+    assert thr[(4, 28)] > 1.5 * thr[(1, 28)]

@@ -1,0 +1,20 @@
+"""Bench for Figure 14: filebench on a ramdisk made remote."""
+
+from conftest import run_once
+
+from repro.experiments import format_fig14, run_fig14
+from repro.sim import ms
+
+
+def test_bench_fig14_remote_block(benchmark, show):
+    result = run_once(benchmark, run_fig14, vm_counts=(1, 4, 7),
+                      run_ns=ms(30))
+    show(format_fig14(result))
+    reader = {(r["model"], r["n_vms"]): r["ops_per_sec"]
+              for r in result["1 reader"]}
+    pairs2 = {(r["model"], r["n_vms"]): r["ops_per_sec"]
+              for r in result["2 pairs"]}
+    # One reader: Elvis dominates (vRIO pays ~2x remote latency).
+    assert reader[("elvis", 7)] > reader[("vrio", 7)]
+    # Two pairs: the counterintuitive crossover.
+    assert pairs2[("vrio", 7)] > pairs2[("elvis", 7)]

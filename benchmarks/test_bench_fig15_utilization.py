@@ -1,0 +1,16 @@
+"""Bench for Figure 15: sidecore utilization traces under consolidation."""
+
+from conftest import run_once
+
+from repro.experiments import format_fig15, run_fig15
+from repro.sim import ms
+
+
+def test_bench_fig15_utilization(benchmark, show):
+    result = run_once(benchmark, run_fig15, run_ns=ms(50))
+    show(format_fig15(result))
+    elvis_avgs = result["elvis"]["averages"]
+    vrio_avg = result["vrio"]["averages"][0]
+    assert all(avg < vrio_avg for avg in elvis_avgs)
+    # Traces were actually sampled over time.
+    assert all(len(ts) > 10 for ts in result["elvis"]["series"])

@@ -1,0 +1,28 @@
+"""Bench for Figure 16: consolidation tradeoff and load imbalance."""
+
+from conftest import run_once
+
+from repro.experiments import (
+    format_fig16a,
+    format_fig16b,
+    run_fig16a,
+    run_fig16b,
+)
+from repro.sim import ms
+
+
+def _both():
+    return run_fig16a(run_ns=ms(40)), run_fig16b(run_ns=ms(40))
+
+
+def test_bench_fig16_consolidation(benchmark, show):
+    rows_a, rows_b = run_once(benchmark, _both)
+    show(format_fig16a(rows_a))
+    show(format_fig16b(rows_b))
+    rel_a = {r["model"]: r["relative"] for r in rows_a}
+    # 16a: vRIO sacrifices a little for half the sidecores; baseline a lot.
+    assert -0.15 < rel_a["vrio"] <= 0.0
+    assert rel_a["baseline"] < -0.25
+    # 16b: with the same sidecore budget under imbalance, vRIO wins big.
+    rel_b = {r["model"]: r["relative"] for r in rows_b}
+    assert rel_b["vrio"] > 0.5

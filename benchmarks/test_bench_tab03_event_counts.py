@@ -1,0 +1,13 @@
+"""Bench for Table 3: per request-response virtualization events."""
+
+from conftest import run_once
+
+from repro.experiments import PAPER_TAB03, format_tab03, run_tab03
+
+
+def test_bench_tab03_event_counts(benchmark, show):
+    rows = run_once(benchmark, run_tab03)
+    show(format_tab03(rows))
+    for model_name, expected in PAPER_TAB03.items():
+        got = {k: v for k, v in rows[model_name].items() if k != "sum"}
+        assert got == expected

@@ -1,0 +1,19 @@
+"""Bench for Table 4: tail latency percentiles for one VM."""
+
+from conftest import run_once
+
+from repro.experiments import format_tab04, run_tab04
+from repro.sim import ms
+
+
+def test_bench_tab04_tail_latency(benchmark, show):
+    rows = run_once(benchmark, run_tab04, run_ns=ms(250))
+    show(format_tab04(rows))
+    # The optimum's tails are tightest at every percentile.
+    for q in (99.9, 99.99):
+        assert rows["optimum"][q] <= rows["elvis"][q]
+        assert rows["optimum"][q] <= rows["vrio"][q]
+    # Percentiles are monotone within each model.
+    for model, per in rows.items():
+        values = [per[q] for q in sorted(per)]
+        assert values == sorted(values)

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Regenerate every table and figure in the paper's evaluation.
+
+Runs each experiment in repro.experiments with its default (reduced but
+representative) parameters and prints the reproduced rows/series in the
+paper's units.  Takes several minutes.
+
+Run:  python examples/reproduce_paper.py [--quick]
+"""
+
+import argparse
+import sys
+import time
+
+from repro import experiments as ex
+from repro.sim import ms
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="coarser sweeps (N=1,4,7) and shorter runs")
+    args = parser.parse_args()
+    ns = (1, 4, 7) if args.quick else tuple(range(1, 8))
+    run_ns = ms(20) if args.quick else ms(30)
+
+    steps = [
+        ("Figure 1", lambda: ex.format_fig01(ex.run_fig01())),
+        ("Table 1", lambda: ex.format_tab01(ex.run_tab01())),
+        ("Table 2", lambda: ex.format_tab02(ex.run_tab02())),
+        ("Figure 3", lambda: ex.format_fig03(ex.run_fig03())),
+        ("Table 3", lambda: ex.format_tab03(ex.run_tab03())),
+        ("Figure 5", lambda: ex.format_fig05(
+            ex.run_fig05(vm_counts=ns, run_ns=run_ns))),
+        ("Figure 7", lambda: ex.format_fig07(
+            ex.run_fig07(vm_counts=ns, run_ns=run_ns))),
+        ("Figure 8", lambda: ex.format_fig08(
+            ex.run_fig08(vm_counts=ns, run_ns=run_ns))),
+        ("Table 4", lambda: ex.format_tab04(
+            ex.run_tab04(run_ns=ms(150) if args.quick else ms(400)))),
+        ("Figure 9", lambda: ex.format_fig09(
+            ex.run_fig09(vm_counts=ns, run_ns=run_ns))),
+        ("Figure 10", lambda: ex.format_fig10(ex.run_fig10(run_ns=run_ns))),
+        ("Figure 11", lambda: ex.format_fig11(ex.run_fig11(run_ns=run_ns))),
+        ("Figure 12", lambda: ex.format_fig12(
+            ex.run_fig12(vm_counts=ns, run_ns=run_ns))),
+        ("Figure 13", lambda: ex.format_fig13(
+            ex.run_fig13a(total_vms=(4, 12, 20, 28), run_ns=run_ns),
+            ex.run_fig13b(total_vms=(4, 12, 20, 28), run_ns=run_ns))),
+        ("Figure 14", lambda: ex.format_fig14(
+            ex.run_fig14(vm_counts=ns, run_ns=run_ns))),
+        ("Figure 15", lambda: ex.format_fig15(ex.run_fig15(run_ns=ms(50)))),
+        ("Figure 16a", lambda: ex.format_fig16a(
+            ex.run_fig16a(run_ns=ms(40)))),
+        ("Figure 16b", lambda: ex.format_fig16b(
+            ex.run_fig16b(run_ns=ms(40)))),
+    ]
+
+    total_start = time.time()
+    for name, step in steps:
+        start = time.time()
+        output = step()
+        elapsed = time.time() - start
+        print(f"\n{'=' * 72}\n{name}  (regenerated in {elapsed:.1f}s)\n{'=' * 72}")
+        print(output)
+        sys.stdout.flush()
+    print(f"\nAll artifacts regenerated in {time.time() - total_start:.0f}s.")
+
+
+if __name__ == "__main__":
+    main()

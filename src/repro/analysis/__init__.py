@@ -1,0 +1,14 @@
+"""Result analysis helpers: tables, summaries, series grouping, charts."""
+
+from .charts import ascii_chart
+from .export import rows_from, to_csv, to_json
+from .tables import (
+    format_table,
+    relative_percent,
+    series_by_model,
+    summarize_latency_us,
+)
+
+__all__ = ["format_table", "relative_percent", "summarize_latency_us",
+           "series_by_model", "ascii_chart",
+           "to_json", "to_csv", "rows_from"]

@@ -1,0 +1,76 @@
+"""Terminal line charts for experiment series — no plotting dependency.
+
+Renders per-model series (e.g. Figure 7's latency curves) as an ASCII
+grid, good enough to eyeball crossovers and saturation knees in a
+terminal or a CI log.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["ascii_chart"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def ascii_chart(series: Dict[str, List[Tuple[float, float]]],
+                width: int = 60, height: int = 16,
+                title: str = "", y_label: str = "") -> str:
+    """Render ``{name: [(x, y), ...]}`` as an ASCII chart.
+
+    Each series gets a marker; a legend maps markers to names.  Points
+    are nearest-neighbor plotted onto a width x height grid.
+    """
+    if not series:
+        raise ValueError("nothing to chart")
+    if width < 10 or height < 4:
+        raise ValueError(f"chart too small: {width}x{height}")
+    points = [(x, y) for values in series.values() for x, y in values]
+    if not points:
+        raise ValueError("all series are empty")
+    xs = [x for x, _y in points]
+    ys = [y for _x, y in points]
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(ys), max(ys)
+    if y_high == y_low:
+        y_high = y_low + 1.0
+    if x_high == x_low:
+        x_high = x_low + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def cell(x: float, y: float) -> Tuple[int, int]:
+        col = round((x - x_low) / (x_high - x_low) * (width - 1))
+        row = round((y - y_low) / (y_high - y_low) * (height - 1))
+        return (height - 1) - row, col
+
+    legend = []
+    for index, (name, values) in enumerate(series.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        legend.append(f"{marker}={name}")
+        for x, y in values:
+            row, col = cell(x, y)
+            grid[row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    top_label = f"{y_high:g}"
+    bottom_label = f"{y_low:g}"
+    label_width = max(len(top_label), len(bottom_label), len(y_label))
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            prefix = top_label.rjust(label_width)
+        elif row_index == height - 1:
+            prefix = bottom_label.rjust(label_width)
+        elif row_index == height // 2 and y_label:
+            prefix = y_label.rjust(label_width)
+        else:
+            prefix = " " * label_width
+        lines.append(f"{prefix} |{''.join(row)}")
+    lines.append(" " * label_width + " +" + "-" * width)
+    lines.append(" " * label_width + f"  {x_low:g}"
+                 + f"{x_high:g}".rjust(width - len(f"{x_low:g}")))
+    lines.append("  " + "  ".join(legend))
+    return "\n".join(lines)

@@ -1,0 +1,71 @@
+"""Export experiment results to JSON/CSV for external plotting."""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from dataclasses import asdict, is_dataclass
+from typing import Any, Iterable, List, Sequence
+
+__all__ = ["to_json", "to_csv", "rows_from"]
+
+
+def rows_from(result: Any) -> List[dict]:
+    """Normalize an experiment result into a list of flat dict rows.
+
+    Accepts: a list of dicts (most ``run_*`` outputs), a list of
+    dataclasses (e.g. ``SeriesPoint``), a dict of model->percentile maps
+    (Table 4), or a dict of named sub-results (Figures 12/14), which are
+    flattened with a ``group`` column.
+    """
+    if isinstance(result, dict):
+        rows: List[dict] = []
+        for key, value in result.items():
+            if isinstance(value, dict):
+                row = {"group": str(key)}
+                row.update({str(k): v for k, v in value.items()})
+                rows.append(row)
+            else:
+                for sub in rows_from(value):
+                    sub_row = {"group": str(key)}
+                    sub_row.update(sub)
+                    rows.append(sub_row)
+        return rows
+    if isinstance(result, (list, tuple)):
+        rows = []
+        for item in result:
+            if is_dataclass(item):
+                rows.append({k: v for k, v in asdict(item).items()
+                             if v is not None})
+            elif isinstance(item, dict):
+                rows.append(dict(item))
+            elif isinstance(item, (list, tuple)) and len(item) == 2:
+                rows.append({"x": item[0], "y": item[1]})
+            else:
+                raise TypeError(f"cannot normalize row of type {type(item)}")
+        return rows
+    raise TypeError(f"cannot normalize result of type {type(result)}")
+
+
+def to_json(result: Any, indent: int = 2) -> str:
+    """Serialize a normalized result as JSON."""
+    return json.dumps(rows_from(result), indent=indent, default=str)
+
+
+def to_csv(result: Any) -> str:
+    """Serialize a normalized result as CSV (union of all row keys)."""
+    rows = rows_from(result)
+    if not rows:
+        return ""
+    fieldnames: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in fieldnames:
+                fieldnames.append(key)
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=fieldnames)
+    writer.writeheader()
+    for row in rows:
+        writer.writerow(row)
+    return buffer.getvalue()

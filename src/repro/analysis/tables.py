@@ -1,0 +1,77 @@
+"""Generic result-table formatting and summary helpers."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ..sim import Histogram
+
+__all__ = ["format_table", "relative_percent", "summarize_latency_us",
+           "series_by_model"]
+
+
+def format_table(rows: Sequence[dict],
+                 columns: Sequence[Tuple[str, str, str]],
+                 title: str = "") -> str:
+    """Render dict rows as an aligned text table.
+
+    ``columns`` is a sequence of ``(key, header, format_spec)`` tuples,
+    e.g. ``("latency_us", "latency", "8.1f")``.
+    """
+    header_cells = []
+    for _key, header, spec in columns:
+        width = _width_of(spec)
+        header_cells.append(f"{header:>{width}s}")
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" ".join(header_cells))
+    for row in rows:
+        cells = []
+        for key, _header, spec in columns:
+            value = row[key]
+            if spec.endswith("s"):
+                width = _width_of(spec)
+                cells.append(f"{str(value):>{width}s}")
+            else:
+                cells.append(format(value, spec))
+        lines.append(" ".join(cells))
+    return "\n".join(lines)
+
+
+def _width_of(spec: str) -> int:
+    digits = ""
+    for ch in spec:
+        if ch.isdigit():
+            digits += ch
+        elif ch == ".":
+            break
+    return int(digits) if digits else 10
+
+
+def relative_percent(value: float, reference: float) -> float:
+    """``value`` as a percentage change from ``reference``."""
+    if reference == 0:
+        raise ValueError("reference must be nonzero")
+    return (value / reference - 1.0) * 100.0
+
+
+def summarize_latency_us(histogram: Histogram) -> Dict[str, float]:
+    """Mean/median/tails of a nanosecond latency histogram, in us."""
+    return {
+        "mean": histogram.mean() / 1000.0,
+        "p50": histogram.percentile(50) / 1000.0,
+        "p99": histogram.percentile(99) / 1000.0,
+        "p99.9": histogram.percentile(99.9) / 1000.0,
+        "max": histogram.max() / 1000.0,
+    }
+
+
+def series_by_model(points) -> Dict[str, List[Tuple[int, float]]]:
+    """Group experiment SeriesPoints into per-model (n, value) series."""
+    series: Dict[str, List[Tuple[int, float]]] = {}
+    for point in points:
+        series.setdefault(point.model, []).append((point.n_vms, point.value))
+    for values in series.values():
+        values.sort()
+    return series

@@ -1,0 +1,212 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+list
+    Show every reproducible artifact and its description.
+run ARTIFACT [--quick] [--chart]
+    Regenerate one artifact (e.g. ``fig7``, ``tab3``, ``energy``) and
+    print the reproduced rows; ``--chart`` adds an ASCII chart for the
+    series-valued figures.
+models
+    Describe the five I/O model configurations.
+costs
+    Dump the calibrated cost-model constants.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, Optional, Tuple
+
+from . import experiments as ex
+from .analysis import series_by_model
+from .analysis.charts import ascii_chart
+from .iomodels.costs import DEFAULT_COSTS
+from .sim import ms
+
+__all__ = ["main", "ARTIFACTS"]
+
+
+def _quick_ns(quick: bool) -> int:
+    return ms(15) if quick else ms(30)
+
+
+def _fig05(quick):
+    points = ex.run_fig05(vm_counts=(1, 4, 7) if quick else range(1, 8),
+                          run_ns=_quick_ns(quick))
+    return ex.format_fig05(points), points
+
+
+def _fig07(quick):
+    points = ex.run_fig07(vm_counts=(1, 4, 7) if quick else range(1, 8),
+                          run_ns=_quick_ns(quick))
+    return ex.format_fig07(points), points
+
+
+def _fig09(quick):
+    points = ex.run_fig09(vm_counts=(1, 4, 7) if quick else range(1, 8),
+                          run_ns=_quick_ns(quick))
+    return ex.format_fig09(points), points
+
+
+def _fig13(quick):
+    vms = (4, 12, 28) if quick else (4, 8, 12, 16, 20, 24, 28)
+    text = ex.format_fig13(ex.run_fig13a(total_vms=vms,
+                                         run_ns=_quick_ns(quick)),
+                           ex.run_fig13b(total_vms=vms,
+                                         run_ns=_quick_ns(quick)))
+    return text, None
+
+
+# artifact -> (description, runner(quick) -> (text, chartable_points))
+ARTIFACTS: Dict[str, Tuple[str, Callable]] = {
+    "fig1": ("CPU vs NIC upgrade price ratios",
+             lambda q: (ex.format_fig01(ex.run_fig01()), None)),
+    "tab1": ("Dell R930 server configurations",
+             lambda q: (ex.format_tab01(ex.run_tab01()), None)),
+    "tab2": ("Elvis vs vRIO rack prices",
+             lambda q: (ex.format_tab02(ex.run_tab02()), None)),
+    "fig3": ("SSD consolidation price ratios",
+             lambda q: (ex.format_fig03(ex.run_fig03()), None)),
+    "tab3": ("per request-response virtualization events",
+             lambda q: (ex.format_tab03(ex.run_tab03()), None)),
+    "fig5": ("ApacheBench throughput, all five models", _fig05),
+    "fig7": ("netperf RR latency vs number of VMs", _fig07),
+    "fig8": ("vRIO latency gap and IOhost contention",
+             lambda q: (ex.format_fig08(ex.run_fig08(
+                 vm_counts=(1, 4, 7) if q else range(1, 8),
+                 run_ns=_quick_ns(q))), None)),
+    "tab4": ("tail latency percentiles",
+             lambda q: (ex.format_tab04(ex.run_tab04(
+                 run_ns=ms(150) if q else ms(400))), None)),
+    "fig9": ("netperf 64B stream throughput", _fig09),
+    "fig10": ("per-packet processing cycles",
+              lambda q: (ex.format_fig10(ex.run_fig10(_quick_ns(q))), None)),
+    "fig11": ("equal-core throughput comparison",
+              lambda q: (ex.format_fig11(ex.run_fig11(_quick_ns(q))), None)),
+    "fig12": ("memcached + Apache macrobenchmarks",
+              lambda q: (ex.format_fig12(ex.run_fig12(
+                  vm_counts=(1, 4, 7) if q else range(1, 8),
+                  run_ns=_quick_ns(q))), None)),
+    "fig13": ("IOhost scalability (4 VMhosts)", _fig13),
+    "fig14": ("filebench on a remote ramdisk",
+              lambda q: (ex.format_fig14(ex.run_fig14(
+                  vm_counts=(1, 4, 7) if q else range(1, 8),
+                  run_ns=_quick_ns(q))), None)),
+    "fig14ssd": ("the SATA-SSD variant of fig14",
+                 lambda q: (ex.format_fig14_ssd(ex.run_fig14_ssd(
+                     vm_counts=(1, 4), run_ns=ms(50))), None)),
+    "fig15": ("sidecore utilization under consolidation",
+              lambda q: (ex.format_fig15(ex.run_fig15(ms(50))), None)),
+    "fig16a": ("consolidation tradeoff 2=>1",
+               lambda q: (ex.format_fig16a(ex.run_fig16a(ms(40))), None)),
+    "fig16b": ("load imbalance 2=>2 with AES",
+               lambda q: (ex.format_fig16b(ex.run_fig16b(ms(40))), None)),
+    "energy": ("mwait vs polling sidecores (extension)",
+               lambda q: (ex.format_energy(ex.run_energy(
+                   vm_counts=(1, 4, 7), run_ns=_quick_ns(q))), None)),
+}
+
+def _trace_one_request() -> None:
+    """Run one request-response through vRIO with tracing and print the
+    lifecycle of both messages (request in, response out)."""
+    from .cluster import build_simple_setup
+    from .sim import Tracer
+
+    testbed = build_simple_setup("vrio", 1)
+    tracer = Tracer(testbed.env)
+    testbed.model.tracer = tracer
+    port, client = testbed.ports[0], testbed.clients[0]
+    responses = {}
+
+    def serve(message):
+        responses["response"] = port.send(message.src, 128)
+
+    port.receive_handler = serve
+    client.receive_handler = lambda m: None
+    request = client.send(port.mac, 64)
+    testbed.env.run(until=ms(5))
+    print("request (load generator -> IOhost -> VM):")
+    print(tracer.format_trace(request.message_id))
+    if "response" in responses:
+        print("\nresponse (VM -> IOhost -> load generator):")
+        print(tracer.format_trace(responses["response"].message_id))
+
+
+_MODEL_HELP = """The five I/O model configurations (paper §2):
+
+baseline     KVM/virtio trap-and-emulate.  3 exits + 2 injections per
+             request-response; vhost threads on a shared I/O core.
+elvis        Local sidecores polling virtio rings, ELI completions,
+             interrupt-driven physical NIC.  State of the art.
+optimum      SRIOV + ELI direct assignment.  Fastest, but interposition
+             is impossible (no migration, metering, SDN, ...).
+vrio         THE PAPER.  Remote sidecores at an IOhost over an SRIOV
+             Ethernet channel; NIC polling; fully interposable at the
+             event cost of the optimum.
+vrio_nopoll  vRIO with interrupt-driven IOhost NICs (4 extra IOhost
+             interrupts per request-response) — Table 3/Figure 5's
+             ablation."""
+
+
+def main(argv: Optional[list] = None) -> int:
+    try:
+        return _main(argv)
+    except BrokenPipeError:
+        # Output piped into head/less that exited early: not an error.
+        return 0
+
+
+def _main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="vRIO (ASPLOS'16) reproduction toolkit")
+    sub = parser.add_subparsers(dest="command")
+    sub.add_parser("list", help="list reproducible artifacts")
+    sub.add_parser("models", help="describe the five I/O models")
+    sub.add_parser("costs", help="dump the calibrated cost constants")
+    sub.add_parser("trace", help="trace one request-response through vRIO")
+    run_parser = sub.add_parser("run", help="regenerate one artifact")
+    run_parser.add_argument("artifact", choices=sorted(ARTIFACTS))
+    run_parser.add_argument("--quick", action="store_true",
+                            help="coarser sweep, shorter runs")
+    run_parser.add_argument("--chart", action="store_true",
+                            help="also render an ASCII chart (series "
+                                 "figures only)")
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        for name in sorted(ARTIFACTS):
+            print(f"{name:10s} {ARTIFACTS[name][0]}")
+        return 0
+    if args.command == "models":
+        print(_MODEL_HELP)
+        return 0
+    if args.command == "costs":
+        from dataclasses import fields
+        for f in fields(DEFAULT_COSTS):
+            print(f"{f.name:40s} {getattr(DEFAULT_COSTS, f.name)}")
+        return 0
+    if args.command == "trace":
+        _trace_one_request()
+        return 0
+    if args.command == "run":
+        _description, runner = ARTIFACTS[args.artifact]
+        text, points = runner(args.quick)
+        print(text)
+        if args.chart:
+            if points is None:
+                print("\n(no chartable series for this artifact)")
+            else:
+                series = {name: [(float(n), v) for n, v in values]
+                          for name, values in series_by_model(points).items()}
+                print()
+                print(ascii_chart(series, title=args.artifact))
+        return 0
+    parser.print_help()
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,18 @@
+"""Rack-level assembly: machines, topologies, paper testbed builders."""
+
+from .host import IoHostMachine, LoadGenHost, VmHostMachine, guest_costs_from
+from .testbed import (
+    MODEL_NAMES,
+    Testbed,
+    build_consolidation_setup,
+    build_scalability_setup,
+    build_simple_setup,
+    build_switched_setup,
+)
+
+__all__ = [
+    "VmHostMachine", "IoHostMachine", "LoadGenHost", "guest_costs_from",
+    "Testbed", "MODEL_NAMES",
+    "build_simple_setup", "build_scalability_setup",
+    "build_consolidation_setup", "build_switched_setup",
+]

@@ -1,0 +1,160 @@
+"""Physical machines of the testbed (§5 *Methodology*).
+
+* VMhosts: IBM System x3550 M4 — 2x 8-core 2.2 GHz Xeon E5-2660.
+* IOhost:  IBM System x3650 M4 — 2x 8-core 2.7 GHz Xeon E5-2680.
+* Load generators: IBM System x3550 M2 — 2x 4-core 2.93 GHz Xeon 5500,
+  whose single PCIe bus hangs off socket 0; clients scheduled onto socket 1
+  pay a remote-DRAM penalty (the Figure 13a artifact).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..guest.vm import GuestCosts, Vm
+from ..hw.cpu import Core
+from ..hw.nic import Nic
+from ..iomodels.base import ExternalEndpoint
+from ..iomodels.costs import CostModel, DEFAULT_COSTS
+from ..sim import Environment
+
+__all__ = ["VmHostMachine", "IoHostMachine", "LoadGenHost", "guest_costs_from"]
+
+
+def guest_costs_from(costs: CostModel) -> GuestCosts:
+    """Project the shared cost model onto guest-side event costs."""
+    return GuestCosts(irq_handler_cycles=costs.guest_irq_handler_cycles,
+                      eoi_exit_cycles=costs.eoi_exit_cycles,
+                      sync_exit_cycles=costs.sync_exit_cycles)
+
+
+class VmHostMachine:
+    """A VMhost: VM cores plus (optionally) local sidecores."""
+
+    def __init__(self, env: Environment, name: str,
+                 costs: CostModel = DEFAULT_COSTS, core_budget: int = 16):
+        self.env = env
+        self.name = name
+        self.costs = costs
+        self.core_budget = core_budget
+        self._core_count = 0
+        self.vms: List[Vm] = []
+        self.sidecores: List[Core] = []
+        self.nics: List[Nic] = []
+
+    def _new_core(self, label: str, poll_mode: bool = False) -> Core:
+        if self._core_count >= self.core_budget:
+            raise RuntimeError(
+                f"{self.name}: core budget of {self.core_budget} exhausted")
+        self._core_count += 1
+        return Core(self.env, f"{self.name}/{label}", self.costs.vmhost_ghz,
+                    poll_mode=poll_mode,
+                    poll_dispatch_ns=self.costs.poll_dispatch_ns)
+
+    def new_vm(self, name: Optional[str] = None) -> Vm:
+        """Create a 1-VCPU guest pinned to a fresh VMcore."""
+        vm_name = name or f"{self.name}-vm{len(self.vms)}"
+        vcpu = self._new_core(f"vmcore{len(self.vms)}")
+        vm = Vm(self.env, vm_name, vcpu, costs=guest_costs_from(self.costs))
+        self.vms.append(vm)
+        return vm
+
+    def new_sidecore(self) -> Core:
+        """Dedicate a core to I/O polling (Elvis)."""
+        core = self._new_core(f"sidecore{len(self.sidecores)}",
+                              poll_mode=True)
+        self.sidecores.append(core)
+        return core
+
+    def new_io_core(self) -> Core:
+        """A spare core for baseline vhost threads (not polling)."""
+        return self._new_core("iocore")
+
+    def new_nic(self, label: str = "nic") -> Nic:
+        nic = Nic(self.env, f"{self.name}/{label}{len(self.nics)}")
+        self.nics.append(nic)
+        return nic
+
+
+class IoHostMachine:
+    """The IOhost: worker sidecores + channel/external NICs."""
+
+    def __init__(self, env: Environment, name: str = "iohost",
+                 costs: CostModel = DEFAULT_COSTS, core_budget: int = 16):
+        self.env = env
+        self.name = name
+        self.costs = costs
+        self.core_budget = core_budget
+        self.workers: List[Core] = []
+        self.nics: List[Nic] = []
+
+    def new_worker(self, poll_mode: bool = True,
+                   idle_policy: Optional[str] = None) -> Core:
+        """A worker sidecore.  ``idle_policy="mwait"`` trades ~1.5 us of
+        wakeup latency for a cheap idle state (§4.6 Energy)."""
+        if len(self.workers) >= self.core_budget:
+            raise RuntimeError(
+                f"{self.name}: core budget of {self.core_budget} exhausted")
+        core = Core(self.env, f"{self.name}/worker{len(self.workers)}",
+                    self.costs.iohost_ghz, poll_mode=poll_mode,
+                    poll_dispatch_ns=self.costs.poll_dispatch_ns,
+                    idle_policy=idle_policy)
+        self.workers.append(core)
+        return core
+
+    def new_nic(self, label: str = "nic") -> Nic:
+        nic = Nic(self.env, f"{self.name}/{label}{len(self.nics)}")
+        self.nics.append(nic)
+        return nic
+
+
+class LoadGenHost:
+    """A load-generator machine with the paper's NUMA quirk.
+
+    Two 4-core sockets; the NIC's PCIe bus is local to socket 0.  Core 0 is
+    reserved for interrupt handling (as in §5), so client processes occupy
+    cores 1..7 in order — the 4th simultaneous client of a generator lands
+    on socket 1 and dilates (Fig. 13a).
+    """
+
+    def __init__(self, env: Environment, name: str, nic: Nic,
+                 costs: CostModel = DEFAULT_COSTS, cores_per_socket: int = 4,
+                 sockets: int = 2, model_numa: bool = True):
+        self.env = env
+        self.name = name
+        self.nic = nic
+        self.costs = costs
+        self.cores_per_socket = cores_per_socket
+        self.total_cores = cores_per_socket * sockets
+        self.model_numa = model_numa
+        self._cores: List[Core] = []
+        self._next_client = 0
+
+    def _client_core(self, index: int) -> Core:
+        # Core 0 reserved; clients use 1..total-1 then wrap.
+        core_index = 1 + index % (self.total_cores - 1)
+        while len(self._cores) <= core_index:
+            self._cores.append(Core(self.env,
+                                    f"{self.name}/core{len(self._cores)}",
+                                    self.costs.loadgen_ghz))
+        return self._cores[core_index]
+
+    def _dilation(self, core_index: int) -> float:
+        if not self.model_numa:
+            return 1.0
+        on_remote_socket = core_index >= self.cores_per_socket
+        return self.costs.loadgen_numa_remote_dilation if on_remote_socket else 1.0
+
+    def new_client_endpoint(self) -> ExternalEndpoint:
+        """A client process (netperf/ab/memslap instance) on the next core."""
+        index = self._next_client
+        self._next_client += 1
+        core_index = 1 + index % (self.total_cores - 1)
+        core = self._client_core(index)
+        dilation = self._dilation(core_index)
+        per_msg = int(self.costs.loadgen_per_msg_cycles * dilation)
+        endpoint = ExternalEndpoint(self.env, f"{self.name}/client{index}",
+                                    core, self.nic.create_function(f"client{index}"),
+                                    per_msg_cycles=per_msg)
+        endpoint.numa_dilation = dilation
+        return endpoint

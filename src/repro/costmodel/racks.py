@@ -1,0 +1,212 @@
+"""Rack-level pricing: Table 1 server configurations, Table 2 rack totals,
+and Figure 3's SSD-consolidation price ratios.
+
+All component prices are the ones the paper prints (Dell PowerEdge R930
+configurator, July 2015).  Server totals are recomputed from components;
+the paper's printed totals agree within ~1% (its DRAM line items are
+slightly underdetermined), which EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+__all__ = [
+    "COMPONENT_PRICES",
+    "ServerConfig",
+    "ELVIS_SERVER",
+    "VRIO_VMHOST",
+    "VRIO_LIGHT_IOHOST",
+    "VRIO_HEAVY_IOHOST",
+    "server_table",
+    "RackSetup",
+    "rack_price_comparison",
+    "SSD_PRICES",
+    "ssd_consolidation_ratio",
+    "ssd_consolidation_sweep",
+]
+
+# Dell R930 component prices (Table 1), USD.
+COMPONENT_PRICES: Dict[str, float] = {
+    "base": 6_407,            # chassis etc.
+    "cpu_18core": 8_006,      # 18-core 2.5 GHz Xeon E7-8890 v3
+    "dram_8gb": 172,
+    "dram_16gb": 273,
+    "nic_10g_dp": 560,        # Mellanox dual-port 10 Gbps, incl. cable
+    "nic_40g_dp": 1_121,      # Mellanox dual-port 40 Gbps, incl. cable
+}
+
+# FusionIO SX300 PCIe SSDs (§3).
+SSD_PRICES: Dict[str, float] = {
+    "3.2TB": 12_706,
+    "6.4TB": 24_063,
+}
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """One R930 build: component counts plus its throughput budget."""
+
+    name: str
+    components: Dict[str, int]
+    total_gbps: float
+    required_gbps: float
+
+    @property
+    def price(self) -> float:
+        unknown = set(self.components) - set(COMPONENT_PRICES)
+        if unknown:
+            raise KeyError(f"unknown components: {sorted(unknown)}")
+        return sum(COMPONENT_PRICES[part] * count
+                   for part, count in self.components.items())
+
+    @property
+    def cores(self) -> int:
+        return 18 * self.components.get("cpu_18core", 0)
+
+    @property
+    def dram_gb(self) -> int:
+        return (8 * self.components.get("dram_8gb", 0)
+                + 16 * self.components.get("dram_16gb", 0))
+
+
+# The four server types of Table 1.
+ELVIS_SERVER = ServerConfig(
+    "elvis", {"base": 1, "cpu_18core": 4, "dram_8gb": 2, "dram_16gb": 18,
+              "nic_10g_dp": 2},
+    total_gbps=40.00, required_gbps=26.72)
+
+VRIO_VMHOST = ServerConfig(
+    "vmhost", {"base": 1, "cpu_18core": 4, "dram_8gb": 8, "dram_16gb": 26,
+               "nic_40g_dp": 1},
+    total_gbps=80.00, required_gbps=40.08)
+
+VRIO_LIGHT_IOHOST = ServerConfig(
+    "light iohost", {"base": 1, "cpu_18core": 2, "dram_8gb": 8,
+                     "nic_40g_dp": 2},
+    total_gbps=160.00, required_gbps=160.31)
+
+VRIO_HEAVY_IOHOST = ServerConfig(
+    "heavy iohost", {"base": 1, "cpu_18core": 4, "dram_8gb": 8,
+                     "nic_40g_dp": 4},
+    total_gbps=320.00, required_gbps=320.63)
+
+_ALL_SERVERS = (ELVIS_SERVER, VRIO_VMHOST, VRIO_LIGHT_IOHOST,
+                VRIO_HEAVY_IOHOST)
+
+
+def server_table() -> List[dict]:
+    """Table 1 rows: per-server price, components, and throughput."""
+    return [{
+        "server": cfg.name,
+        "price_usd": cfg.price,
+        "cores": cfg.cores,
+        "dram_gb": cfg.dram_gb,
+        "total_gbps": cfg.total_gbps,
+        "required_gbps": cfg.required_gbps,
+    } for cfg in _ALL_SERVERS]
+
+
+@dataclass
+class RackSetup:
+    """A rack of servers: k VMhosts (or Elvis hosts) + j IOhosts."""
+
+    name: str
+    servers: List[ServerConfig] = field(default_factory=list)
+
+    @property
+    def price(self) -> float:
+        return sum(s.price for s in self.servers)
+
+    @property
+    def vm_cores(self) -> int:
+        """VMcores across the rack: Elvis servers run 1/3 of their cores as
+        sidecores; vRIO VMhosts dedicate everything to VMs."""
+        total = 0
+        for s in self.servers:
+            if s.name == "elvis":
+                total += s.cores * 2 // 3
+            elif s.name == "vmhost":
+                total += s.cores
+        return total
+
+
+def _elvis_rack(n_servers: int) -> RackSetup:
+    return RackSetup(f"elvis x{n_servers}", [ELVIS_SERVER] * n_servers)
+
+
+def _vrio_rack(n_servers: int) -> RackSetup:
+    """The vRIO transform of an n-server Elvis rack (§3).
+
+    3 Elvis servers -> 2 VMhosts + 1 light IOhost; merging two such racks
+    yields 4 VMhosts + 1 heavy IOhost out of 6 Elvis servers.
+    """
+    if n_servers == 3:
+        return RackSetup("vrio 2+1", [VRIO_VMHOST] * 2 + [VRIO_LIGHT_IOHOST])
+    if n_servers == 6:
+        return RackSetup("vrio 4+1", [VRIO_VMHOST] * 4 + [VRIO_HEAVY_IOHOST])
+    raise ValueError(f"the paper's transform is defined for 3 or 6 servers, "
+                     f"got {n_servers}")
+
+
+def rack_price_comparison() -> List[dict]:
+    """Table 2 rows: overall Elvis vs vRIO setup prices."""
+    rows = []
+    for n in (3, 6):
+        elvis = _elvis_rack(n)
+        vrio = _vrio_rack(n)
+        rows.append({
+            "setup": f"R930 x {n}",
+            "elvis_servers": n,
+            "vrio_servers": vrio.name.split()[1],
+            "elvis_price_usd": elvis.price,
+            "vrio_price_usd": vrio.price,
+            "diff_percent": (vrio.price / elvis.price - 1.0) * 100.0,
+            "elvis_vm_cores": elvis.vm_cores,
+            "vrio_vm_cores": vrio.vm_cores,
+        })
+    return rows
+
+
+def _extra_nics_for_drives(v_drives: int) -> int:
+    """§3: consolidating up to three SX300s (21.6 Gbps each) needs one extra
+    2x40 Gbps NIC at the IOhost; up to six needs two."""
+    if v_drives <= 0:
+        return 0
+    return -(-v_drives // 3)
+
+
+def ssd_consolidation_ratio(n_servers: int, e_drives: int, v_drives: int,
+                            ssd: str = "3.2TB") -> float:
+    """Fig. 3: price of the vRIO setup relative to Elvis for an e=>v
+    drive-consolidation ratio."""
+    if ssd not in SSD_PRICES:
+        raise ValueError(f"unknown SSD model {ssd!r}")
+    if e_drives < n_servers:
+        raise ValueError(
+            "an Elvis setup needs at least one drive per server "
+            f"({e_drives} < {n_servers})")
+    if not 1 <= v_drives <= e_drives:
+        raise ValueError(f"bad consolidation ratio {e_drives}=>{v_drives}")
+    drive = SSD_PRICES[ssd]
+    elvis_price = _elvis_rack(n_servers).price + e_drives * drive
+    vrio_price = (_vrio_rack(n_servers).price + v_drives * drive
+                  + _extra_nics_for_drives(v_drives)
+                  * COMPONENT_PRICES["nic_40g_dp"])
+    return vrio_price / elvis_price
+
+
+def ssd_consolidation_sweep() -> List[dict]:
+    """All Figure 3 data points: both rack sizes, both drive models."""
+    rows = []
+    for n in (3, 6):
+        for v in range(n, 0, -1):
+            for ssd in ("3.2TB", "6.4TB"):
+                rows.append({
+                    "rack": f"R930 x {n}",
+                    "ratio": f"{n}=>{v}",
+                    "ssd": ssd,
+                    "vrio_over_elvis": ssd_consolidation_ratio(n, n, v, ssd),
+                })
+    return rows

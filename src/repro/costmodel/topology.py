@@ -1,0 +1,121 @@
+"""Figure 2 rack wiring plans: Elvis, light-IOhost vRIO, heavy-IOhost vRIO.
+
+§3 argues the vRIO transform keeps the *switch-facing* cabling no larger
+while adding direct VMhost<->IOhost cables; and that IOhost ports reach a
+10 GbE switch via 40GbE-to-4x10GbE breakout cables.  This module builds
+the wiring plan for each setup and validates the bandwidth accounting that
+Table 1 prints (required vs provisioned Gbps per server).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from .racks import (
+    ELVIS_SERVER,
+    VRIO_HEAVY_IOHOST,
+    VRIO_LIGHT_IOHOST,
+    VRIO_VMHOST,
+    ServerConfig,
+)
+
+__all__ = ["Cable", "WiringPlan", "elvis_rack_plan", "vrio_rack_plan",
+           "PER_CORE_GBPS"]
+
+# §3's compute-to-network rate: 380 Mbps per core concurrently engaged in
+# networking (the top of the 113-380 Mbps cloud-provider measurement).
+PER_CORE_GBPS = 0.380
+
+
+@dataclass(frozen=True)
+class Cable:
+    """One physical cable in the rack."""
+
+    src: str
+    dst: str
+    gbps: float
+    kind: str            # "10GbE", "40GbE", "40GbE-4x10GbE-breakout"
+
+
+@dataclass
+class WiringPlan:
+    """A rack's servers plus every cable connecting them."""
+
+    name: str
+    servers: List[ServerConfig]
+    cables: List[Cable] = field(default_factory=list)
+
+    @property
+    def switch_cables(self) -> List[Cable]:
+        return [c for c in self.cables if "switch" in (c.src, c.dst)]
+
+    @property
+    def direct_cables(self) -> List[Cable]:
+        return [c for c in self.cables if "switch" not in (c.src, c.dst)]
+
+    def bandwidth_into(self, node: str) -> float:
+        return sum(c.gbps for c in self.cables if node in (c.src, c.dst))
+
+    def validate(self, tolerance_gbps: float = 0.5) -> None:
+        """Every server's cabling must cover its required bandwidth (to
+        within the paper's own rounding: the IOhosts run ~0.3 Gbps over
+        their port budget in Table 1 too), and never exceed its NIC
+        provisioning."""
+        for index, server in enumerate(self.servers):
+            node = f"{server.name}{index}"
+            wired = self.bandwidth_into(node)
+            needed = min(server.required_gbps, server.total_gbps)
+            if wired + tolerance_gbps < needed:
+                raise ValueError(
+                    f"{self.name}: {node} wired for {wired} Gbps, needs "
+                    f"{server.required_gbps}")
+            if wired > server.total_gbps + 1e-9:
+                raise ValueError(
+                    f"{self.name}: {node} wired for {wired} Gbps but only "
+                    f"provisions {server.total_gbps}")
+
+
+def vm_cores_required_gbps(vm_cores: int) -> float:
+    """Bandwidth a server's VMcores can consume, per the §3 rate."""
+    return vm_cores * PER_CORE_GBPS
+
+
+def elvis_rack_plan(n_servers: int = 3,
+                    switch_is_10gbe: bool = True) -> WiringPlan:
+    """Figure 2a: each Elvis server connects 3 of its 4 10GbE ports to the
+    switch (26.72 Gbps of demand against 30 Gbps of uplink)."""
+    plan = WiringPlan(f"elvis x{n_servers}", [ELVIS_SERVER] * n_servers)
+    for i in range(n_servers):
+        node = f"elvis{i}"
+        for port in range(3):
+            plan.cables.append(Cable(node, "switch", 10.0, "10GbE"))
+    plan.validate()
+    return plan
+
+
+def vrio_rack_plan(n_servers: int = 3,
+                   switch_is_10gbe: bool = True) -> WiringPlan:
+    """Figures 2b/2c: VMhosts wire 40GbE directly to the IOhost; the
+    IOhost reaches the switch with (breakout) cables — fewer switch ports
+    than the Elvis setup used."""
+    if n_servers == 3:
+        vmhosts, iohost = 2, VRIO_LIGHT_IOHOST
+    elif n_servers == 6:
+        vmhosts, iohost = 4, VRIO_HEAVY_IOHOST
+    else:
+        raise ValueError("the paper's transform covers 3 or 6 servers")
+    servers = [VRIO_VMHOST] * vmhosts + [iohost]
+    plan = WiringPlan(f"vrio {vmhosts}+1", servers)
+    iohost_node = f"{iohost.name}{vmhosts}"
+    # Each VMhost: one 40GbE port to the IOhost (its dual-port NIC keeps a
+    # spare; the IOhost's port budget allots one per VMhost).
+    for i in range(vmhosts):
+        plan.cables.append(Cable(f"vmhost{i}", iohost_node, 40.0, "40GbE"))
+    # IOhost to switch: one uplink per VMhost carries its external share
+    # (40.08 Gbps); breakout cables when the switch is 10GbE-only.
+    kind = "40GbE-4x10GbE-breakout" if switch_is_10gbe else "40GbE"
+    for _ in range(vmhosts):
+        plan.cables.append(Cable(iohost_node, "switch", 40.0, kind))
+    plan.validate()
+    return plan

@@ -1,0 +1,156 @@
+"""Figures 15 and 16: sidecore consolidation — utilization, tradeoff,
+and load imbalance.
+
+Setup (§5 *Improving Utilization*): two VMhosts, five VMs each, all
+running the filebench Webserver personality on a 1 GB ramdisk (remote at
+the IOhost for vRIO).
+
+* Fig. 15 — per-sidecore CPU utilization traces: Elvis's two sidecores
+  (one per VMhost) are underutilized; vRIO's single consolidated sidecore
+  does the same work on fewer cycles.
+* Fig. 16a — throughput tradeoff of consolidating 2 sidecores into 1:
+  vRIO within ~8% of Elvis; the baseline far behind.
+* Fig. 16b — load imbalance (§5): only one VMhost active, AES-256
+  interposition enabled; Elvis can only use that host's single local
+  sidecore, while vRIO brings both consolidated sidecores to bear.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..cluster import Testbed, build_consolidation_setup
+from ..interpose import AesEncryption
+from ..sim import TimeSeries, ms
+from ..workloads import WebserverPersonality
+
+__all__ = [
+    "run_fig15", "format_fig15",
+    "run_fig16a", "format_fig16a",
+    "run_fig16b", "format_fig16b",
+]
+
+
+def _start_webservers(tb: Testbed, vm_indices, run_ns: int,
+                      warmup_ns: int) -> List[WebserverPersonality]:
+    workloads = []
+    for i in vm_indices:
+        vm = tb.vms[i]
+        handle = tb.attach_ramdisk(vm)
+        rng = tb.rng.stream(f"webserver-{i}")
+        workloads.append(WebserverPersonality(
+            tb.env, vm, handle, rng, tb.costs, warmup_ns=warmup_ns,
+            app_dilation=tb.ports[i].app_dilation))
+    return workloads
+
+
+def _sample_utilization(tb: Testbed, interval_ns: int) -> List[TimeSeries]:
+    """Periodic useful-cycle utilization of each service core."""
+    series = [TimeSeries(core.name) for core in tb.service_cores]
+    last = [0] * len(tb.service_cores)
+
+    def sampler():
+        while True:
+            yield tb.env.timeout(interval_ns)
+            for idx, core in enumerate(tb.service_cores):
+                useful = core.util.useful_ns
+                fraction = (useful - last[idx]) / interval_ns
+                last[idx] = useful
+                series[idx].record(tb.env.now, fraction * 100.0)
+
+    tb.env.process(sampler(), name="utilization-sampler")
+    return series
+
+
+def run_fig15(run_ns: int = ms(60), interval_ns: int = ms(2)) -> Dict[str, dict]:
+    """Fig. 15: sidecore utilization traces for Elvis (2 local) vs vRIO
+    (1 consolidated)."""
+    result = {}
+    for model_name, workers in (("elvis", 1), ("vrio", 1)):
+        tb = build_consolidation_setup(model_name, n_vmhosts=2,
+                                       vms_per_host=5,
+                                       sidecores_per_host=1,
+                                       vrio_workers=workers)
+        _start_webservers(tb, range(len(tb.vms)), run_ns, warmup_ns=ms(2))
+        series = _sample_utilization(tb, interval_ns)
+        tb.env.run(until=run_ns)
+        result[model_name] = {
+            "cores": [ts.name for ts in series],
+            "series": series,
+            "averages": [ts.mean() for ts in series],
+        }
+    return result
+
+
+def format_fig15(result: Dict[str, dict]) -> str:
+    lines = ["Figure 15: sidecore CPU utilization (useful work, %)"]
+    for model_name, data in result.items():
+        for name, avg in zip(data["cores"], data["averages"]):
+            lines.append(f"  {model_name:6s} {name:24s} avg={avg:5.1f}%")
+    return "\n".join(lines)
+
+
+def run_fig16a(run_ns: int = ms(60)) -> List[dict]:
+    """Fig. 16a: the 2=>1 consolidation tradeoff (webserver throughput)."""
+    rows = []
+    reference = None
+    for model_name, kwargs in (
+            ("elvis", {"sidecores_per_host": 1}),
+            ("vrio", {"vrio_workers": 1}),
+            ("baseline", {})):
+        tb = build_consolidation_setup(model_name, n_vmhosts=2,
+                                       vms_per_host=5, **kwargs)
+        workloads = _start_webservers(tb, range(len(tb.vms)), run_ns,
+                                      warmup_ns=ms(2))
+        tb.env.run(until=run_ns)
+        total = sum(w.throughput_mbps() for w in workloads)
+        if reference is None:
+            reference = total
+        rows.append({"model": model_name, "throughput_mbps": total,
+                     "relative": total / reference - 1.0})
+    return rows
+
+
+def format_fig16a(rows: List[dict]) -> str:
+    lines = ["Figure 16a: consolidation tradeoff (2=>1), webserver Mbps",
+             f"{'model':10s} {'Mbps':>8s} {'vs elvis':>9s}"]
+    for r in rows:
+        lines.append(f"{r['model']:10s} {r['throughput_mbps']:8.0f} "
+                     f"{r['relative']:+8.1%}")
+    return "\n".join(lines)
+
+
+def run_fig16b(run_ns: int = ms(60)) -> List[dict]:
+    """Fig. 16b: load imbalance (2=>2) with AES-256 interposition.
+
+    Two-sidecore budget; only VMhost 0 is active.  Elvis's second sidecore
+    (on the idle host) is stranded; vRIO's two consolidated workers both
+    serve the active host.
+    """
+    rows = []
+    reference = None
+    for model_name, kwargs in (
+            ("elvis", {"sidecores_per_host": 1}),
+            ("vrio", {"vrio_workers": 2})):
+        tb = build_consolidation_setup(model_name, n_vmhosts=2,
+                                       vms_per_host=5, **kwargs)
+        for model in tb.models:
+            model.add_interposer(AesEncryption())
+        active = range(5)  # VMhost 0's VMs only; VMhost 1 idles
+        workloads = _start_webservers(tb, active, run_ns, warmup_ns=ms(2))
+        tb.env.run(until=run_ns)
+        total = sum(w.throughput_mbps() for w in workloads)
+        if reference is None:
+            reference = total
+        rows.append({"model": model_name, "throughput_mbps": total,
+                     "relative": total / reference - 1.0})
+    return rows
+
+
+def format_fig16b(rows: List[dict]) -> str:
+    lines = ["Figure 16b: load imbalance (2=>2) with AES interposition",
+             f"{'model':10s} {'Mbps':>8s} {'vs elvis':>9s}"]
+    for r in rows:
+        lines.append(f"{r['model']:10s} {r['throughput_mbps']:8.0f} "
+                     f"{r['relative']:+8.1%}")
+    return "\n".join(lines)

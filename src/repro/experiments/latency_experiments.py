@@ -1,0 +1,96 @@
+"""Latency experiments: Figure 7 (RR latency), Figure 8 (vRIO gap and
+IOhost contention), Table 4 (tail latency)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..sim import ms
+from .runner import DEFAULT_RUN_NS, SeriesPoint, rr_run
+
+__all__ = [
+    "run_fig07", "format_fig07",
+    "run_fig08", "format_fig08",
+    "run_tab04", "format_tab04",
+]
+
+FIG7_MODELS = ("baseline", "vrio", "elvis", "optimum")
+
+
+def run_fig07(vm_counts: Sequence[int] = range(1, 8),
+              run_ns: int = DEFAULT_RUN_NS) -> List[SeriesPoint]:
+    """Fig. 7: netperf RR mean latency (us) vs number of VMs, 4 models."""
+    points = []
+    for model_name in FIG7_MODELS:
+        for n in vm_counts:
+            _tb, workloads = rr_run(model_name, n, run_ns=run_ns)
+            mean_us = sum(w.mean_latency_us() for w in workloads) / n
+            points.append(SeriesPoint(model_name, n, mean_us))
+    return points
+
+
+def format_fig07(points: List[SeriesPoint]) -> str:
+    ns = sorted({p.n_vms for p in points})
+    lines = ["Figure 7: netperf RR average latency [usec]",
+             f"{'model':10s} " + " ".join(f"N={n:<5d}" for n in ns)]
+    for model_name in FIG7_MODELS:
+        vals = {p.n_vms: p.value for p in points if p.model == model_name}
+        lines.append(f"{model_name:10s} "
+                     + " ".join(f"{vals[n]:7.1f}" for n in ns))
+    return "\n".join(lines)
+
+
+def run_fig08(vm_counts: Sequence[int] = range(1, 8),
+              run_ns: int = DEFAULT_RUN_NS) -> List[dict]:
+    """Fig. 8: vRIO-vs-optimum latency gap and IOhost worker contention."""
+    rows = []
+    for n in vm_counts:
+        _opt_tb, opt = rr_run("optimum", n, run_ns=run_ns)
+        vrio_tb, vrio = rr_run("vrio", n, run_ns=run_ns)
+        gap = (sum(w.mean_latency_us() for w in vrio) / n
+               - sum(w.mean_latency_us() for w in opt) / n)
+        contention = vrio_tb.model.pool.contention_fraction()
+        rows.append({"n_vms": n, "latency_gap_us": gap,
+                     "contention_pct": contention * 100.0})
+    return rows
+
+
+def format_fig08(rows: List[dict]) -> str:
+    lines = ["Figure 8: vRIO latency gap (left axis) and contention (right)",
+             f"{'N':>3s} {'gap us':>8s} {'contention %':>13s}"]
+    for r in rows:
+        lines.append(f"{r['n_vms']:3d} {r['latency_gap_us']:8.2f} "
+                     f"{r['contention_pct']:13.1f}")
+    return "\n".join(lines)
+
+
+TAB4_MODELS = ("optimum", "elvis", "vrio")
+TAB4_PERCENTILES = (99.9, 99.99, 99.999, 100.0)
+
+
+def run_tab04(run_ns: int = ms(400)) -> Dict[str, Dict[float, float]]:
+    """Table 4: tail latency (us) for one VM.
+
+    Runs with host background noise installed (timer ticks + rare long
+    housekeeping events; the IOhost is much quieter, being a dedicated
+    I/O machine) — the tails come from a request colliding with noise on
+    the cores its path crosses.  Longer run than other experiments so the
+    high percentiles are populated.
+    """
+    rows: Dict[str, Dict[float, float]] = {}
+    for model_name in TAB4_MODELS:
+        _tb, workloads = rr_run(model_name, 1, run_ns=run_ns, noise=True)
+        hist = workloads[0].latency_ns
+        rows[model_name] = {q: hist.percentile(q) / 1000.0
+                            for q in TAB4_PERCENTILES}
+    return rows
+
+
+def format_tab04(rows: Dict[str, Dict[float, float]]) -> str:
+    lines = ["Table 4: tail latency in microseconds for one VM",
+             f"{'percentile':>11s} " + " ".join(f"{m:>9s}" for m in TAB4_MODELS)]
+    for q in TAB4_PERCENTILES:
+        label = f"{q}%"
+        lines.append(f"{label:>11s} "
+                     + " ".join(f"{rows[m][q]:9.1f}" for m in TAB4_MODELS))
+    return "\n".join(lines)

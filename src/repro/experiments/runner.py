@@ -1,0 +1,139 @@
+"""Shared experiment plumbing: standard run lengths and sweep helpers.
+
+Experiments default to simulating tens of milliseconds — long enough for
+thousands of transactions per VM (runs are deterministic, so the paper's
+5-repetition averaging is unnecessary), short enough that a full sweep
+regenerates in seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..cluster import Testbed, build_simple_setup
+from ..iomodels.costs import CostModel
+from ..sim import ms
+from ..workloads import ApacheBench, Memslap, NetperfRR, NetperfStream
+
+__all__ = [
+    "DEFAULT_RUN_NS",
+    "DEFAULT_WARMUP_NS",
+    "rr_run",
+    "stream_run",
+    "macro_run",
+    "SeriesPoint",
+]
+
+DEFAULT_RUN_NS = ms(40)
+DEFAULT_WARMUP_NS = ms(2)
+
+
+@dataclass
+class SeriesPoint:
+    """One (model, N) measurement in a sweep."""
+
+    model: str
+    n_vms: int
+    value: float
+    extra: Optional[dict] = None
+
+
+def rr_run(model_name: str, n_vms: int,
+           costs: Optional[CostModel] = None,
+           run_ns: int = DEFAULT_RUN_NS,
+           warmup_ns: int = DEFAULT_WARMUP_NS,
+           sidecores: int = 1,
+           noise: bool = False):
+    """Netperf RR on the Figure 6 setup; returns (testbed, workloads).
+
+    ``noise`` installs host background activity (timer ticks and rare
+    long housekeeping events) on every core — needed for realistic tail
+    percentiles (Table 4).
+    """
+    tb = build_simple_setup(model_name, n_vms, costs=costs,
+                            sidecores=sidecores)
+    workloads = [NetperfRR(tb.env, tb.clients[i], tb.ports[i], tb.costs,
+                           warmup_ns=warmup_ns,
+                           rng=tb.rng.stream(f"rr-client-{i}"))
+                 for i in range(n_vms)]
+    if noise:
+        install_host_noise(tb)
+    tb.env.run(until=run_ns)
+    return tb, workloads
+
+
+def install_host_noise(tb) -> None:
+    """Background host activity: periodic timer ticks plus rare long
+    events (housekeeping daemons, SMIs) on every core.
+
+    The IOhost's cores get a far quieter profile — it is a dedicated I/O
+    machine running nothing else, which is why vRIO's *extreme* tail beats
+    Elvis's in Table 4: Elvis's sidecore shares a general-purpose host.
+    """
+    env = tb.env
+
+    def noise(core, tick_mean_ns, tick_cycles, rare_mean_ns, rare_cycles,
+              rng):
+        def source(env):
+            while True:
+                yield env.timeout(max(1, int(rng.expovariate(
+                    1.0 / tick_mean_ns))))
+                core.execute(int(tick_cycles * rng.uniform(0.5, 1.5)),
+                             tag="noise", high_priority=True)
+
+        def rare_source(env):
+            while True:
+                yield env.timeout(max(1, int(rng.expovariate(
+                    1.0 / rare_mean_ns))))
+                core.execute(int(rare_cycles * rng.uniform(0.5, 2.0)),
+                             tag="noise", high_priority=True)
+
+        env.process(source(env), name=f"noise:{core.name}")
+        env.process(rare_source(env), name=f"noise-rare:{core.name}")
+
+    vmhost_cores = [vm.vcpu for vm in tb.vms]
+    if tb.iohost is None:
+        vmhost_cores += tb.service_cores      # local sidecores share the host
+        iohost_cores = []
+    else:
+        iohost_cores = tb.service_cores
+    for core in vmhost_cores:
+        noise(core, tick_mean_ns=250_000, tick_cycles=5_000,
+              rare_mean_ns=60_000_000, rare_cycles=400_000,
+              rng=tb.rng.stream(f"noise-{core.name}"))
+    for core in iohost_cores:
+        noise(core, tick_mean_ns=1_000_000, tick_cycles=2_000,
+              rare_mean_ns=500_000_000, rare_cycles=100_000,
+              rng=tb.rng.stream(f"noise-{core.name}"))
+
+
+def stream_run(model_name: str, n_vms: int,
+               costs: Optional[CostModel] = None,
+               run_ns: int = DEFAULT_RUN_NS,
+               warmup_ns: int = ms(3),
+               sidecores: int = 1):
+    """Netperf 64 B stream on the Figure 6 setup."""
+    tb = build_simple_setup(model_name, n_vms, costs=costs,
+                            sidecores=sidecores)
+    workloads = [NetperfStream(tb.env, tb.ports[i], tb.clients[i], tb.costs,
+                               warmup_ns=warmup_ns) for i in range(n_vms)]
+    tb.env.run(until=run_ns)
+    return tb, workloads
+
+
+_MACRO_CLASSES = {"apache": ApacheBench, "memcached": Memslap}
+
+
+def macro_run(benchmark: str, model_name: str, n_vms: int,
+              costs: Optional[CostModel] = None,
+              run_ns: int = ms(30), warmup_ns: int = ms(3)):
+    """Apache or memcached on the Figure 6 setup."""
+    if benchmark not in _MACRO_CLASSES:
+        raise ValueError(f"benchmark must be one of {sorted(_MACRO_CLASSES)}")
+    workload_cls = _MACRO_CLASSES[benchmark]
+    tb = build_simple_setup(model_name, n_vms, costs=costs)
+    workloads = [workload_cls(tb.env, tb.clients[i], tb.ports[i], tb.costs,
+                              warmup_ns=warmup_ns) for i in range(n_vms)]
+    tb.env.run(until=run_ns)
+    return tb, workloads

@@ -1,0 +1,80 @@
+"""Figure 13: IOhost scalability — one IOhost serving four logical VMhosts.
+
+VM counts grow 4, 8, ..., 28 (one more VM per VMhost each step), for 1, 2
+and 4 IOhost sidecores.  13a measures netperf RR latency (including the
+load generators' NUMA artifact); 13b measures aggregate stream throughput,
+whose per-sidecore saturation point (~13 Gbps) is the paper's headline
+scalability number.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..cluster import build_scalability_setup
+from ..sim import ms
+from ..workloads import NetperfRR, NetperfStream
+
+__all__ = ["run_fig13a", "run_fig13b", "format_fig13"]
+
+WORKER_COUNTS = (1, 2, 4)
+
+
+def run_fig13a(total_vms: Sequence[int] = (4, 8, 12, 16, 20, 24, 28),
+               run_ns: int = ms(40), model_numa: bool = True) -> List[dict]:
+    """Fig. 13a: RR latency vs total VMs for 1/2/4 IOhost sidecores."""
+    rows = []
+    for workers in WORKER_COUNTS:
+        for n in total_vms:
+            if n % 4:
+                raise ValueError("total VM count must be a multiple of 4")
+            tb = build_scalability_setup(n_vmhosts=4, vms_per_host=n // 4,
+                                         workers=workers,
+                                         model_numa=model_numa)
+            rrs = [NetperfRR(tb.env, tb.clients[i], tb.ports[i], tb.costs,
+                             warmup_ns=ms(2)) for i in range(n)]
+            tb.env.run(until=run_ns)
+            mean_us = sum(r.mean_latency_us() for r in rrs) / n
+            rows.append({"workers": workers, "n_vms": n,
+                         "latency_us": mean_us})
+    return rows
+
+
+def run_fig13b(total_vms: Sequence[int] = (4, 8, 12, 16, 20, 24, 28),
+               run_ns: int = ms(40)) -> List[dict]:
+    """Fig. 13b: aggregate stream throughput vs total VMs, 1/2/4 sidecores."""
+    rows = []
+    for workers in WORKER_COUNTS:
+        for n in total_vms:
+            if n % 4:
+                raise ValueError("total VM count must be a multiple of 4")
+            tb = build_scalability_setup(n_vmhosts=4, vms_per_host=n // 4,
+                                         workers=workers, model_numa=False)
+            streams = [NetperfStream(tb.env, tb.ports[i], tb.clients[i],
+                                     tb.costs, warmup_ns=ms(3))
+                       for i in range(n)]
+            tb.env.run(until=run_ns)
+            total = sum(s.throughput_gbps() for s in streams)
+            rows.append({"workers": workers, "n_vms": n,
+                         "throughput_gbps": total})
+    return rows
+
+
+def format_fig13(rows_a: List[dict], rows_b: List[dict]) -> str:
+    def table(rows, key, title, fmt):
+        ns = sorted({r["n_vms"] for r in rows})
+        lines = [title,
+                 f"{'sidecores':>9s} " + " ".join(f"N={n:<5d}" for n in ns)]
+        for w in WORKER_COUNTS:
+            vals = {r["n_vms"]: r[key] for r in rows if r["workers"] == w}
+            lines.append(f"{w:9d} "
+                         + " ".join(fmt.format(vals[n]) for n in ns))
+        return "\n".join(lines)
+
+    return (table(rows_a, "latency_us",
+                  "Figure 13a: vRIO IOhost scalability - latency [usec]",
+                  "{:7.1f}")
+            + "\n\n"
+            + table(rows_b, "throughput_gbps",
+                    "Figure 13b: vRIO IOhost scalability - throughput [Gbps]",
+                    "{:7.2f}"))

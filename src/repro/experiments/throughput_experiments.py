@@ -1,0 +1,167 @@
+"""Throughput experiments: Figure 9 (stream), Figure 10 (cycles/packet),
+Figure 11 (equal cores), Figure 5 & 12 (macrobenchmarks)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..sim import ms
+from .runner import DEFAULT_RUN_NS, SeriesPoint, macro_run, stream_run
+
+__all__ = [
+    "run_fig09", "format_fig09",
+    "run_fig10", "format_fig10",
+    "run_fig11", "format_fig11",
+    "run_fig05", "format_fig05",
+    "run_fig12", "format_fig12",
+]
+
+FIG9_MODELS = ("optimum", "elvis", "vrio", "baseline")
+FIG5_MODELS = ("optimum", "vrio", "elvis", "vrio_nopoll", "baseline")
+
+
+def run_fig09(vm_counts: Sequence[int] = range(1, 8),
+              run_ns: int = DEFAULT_RUN_NS) -> List[SeriesPoint]:
+    """Fig. 9: aggregate netperf 64 B stream throughput (Gbps) vs N."""
+    points = []
+    for model_name in FIG9_MODELS:
+        for n in vm_counts:
+            _tb, workloads = stream_run(model_name, n, run_ns=run_ns)
+            total = sum(w.throughput_gbps() for w in workloads)
+            points.append(SeriesPoint(model_name, n, total))
+    return points
+
+
+def format_fig09(points: List[SeriesPoint]) -> str:
+    ns = sorted({p.n_vms for p in points})
+    lines = ["Figure 9: netperf stream throughput [Gbps]",
+             f"{'model':10s} " + " ".join(f"N={n:<5d}" for n in ns)]
+    for model_name in FIG9_MODELS:
+        vals = {p.n_vms: p.value for p in points if p.model == model_name}
+        lines.append(f"{model_name:10s} "
+                     + " ".join(f"{vals[n]:7.2f}" for n in ns))
+    return "\n".join(lines)
+
+
+def run_fig10(run_ns: int = DEFAULT_RUN_NS) -> List[dict]:
+    """Fig. 10: per-packet processing cycles with one VM, netperf stream.
+
+    "Packet" is one 64 B application message.  The headline column counts
+    guest + VMhost-local cycles — the paper attributes vRIO's +9% to "the
+    added processing time incurred by the vRIO driver", i.e. to the
+    sender's side; the total column adds the remote IOhost workers.
+    """
+    rows = []
+    reference = None
+    for model_name in ("optimum", "vrio", "elvis", "baseline"):
+        tb, workloads = stream_run(model_name, 1, run_ns=run_ns)
+        stream = workloads[0]
+        messages = (stream.chunks_received
+                    * tb.costs.netperf_stream_msgs_per_chunk)
+        vm_cycles = sum(vm.vcpu.total_cycles for vm in tb.vms)
+        service_cycles = sum(core.total_cycles for core in tb.service_cores)
+        if model_name.startswith("vrio"):
+            client_side = vm_cycles            # workers live at the IOhost
+        else:
+            client_side = vm_cycles + service_cycles
+        total = vm_cycles + service_cycles
+        per_packet = client_side / messages if messages else float("inf")
+        per_packet_total = total / messages if messages else float("inf")
+        if model_name == "optimum":
+            reference = per_packet
+        rows.append({"model": model_name,
+                     "cycles_per_packet": per_packet,
+                     "cycles_per_packet_total": per_packet_total,
+                     "relative_to_optimum": per_packet / reference - 1.0})
+    return rows
+
+
+def format_fig10(rows: List[dict]) -> str:
+    lines = ["Figure 10: netperf stream per-packet processing (N=1)",
+             f"{'model':10s} {'cycles/pkt':>11s} {'vs optimum':>11s} "
+             f"{'incl IOhost':>12s}"]
+    for r in rows:
+        lines.append(f"{r['model']:10s} {r['cycles_per_packet']:11.0f} "
+                     f"{r['relative_to_optimum']:+10.1%} "
+                     f"{r['cycles_per_packet_total']:12.0f}")
+    return "\n".join(lines)
+
+
+def run_fig11(run_ns: int = DEFAULT_RUN_NS) -> List[dict]:
+    """Fig. 11: equal-core comparison — the optimum with N+1=8 VMs versus
+    everyone else at N=7; shows the price of interposability."""
+    reference = None
+    rows = []
+    configs = [("optimum_8vms", "optimum", 8), ("optimum", "optimum", 7),
+               ("elvis", "elvis", 7), ("vrio", "vrio", 7),
+               ("baseline", "baseline", 7)]
+    for label, model_name, n in configs:
+        _tb, workloads = stream_run(model_name, n, run_ns=run_ns)
+        total = sum(w.throughput_gbps() for w in workloads)
+        if reference is None:
+            reference = total
+        rows.append({"label": label, "throughput_gbps": total,
+                     "relative": total / reference - 1.0})
+    return rows
+
+
+def format_fig11(rows: List[dict]) -> str:
+    lines = ["Figure 11: throughput with equalized cores (stream)",
+             f"{'config':13s} {'Gbps':>7s} {'vs opt 8vms':>12s}"]
+    for r in rows:
+        lines.append(f"{r['label']:13s} {r['throughput_gbps']:7.2f} "
+                     f"{r['relative']:+11.1%}")
+    return "\n".join(lines)
+
+
+def run_fig05(vm_counts: Sequence[int] = range(1, 8),
+              run_ns: int = ms(30)) -> List[SeriesPoint]:
+    """Fig. 5: ApacheBench aggregate requests/sec for all five models."""
+    points = []
+    for model_name in FIG5_MODELS:
+        for n in vm_counts:
+            _tb, workloads = macro_run("apache", model_name, n, run_ns=run_ns)
+            total = sum(w.throughput_tps() for w in workloads)
+            points.append(SeriesPoint(model_name, n, total))
+    return points
+
+
+def format_fig05(points: List[SeriesPoint]) -> str:
+    ns = sorted({p.n_vms for p in points})
+    lines = ["Figure 5: ApacheBench aggregate requests/sec",
+             f"{'model':12s} " + " ".join(f"N={n:<7d}" for n in ns)]
+    for model_name in FIG5_MODELS:
+        vals = {p.n_vms: p.value for p in points if p.model == model_name}
+        lines.append(f"{model_name:12s} "
+                     + " ".join(f"{vals[n]:9.0f}" for n in ns))
+    return "\n".join(lines)
+
+
+def run_fig12(vm_counts: Sequence[int] = range(1, 8),
+              run_ns: int = ms(30)) -> Dict[str, List[SeriesPoint]]:
+    """Fig. 12: memcached and Apache transactions/sec vs N, 4 models."""
+    result: Dict[str, List[SeriesPoint]] = {}
+    for benchmark in ("memcached", "apache"):
+        points = []
+        for model_name in FIG9_MODELS:
+            for n in vm_counts:
+                _tb, workloads = macro_run(benchmark, model_name, n,
+                                           run_ns=run_ns)
+                total = sum(w.throughput_tps() for w in workloads)
+                points.append(SeriesPoint(model_name, n, total))
+        result[benchmark] = points
+    return result
+
+
+def format_fig12(result: Dict[str, List[SeriesPoint]]) -> str:
+    blocks = []
+    for benchmark, points in result.items():
+        ns = sorted({p.n_vms for p in points})
+        lines = [f"Figure 12 ({benchmark}): transactions/sec",
+                 f"{'model':10s} " + " ".join(f"N={n:<7d}" for n in ns)]
+        for model_name in FIG9_MODELS:
+            vals = {p.n_vms: p.value for p in points if p.model == model_name}
+            lines.append(f"{model_name:10s} "
+                         + " ".join(f"{vals[n]:9.0f}" for n in ns))
+        blocks.append("\n".join(lines))
+    return "\n\n".join(blocks)

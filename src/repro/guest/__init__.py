@@ -1,0 +1,7 @@
+"""Guest VM models: VCPUs, interrupts, thread and block schedulers."""
+
+from .blkqueue import GuestBlockScheduler
+from .scheduler import GuestScheduler
+from .vm import GuestCosts, Vm
+
+__all__ = ["Vm", "GuestCosts", "GuestScheduler", "GuestBlockScheduler"]

@@ -1,0 +1,109 @@
+"""Guest virtual machines.
+
+A :class:`Vm` owns one VCPU core (the paper's guests are all 1-VCPU) and
+models the guest-visible virtualization events: interrupt handling, EOI
+writes, and synchronous exits.  Whether an interrupt costs an exit depends
+on the I/O model delivering it:
+
+* ``deliver_interrupt_exitless`` — ELI semantics: the interrupt (an IPI from
+  a sidecore, or a directly-routed SRIOV interrupt) reaches the guest
+  without host involvement and the EOI register write does not trap.
+* ``deliver_interrupt_injected`` — baseline trap-and-emulate: the host paid
+  an injection, and the guest's EOI write traps (one synchronous exit).
+
+Synchronous exits that the guest initiates (e.g. a virtio kick hypercall)
+are modeled with :meth:`sync_exit`.
+
+All counting flows into a shared :class:`IoEventStats`-like object (any
+object exposing the five Table-3 counters) so experiments can reproduce the
+paper's qualitative overhead comparison directly from measurements.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..hw.cpu import Core
+from ..sim import Counter, Environment, Event
+
+__all__ = ["Vm", "GuestCosts"]
+
+
+class GuestCosts:
+    """Cycle costs of guest-side virtualization events."""
+
+    def __init__(self, irq_handler_cycles: int = 2_600,
+                 eoi_exit_cycles: int = 3_500,
+                 sync_exit_cycles: int = 3_500):
+        self.irq_handler_cycles = irq_handler_cycles
+        self.eoi_exit_cycles = eoi_exit_cycles
+        self.sync_exit_cycles = sync_exit_cycles
+
+
+class Vm:
+    """A one-VCPU guest.
+
+    Parameters
+    ----------
+    env, name, vcpu:
+        The VCPU core must be dedicated to this VM (paper setup: one VM per
+        VMcore).
+    costs:
+        Guest-side event costs.
+    stats:
+        Object with ``exits``, ``guest_interrupts``, ``injections``
+        counters (each a ``repro.sim.Counter``); typically the I/O model's
+        :class:`~repro.iomodels.base.IoEventStats`.
+    """
+
+    def __init__(self, env: Environment, name: str, vcpu: Core,
+                 costs: Optional[GuestCosts] = None, stats=None):
+        self.env = env
+        self.name = name
+        self.vcpu = vcpu
+        self.costs = costs if costs is not None else GuestCosts()
+        self.stats = stats
+        self.interrupts_received = Counter(f"{name}.interrupts")
+        self.devices: dict = {}
+
+    # -- virtualization events ----------------------------------------------
+
+    def deliver_interrupt_exitless(self, extra_cycles: int = 0) -> Event:
+        """An ELI interrupt: handler runs on the VCPU, EOI does not trap.
+
+        Returns the completion event of the handler work.
+        """
+        self.interrupts_received.add()
+        if self.stats is not None:
+            self.stats.guest_interrupts.add()
+        cycles = self.costs.irq_handler_cycles + extra_cycles
+        return self.vcpu.execute(cycles, tag="guest_irq", high_priority=True)
+
+    def deliver_interrupt_injected(self, extra_cycles: int = 0) -> Event:
+        """A trap-and-emulate injected interrupt: handler + trapping EOI.
+
+        The *injection* cost itself is host-side work and must be charged by
+        the caller on the host core; this method accounts the guest side.
+        """
+        self.interrupts_received.add()
+        if self.stats is not None:
+            self.stats.guest_interrupts.add()
+            self.stats.injections.add()
+            self.stats.exits.add()  # the EOI write traps
+        cycles = (self.costs.irq_handler_cycles + extra_cycles
+                  + self.costs.eoi_exit_cycles)
+        return self.vcpu.execute(cycles, tag="guest_irq", high_priority=True)
+
+    def sync_exit(self, extra_cycles: int = 0) -> Event:
+        """A guest-initiated trap (e.g. a virtio kick hypercall)."""
+        if self.stats is not None:
+            self.stats.exits.add()
+        cycles = self.costs.sync_exit_cycles + extra_cycles
+        return self.vcpu.execute(cycles, tag="exit", high_priority=True)
+
+    def compute(self, cycles: int, tag: str = "app") -> Event:
+        """Plain guest application/OS work on the VCPU."""
+        return self.vcpu.execute(cycles, tag=tag)
+
+    def __repr__(self) -> str:
+        return f"<Vm {self.name}>"

@@ -1,0 +1,23 @@
+"""Hardware models: cores, links, NICs, switches, storage devices."""
+
+from .cpu import Core, CpuSocket
+from .link import Link, LinkEndpoint
+from .nic import DEFAULT_RX_RING, VRIO_TUNED_RX_RING, Nic, NicFunction
+from .storage import (
+    SECTOR_BYTES,
+    BlockRequest,
+    StorageDevice,
+    make_pcie_ssd,
+    make_ramdisk,
+    make_sata_ssd,
+)
+from .switch_fabric import Switch
+
+__all__ = [
+    "Core", "CpuSocket",
+    "Link", "LinkEndpoint",
+    "Nic", "NicFunction", "DEFAULT_RX_RING", "VRIO_TUNED_RX_RING",
+    "Switch",
+    "BlockRequest", "StorageDevice", "SECTOR_BYTES",
+    "make_ramdisk", "make_sata_ssd", "make_pcie_ssd",
+]

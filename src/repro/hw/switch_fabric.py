@@ -1,0 +1,53 @@
+"""A rack top-of-rack Ethernet switch.
+
+Store-and-forward with a fixed forwarding latency and a static MAC table
+(hosts register the MACs reachable behind each port).  Egress contention is
+emergent: forwarded frames queue on the egress link's serializer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..sim import Counter, Environment
+from ..net.frame import EthernetFrame, MacAddress
+from .link import Link, LinkEndpoint
+
+__all__ = ["Switch"]
+
+
+class Switch:
+    """An N-port switch; create ports with :meth:`add_port`."""
+
+    def __init__(self, env: Environment, name: str = "switch",
+                 forwarding_latency_ns: int = 800):
+        self.env = env
+        self.name = name
+        self.forwarding_latency_ns = forwarding_latency_ns
+        self._ports: List[LinkEndpoint] = []
+        self._mac_table: Dict[MacAddress, LinkEndpoint] = {}
+        self.forwarded = Counter(f"{name}.forwarded")
+        self.unknown_dst = Counter(f"{name}.unknown_dst")
+
+    def add_port(self, link: Link) -> LinkEndpoint:
+        """Attach the switch to ``link.side_a``; returns the host-facing
+        ``side_b`` endpoint for the device on the other end."""
+        port = link.side_a
+        port.attach_receiver(lambda frame, p=port: self._ingress(p, frame))
+        self._ports.append(port)
+        return link.side_b
+
+    def learn(self, mac: MacAddress, port: LinkEndpoint) -> None:
+        """Statically map ``mac`` to a switch port."""
+        if port not in self._ports:
+            raise ValueError(f"{port.name} is not a port of {self.name}")
+        self._mac_table[mac] = port
+
+    def _ingress(self, in_port: LinkEndpoint, frame: EthernetFrame) -> None:
+        out_port = self._mac_table.get(frame.dst)
+        if out_port is None:
+            self.unknown_dst.add()
+            return
+        self.forwarded.add()
+        self.env.call_soon(lambda: out_port.transmit(frame),
+                           delay=self.forwarding_latency_ns)

@@ -1,0 +1,9 @@
+"""Programmable I/O interposition services (§1, §4.1, Fig. 16b)."""
+
+from .base import Interposer, InterposerChain
+from .services import AesEncryption, DeduplicationIndex, Firewall, Meter
+
+__all__ = [
+    "Interposer", "InterposerChain",
+    "AesEncryption", "Firewall", "DeduplicationIndex", "Meter",
+]

@@ -1,0 +1,125 @@
+"""Concrete interposition services.
+
+* :class:`AesEncryption` — the seamless block/packet encryption used in the
+  paper's load-imbalance experiment (Fig. 16b, AES-256 via kernel APIs).
+* :class:`Firewall` — per-packet rule evaluation with veto.
+* :class:`DeduplicationIndex` — content-hash bookkeeping (storage dedup).
+* :class:`Meter` — pure accounting (the monitoring/metering service SRIOV
+  famously cannot provide).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Optional
+
+from ..sim import Counter
+from .base import Interposer
+
+__all__ = ["AesEncryption", "Firewall", "DeduplicationIndex", "Meter"]
+
+
+class AesEncryption(Interposer):
+    """AES-256 encryption cost model.
+
+    Software AES-NI on 2013-era Xeons runs near 1.3–2.5 cycles/byte through
+    the kernel crypto API once request overheads are included; the default
+    of 5.0 cycles/byte models the non-accelerated kernel path the paper's
+    "standard Linux APIs" wording suggests, and makes encryption the
+    dominant sidecore load, as Fig. 16b requires.
+    """
+
+    name = "aes-256"
+
+    def __init__(self, cycles_per_byte: float = 5.0,
+                 setup_cycles: int = 1_800):
+        self.cycles_per_byte = cycles_per_byte
+        self.setup_cycles = setup_cycles
+        self.bytes_encrypted = Counter("bytes_encrypted")
+
+    def cycles(self, size_bytes: int, kind: str) -> int:
+        return int(self.setup_cycles + self.cycles_per_byte * size_bytes)
+
+    def observe(self, message) -> None:
+        size = getattr(message, "size_bytes", 0)
+        self.bytes_encrypted.add(size)
+
+
+class Firewall(Interposer):
+    """Layer-2/3 filtering: fixed per-packet rule-walk cost plus veto."""
+
+    name = "firewall"
+
+    def __init__(self, rules: Optional[Iterable[Callable[[object], bool]]] = None,
+                 cycles_per_packet: int = 900):
+        self.rules = list(rules or [])
+        self.cycles_per_packet = cycles_per_packet
+        self.dropped = Counter("fw_dropped")
+
+    def cycles(self, size_bytes: int, kind: str) -> int:
+        return self.cycles_per_packet * max(1, len(self.rules))
+
+    def allow(self, message) -> bool:
+        for rule in self.rules:
+            if not rule(message):
+                self.dropped.add()
+                return False
+        return True
+
+
+class DeduplicationIndex(Interposer):
+    """Content-addressed dedup for block writes: hash cost + hit tracking.
+
+    The simulation has no real payload bytes, so callers may tag messages
+    with ``meta['content_key']``; untagged messages are treated as unique.
+    """
+
+    name = "dedup"
+
+    def __init__(self, hash_cycles_per_byte: float = 1.2):
+        self.hash_cycles_per_byte = hash_cycles_per_byte
+        self._index: Dict[object, int] = {}
+        self.hits = Counter("dedup_hits")
+        self.misses = Counter("dedup_misses")
+
+    def cycles(self, size_bytes: int, kind: str) -> int:
+        if kind != "blk_write":
+            return 0
+        return int(self.hash_cycles_per_byte * size_bytes)
+
+    def observe(self, message) -> None:
+        if getattr(message, "kind", None) != "blk_write":
+            return
+        key = message.meta.get("content_key")
+        if key is None:
+            self.misses.add()
+            return
+        if key in self._index:
+            self.hits.add()
+            self._index[key] += 1
+        else:
+            self.misses.add()
+            self._index[key] = 1
+
+    @property
+    def unique_blocks(self) -> int:
+        return len(self._index)
+
+
+class Meter(Interposer):
+    """Traffic accounting per source MAC — pure interposition bookkeeping."""
+
+    name = "meter"
+
+    def __init__(self, cycles_per_packet: int = 250):
+        self.cycles_per_packet = cycles_per_packet
+        self.bytes_by_src: Dict[object, int] = {}
+        self.packets_by_src: Dict[object, int] = {}
+
+    def cycles(self, size_bytes: int, kind: str) -> int:
+        return self.cycles_per_packet
+
+    def observe(self, message) -> None:
+        src = getattr(message, "src", None)
+        size = getattr(message, "size_bytes", 0)
+        self.bytes_by_src[src] = self.bytes_by_src.get(src, 0) + size
+        self.packets_by_src[src] = self.packets_by_src.get(src, 0) + 1

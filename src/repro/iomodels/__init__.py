@@ -1,0 +1,40 @@
+"""The four virtual I/O models compared in the paper (§2, Figure 4).
+
+* :class:`BaselineModel` — KVM/virtio trap-and-emulate (state of practice)
+* :class:`ElvisModel` — local sidecores polling virtio rings (state of the art)
+* :class:`OptimumModel` — SRIOV+ELI, non-interposable bare-metal performance
+* :class:`VrioModel` — paravirtual remote I/O (this paper); ``poll=False``
+  gives the "vrio w/o poll" variant of Table 3/Figure 5
+"""
+
+from .base import (
+    ExternalEndpoint,
+    IoEventStats,
+    NetMessage,
+    NetPort,
+    message_wire_bytes,
+)
+from .baseline import BaselineBlockHandle, BaselineModel
+from .costs import DEFAULT_COSTS, CostModel
+from .dynamic import DynamicSidecoreAllocator
+from .elvis import ElvisBlockHandle, ElvisModel
+from .sriov import OptimumModel
+from .vrio import (
+    BlockDeviceError,
+    VmhostChannel,
+    VrioBlockHandle,
+    VrioClient,
+    VrioModel,
+)
+
+__all__ = [
+    "IoEventStats", "NetMessage", "NetPort", "ExternalEndpoint",
+    "message_wire_bytes",
+    "CostModel", "DEFAULT_COSTS",
+    "BaselineModel", "BaselineBlockHandle",
+    "ElvisModel", "ElvisBlockHandle",
+    "DynamicSidecoreAllocator",
+    "OptimumModel",
+    "VrioModel", "VmhostChannel", "VrioClient", "VrioBlockHandle",
+    "BlockDeviceError",
+]

@@ -1,0 +1,140 @@
+"""The calibrated cost model — single source of truth for cycle/latency
+constants across all I/O models.
+
+Calibration anchors (paper §5, see DESIGN.md):
+
+* optimum netperf RR ≈ 30–32 µs round trip;
+* vRIO adds ≈ 12–13 µs (one extra hop through the IOhost);
+* Elvis sits ≈ 8 µs below vRIO at N=1 and crosses over near N=6 as its
+  physical-interrupt load grows;
+* Figure 10 cycles/packet: Elvis ≈ +1 %, vRIO ≈ +9 %, baseline ≈ +40 %
+  over the optimum;
+* one vRIO sidecore saturates near 13 Gbps of stream traffic (Fig. 13b).
+
+Every constant here is an *input* to the event simulation; latencies and
+throughputs are emergent outputs.  The ``baseline_app_dilation`` factor is
+the one deliberately coarse knob: it stands in for the cache/TLB pollution
+and scheduler noise that exits inflict on co-located guest work, which a
+cycle-count model cannot produce from first principles (the paper measures
+the baseline 2x below the optimum under load and notes its 5% run-to-run
+instability).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["CostModel", "DEFAULT_COSTS"]
+
+
+@dataclass
+class CostModel:
+    """Cycle and latency constants for the simulated testbed."""
+
+    # -- clock frequencies of the paper's machines (GHz) ---------------------
+    vmhost_ghz: float = 2.2        # IBM x3550 M4, Xeon E5-2660
+    iohost_ghz: float = 2.7        # IBM x3650 M4, Xeon E5-2680
+    loadgen_ghz: float = 2.93      # IBM x3550 M2, Xeon 5500
+
+    # -- guest-visible virtualization events (cycles) ------------------------
+    guest_irq_handler_cycles: int = 2_600
+    eoi_exit_cycles: int = 3_500
+    sync_exit_cycles: int = 3_500
+
+    # -- host-side virtualization events (cycles) -----------------------------
+    injection_cycles: int = 2_800      # interrupt injection (baseline)
+    # Physical NIC interrupt handling, including its indirect (cache/TLB)
+    # damage.  Deliberately heavy: this is the overhead the sidecore/polling
+    # design exists to amortize, and what vRIO's IOhost polling eliminates
+    # outright ("the cost of interrupts is substantial despite coalescing",
+    # §5).  Under load, coalescing spreads it over many frames.
+    host_irq_cycles: int = 5_000
+    vhost_wakeup_cycles: int = 2_500   # baseline vhost thread wakeup work
+    vhost_sched_delay_ns: int = 2_500  # baseline scheduler wakeup latency
+
+    # -- virtio protocol (cycles) ---------------------------------------------
+    ring_op_cycles: int = 500          # add/reap one descriptor chain
+    backend_per_msg_cycles: int = 2_700
+    backend_per_byte_cycles: float = 0.50
+
+    # -- guest network stack (cycles) -----------------------------------------
+    guest_net_per_msg_cycles: int = 7_000
+    guest_net_per_byte_cycles: float = 0.05
+    guest_blk_per_req_cycles: int = 7_000
+
+    # -- vRIO transport driver, guest side (cycles) ---------------------------
+    vrio_transport_per_msg_cycles: int = 2_200
+    vrio_transport_per_frag_cycles: int = 250
+    # Extra per-send() cost of the vRIO front-end + transport versus a plain
+    # virtio/SRIOV xmit path; at 64 B message sizes this is what makes vRIO
+    # spend ~9% more cycles per packet (Fig. 10) and lose 5-8% of stream
+    # throughput (Fig. 9).
+    vrio_transport_per_send_cycles: int = 100
+
+    # -- vRIO I/O hypervisor worker (cycles) ----------------------------------
+    worker_rx_per_msg_cycles: int = 1_300      # poll/classify/steer + decap
+    worker_tx_per_msg_cycles: int = 1_300      # encap + transmit
+    worker_per_frag_cycles: int = 220          # zero-copy reassembly, per frag
+    worker_per_byte_cycles: float = 1.60       # interpose/forward touch cost
+    worker_copy_per_byte_cycles: float = 0.45  # extra when zero-copy fails
+    # The extra hop's fixed pipeline latency per IOhost pass: NIC
+    # store-and-forward of jumbo frames, DMA rings, PCIe doorbells.  Pure
+    # latency — the DMA engines work while the worker core serves others.
+    iohost_forward_latency_ns: int = 3_300
+    # Remote block requests additionally pay the IOhost block pipeline
+    # (reliability-layer bookkeeping at both ends, data DMA in/out of
+    # worker buffers, device queue turnaround) — pure latency, calibrated
+    # to the paper's "up to 2.2x" remote-ramdisk figure (§1, §5).
+    vrio_block_service_latency_ns: int = 40_000
+    # §4.4: when the IOhost *reads*, data must be copied into the block
+    # system's buffers (writes reuse aligned interiors zero-copy).
+    worker_block_copy_per_byte_cycles: float = 0.05
+    # Block ops ride a pre-parsed fast path at the worker keyed by device
+    # id (one cost covers rx classification + response transmit); the data
+    # bytes themselves move zero-copy (§4.4), unlike net forwarding.
+    worker_blk_per_op_cycles: int = 800
+
+    # -- sidecore (Elvis) / vhost (baseline) data touch -----------------------
+    sidecore_per_byte_cycles: float = 0.25
+
+    # -- application dilation (dimensionless) ---------------------------------
+    # Models cache pollution + scheduler noise that exits inflict on guest
+    # application work in the trap-and-emulate baseline.
+    baseline_app_dilation: float = 1.45
+
+    # -- workload anchors (guest application cycles per operation) ------------
+    netperf_rr_server_cycles: int = 3_000       # netserver echo work
+    netperf_stream_send_cycles: int = 1_200     # per 64 B send syscall
+    netperf_stream_msgs_per_chunk: int = 1_024  # TSO-coalesced into 64 KB
+    apache_request_cycles: int = 370_000        # full HTTP request service
+    apache_round_trips: int = 4                 # TCP setup + req/resp + FIN
+    memcached_request_cycles: int = 14_000      # one key-value op
+    # Filebench per-op guest cost: the O_DIRECT submit/complete path is
+    # expensive relative to a ramdisk access ("the relatively high number
+    # of CPU cycles required to process each request", §5) — this ratio is
+    # what makes guest VCPUs the contended resource in Fig. 14.
+    filebench_op_cycles: int = 25_000
+    webserver_op_cycles: int = 200_000          # open/read/close + app logic
+
+    # -- load generator (bare-metal netperf/memslap/ab client) ----------------
+    loadgen_rr_cycles: int = 43_000    # full client transaction incl. syscalls
+    loadgen_per_msg_cycles: int = 4_500
+    loadgen_numa_remote_dilation: float = 1.35  # Fig. 13a NUMA artifact
+
+    # -- fabric ----------------------------------------------------------------
+    link_gbps: float = 10.0
+    channel_gbps: float = 10.0         # VMhost<->IOhost SRIOV channel
+    propagation_ns: int = 500
+    poll_dispatch_ns: int = 150        # sidecore poll loop notice latency
+
+    # -- block reliability (§4.5) ----------------------------------------------
+    blk_initial_timeout_ns: int = 10_000_000   # 10 ms
+    blk_max_retransmissions: int = 8
+
+    def copy(self, **overrides) -> "CostModel":
+        """A copy of this cost model with selected fields replaced."""
+        from dataclasses import replace
+        return replace(self, **overrides)
+
+
+DEFAULT_COSTS = CostModel()

@@ -1,0 +1,104 @@
+"""The *optimum* I/O model: SRIOV with exitless interrupts (ELI).
+
+Each VM is assigned its own NIC virtual function; the guest talks to the
+device directly and receives its interrupts without host involvement
+(ELI), so a request-response costs exactly two guest interrupts and
+nothing else (Table 3).  The price: **no interposition is possible** —
+attaching an interposer chain or a host-managed block device raises,
+because that is precisely what the paper says SRIOV cannot do.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..guest.vm import Vm
+from ..hw.nic import Nic, NicFunction
+from ..net.frame import EthernetFrame, STANDARD_MTU
+from ..sim import Environment
+from .base import IoEventStats, NetMessage, NetPort, message_wire_bytes
+from .costs import CostModel, DEFAULT_COSTS
+
+__all__ = ["OptimumModel"]
+
+
+class OptimumModel:
+    """SRIOV+ELI: direct device assignment, bare-metal-like performance."""
+
+    name = "optimum"
+    interposable = False
+
+    def __init__(self, env: Environment, costs: CostModel = DEFAULT_COSTS,
+                 stats: Optional[IoEventStats] = None,
+                 mtu: int = STANDARD_MTU):
+        self.env = env
+        self.costs = costs
+        self.stats = stats if stats is not None else IoEventStats("optimum")
+        self.mtu = mtu
+        self._vf_of: Dict[Vm, NicFunction] = {}
+        self._port_of: Dict[Vm, NetPort] = {}
+
+    def attach_vm(self, vm: Vm, nic: Nic) -> NetPort:
+        """Assign a fresh VF on ``nic`` to ``vm``; returns its net port."""
+        if vm in self._port_of:
+            raise ValueError(f"{vm.name} already attached")
+        vm.stats = self.stats
+        vf = nic.create_function(f"vf-{vm.name}", notify_mode="eli")
+        port = NetPort(self.env, vm, vf.mac,
+                       transmit=lambda msg, v=vm: self._start_tx(v, msg))
+        vf.on_notify = lambda v=vm: self._on_rx(v)
+        vf.on_tx_complete = lambda v=vm: self._on_tx_complete(v)
+        self._vf_of[vm] = vf
+        self._port_of[vm] = port
+        return port
+
+    def attach_block_device(self, vm: Vm, device) -> None:
+        raise NotImplementedError(
+            "SRIOV cannot expose a host-managed block device "
+            "(\"there is no such thing as an SRIOV ramdisk\", paper §5)")
+
+    def add_interposer(self, interposer) -> None:
+        raise NotImplementedError(
+            "SRIOV bypasses the host: interposition is impossible (§2)")
+
+    # -- transmit -------------------------------------------------------------
+
+    def _start_tx(self, vm: Vm, message: NetMessage) -> None:
+        self.env.process(self._tx_path(vm, message), name=f"opt-tx:{vm.name}")
+
+    def _tx_path(self, vm: Vm, message: NetMessage):
+        c = self.costs
+        cycles = int(c.guest_net_per_msg_cycles
+                     + c.guest_net_per_byte_cycles * message.size_bytes
+                     + c.ring_op_cycles)
+        yield vm.vcpu.execute(cycles, tag="net_tx")
+        frame = EthernetFrame(
+            src=self._vf_of[vm].mac, dst=message.dst, payload=message,
+            payload_bytes=message_wire_bytes(message.size_bytes, self.mtu),
+            kind=message.kind, created_ns=self.env.now)
+        # completion_interrupt: the VF raises its send-complete interrupt,
+        # which ELI routes straight into the guest.
+        self._vf_of[vm].transmit(frame, completion_interrupt=True)
+
+    def _on_tx_complete(self, vm: Vm) -> None:
+        vm.deliver_interrupt_exitless()
+
+    # -- receive ----------------------------------------------------------------
+
+    def _on_rx(self, vm: Vm) -> None:
+        self.env.process(self._rx_path(vm), name=f"opt-rx:{vm.name}")
+
+    def _rx_path(self, vm: Vm):
+        c = self.costs
+        vf = self._vf_of[vm]
+        port = self._port_of[vm]
+        while True:
+            ok, frame = vf.rx_ring.try_get()
+            if not ok:
+                break
+            message: NetMessage = frame.payload
+            extra = int(c.guest_net_per_msg_cycles
+                        + c.guest_net_per_byte_cycles * message.size_bytes)
+            yield vm.deliver_interrupt_exitless(extra_cycles=extra)
+            port.deliver(message)
+        vf.rearm()

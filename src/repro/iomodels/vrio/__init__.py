@@ -1,0 +1,29 @@
+"""vRIO — paraVirtual Remote I/O (the paper's contribution)."""
+
+from .failover import fail_iohost, fall_back_to_local_virtio
+from .frontend import VmhostChannel, VrioBlockHandle, VrioClient, VrioModel
+from .iohypervisor import NicPump, WorkerPool
+from .migration import live_migrate, switch_transport
+from .protocol import BlockChannelOp, BlockChannelResp, ControlCommand
+from .reliability import BlockDeviceError, ReliableBlockChannel
+from .transport import (
+    ChannelPacket,
+    TransportStats,
+    chunk_fragments,
+    chunk_sizes,
+    chunk_wire_payload_bytes,
+    transport_rx_cycles,
+    transport_tx_cycles,
+)
+
+__all__ = [
+    "VrioModel", "VmhostChannel", "VrioClient", "VrioBlockHandle",
+    "WorkerPool", "NicPump",
+    "ReliableBlockChannel", "BlockDeviceError",
+    "BlockChannelOp", "BlockChannelResp", "ControlCommand",
+    "ChannelPacket", "TransportStats",
+    "chunk_sizes", "chunk_fragments", "chunk_wire_payload_bytes",
+    "transport_tx_cycles", "transport_rx_cycles",
+    "live_migrate", "switch_transport",
+    "fail_iohost", "fall_back_to_local_virtio",
+]

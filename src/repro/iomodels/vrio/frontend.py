@@ -1,0 +1,635 @@
+"""vRIO: the paravirtual remote I/O model (the paper's contribution).
+
+Wiring (Figure 4c):
+
+* Each **VMhost** connects to the IOhost over a dedicated Ethernet channel
+  (one Link).  The VMhost side of the channel is an SRIOV NIC on which each
+  VM gets a VF — its *T* (transport) address, used only for talking to the
+  IOhost and coupled with ELI so channel arrivals interrupt the guest
+  without host involvement.  The local hypervisor's sole job is assigning
+  these VFs; it never sees the I/O.
+* On the **IOhost**, the channel NIC terminates at the I/O hypervisor,
+  whose workers poll it (or take interrupts, in the "w/o poll" variant).
+  Each VM's externally-visible *F* (front-end) MAC lives on the IOhost's
+  external NIC, where all client traffic arrives and where interposition
+  runs.
+
+The same channel carries net traffic, block ops under the §4.5
+retransmission protocol, and device-management control commands.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ...guest.vm import Vm
+from ...hw.cpu import Core
+from ...hw.nic import Nic, NicFunction, VRIO_TUNED_RX_RING
+from ...hw.storage import BlockRequest, StorageDevice
+from ...interpose import InterposerChain
+from ...net.frame import (
+    EthernetFrame,
+    FAKE_TCPIP_HEADER_BYTES,
+    JUMBO_MTU_VRIO,
+    STANDARD_MTU,
+    VRIO_HEADER_BYTES,
+)
+from ...net.segmentation import reassembly_is_zero_copy
+from ...sim import Counter, Environment, Event
+from ..base import IoEventStats, NetMessage, NetPort, message_wire_bytes
+from ..costs import CostModel, DEFAULT_COSTS
+from .iohypervisor import NicPump, WorkerPool
+from .protocol import BlockChannelOp, BlockChannelResp, ControlCommand
+from .reliability import BlockDeviceError, ReliableBlockChannel
+from .transport import (
+    ChannelPacket,
+    TransportStats,
+    chunk_fragments,
+    chunk_sizes,
+    chunk_wire_payload_bytes,
+    transport_rx_cycles,
+    transport_tx_cycles,
+)
+
+__all__ = ["VrioModel", "VmhostChannel", "VrioBlockHandle", "VrioClient"]
+
+_device_ids = itertools.count(1)
+
+
+@dataclass
+class VmhostChannel:
+    """One VMhost's dedicated channel to the IOhost."""
+
+    name: str
+    vmhost_nic: Nic             # SRIOV NIC at the VMhost (T-side VFs)
+    iohost_fn: NicFunction      # channel endpoint at the IOhost
+
+
+@dataclass
+class VrioClient:
+    """Per-IOclient state held by the model."""
+
+    client_id: str
+    vm: Vm
+    channel: VmhostChannel
+    t_vf: NicFunction           # transport VF at the VMhost (T address)
+    f_fn: NicFunction           # front-end MAC at the IOhost (F address)
+    port: NetPort
+    transport_stats: TransportStats
+    devices: Dict[int, StorageDevice] = field(default_factory=dict)
+    reliable: Optional[ReliableBlockChannel] = None
+    rx_chunks: Dict[int, int] = field(default_factory=dict)
+    transport_mode: str = "sriov"   # "virtio" (migration), "virtio-local"
+    local_block_handle: object = None  # set by §4.6 failover recovery
+
+
+class VrioBlockHandle:
+    """Workload-facing remote paravirtual block device."""
+
+    def __init__(self, model: "VrioModel", client: VrioClient,
+                 device_id: int):
+        self.model = model
+        self.client = client
+        self.device_id = device_id
+
+    def submit(self, request: BlockRequest) -> Event:
+        """Issue a block request to the remote device, reliably."""
+        done = self.model.env.event()
+        self.model.env.process(
+            self.model._guest_blk_submit(self.client, self.device_id,
+                                         request, done),
+            name=f"vrio-blk:{self.client.client_id}")
+        return done
+
+
+class VrioModel:
+    """The vRIO model: remote sidecores at a consolidated IOhost."""
+
+    interposable = True
+
+    def __init__(self, env: Environment, workers: List[Core],
+                 costs: CostModel = DEFAULT_COSTS,
+                 stats: Optional[IoEventStats] = None,
+                 poll: bool = True,
+                 interposers: Optional[InterposerChain] = None,
+                 channel_mtu: int = JUMBO_MTU_VRIO,
+                 channel_rx_ring: int = VRIO_TUNED_RX_RING,
+                 external_mtu: int = STANDARD_MTU,
+                 pump_window: int = 32,
+                 steering_policy: str = "affinity",
+                 tracer=None):
+        self.env = env
+        self.costs = costs
+        self.poll = poll
+        self.name = "vrio" if poll else "vrio_nopoll"
+        self.stats = stats if stats is not None else IoEventStats(self.name)
+        self.pool = WorkerPool(env, workers, policy=steering_policy)
+        self.interposers = interposers if interposers is not None else InterposerChain()
+        self.channel_mtu = channel_mtu
+        self.channel_rx_ring = channel_rx_ring
+        self.external_mtu = external_mtu
+        self.pump_window = pump_window
+        self.failed = False  # set by §4.6 failover (see vrio.failover)
+        self.tracer = tracer  # optional repro.sim.trace.Tracer
+        self._clients: Dict[str, VrioClient] = {}
+        self._irq_rr = 0
+        self.forwarded_to_guest = Counter("forwarded_to_guest")
+        self.forwarded_to_external = Counter("forwarded_to_external")
+        self.copied_chunks = Counter("copied_chunks")          # zero-copy misses
+        self.zero_copy_chunks = Counter("zero_copy_chunks")
+
+    # -- wiring -----------------------------------------------------------------
+
+    def add_interposer(self, interposer) -> None:
+        self.interposers.add(interposer)
+
+    @property
+    def workers(self) -> List[Core]:
+        return self.pool.workers
+
+    def _next_irq_core(self) -> Core:
+        core = self.pool.workers[self._irq_rr % len(self.pool.workers)]
+        self._irq_rr += 1
+        return core
+
+    def connect_vmhost(self, name: str, vmhost_nic: Nic,
+                       iohost_channel_nic: Nic) -> VmhostChannel:
+        """Terminate a VMhost's channel link at the I/O hypervisor.
+
+        The two NICs must already be attached to opposite ends of a link.
+        """
+        iohost_fn = iohost_channel_nic.create_function(
+            f"ch-{name}", rx_ring_size=self.channel_rx_ring)
+        channel = VmhostChannel(name=name, vmhost_nic=vmhost_nic,
+                                iohost_fn=iohost_fn)
+        NicPump(self.env, iohost_fn, self._channel_ingress, poll=self.poll,
+                costs=self.costs, irq_core=self._next_irq_core(),
+                irq_counter=self.stats.iohost_interrupts,
+                window=self.pump_window)
+        if not self.poll:
+            iohost_fn.on_tx_complete = self._iohost_tx_irq(self._next_irq_core())
+        return channel
+
+    def attach_vm(self, vm: Vm, channel: VmhostChannel,
+                  external_nic: Nic) -> NetPort:
+        """Create the VM's paravirtual net device over the channel."""
+        if vm.name in self._clients:
+            raise ValueError(f"{vm.name} already attached")
+        vm.stats = self.stats
+        t_vf = channel.vmhost_nic.create_function(f"T-{vm.name}",
+                                                  notify_mode="eli")
+        f_fn = external_nic.create_function(f"F-{vm.name}")
+        port = NetPort(self.env, vm, f_fn.mac,
+                       transmit=lambda msg, v=vm.name: self._guest_net_tx(v, msg),
+                       per_send_extra_cycles=self.costs.vrio_transport_per_send_cycles)
+        client = VrioClient(client_id=vm.name, vm=vm, channel=channel,
+                            t_vf=t_vf, f_fn=f_fn, port=port,
+                            transport_stats=TransportStats(vm.name))
+        self._clients[vm.name] = client
+        t_vf.on_notify = lambda cid=vm.name: self._on_guest_channel_rx(cid)
+        t_vf.on_tx_complete = lambda v=vm: v.deliver_interrupt_exitless()
+        NicPump(self.env, f_fn,
+                lambda msg, done, cid=vm.name: self._external_ingress(
+                    cid, msg, done),
+                poll=self.poll, costs=self.costs,
+                irq_core=self._next_irq_core(),
+                irq_counter=self.stats.iohost_interrupts,
+                window=self.pump_window)
+        if not self.poll:
+            f_fn.on_tx_complete = self._iohost_tx_irq(self._next_irq_core())
+        return port
+
+    def attach_bare_metal(self, name: str, core, channel: VmhostChannel,
+                          external_nic: Nic) -> NetPort:
+        """Attach a non-virtualized OS as an IOclient (§4.6).
+
+        vRIO needs no local hypervisor: a bare-metal machine that installs
+        the transport driver gets the same interposable services.  Works
+        across processor architectures — the client is characterized only
+        by its core's clock.  Modeled as a degenerate "VM" whose
+        virtualization events are free (native interrupts, no exits).
+        """
+        from ...guest.vm import GuestCosts
+        machine = Vm(self.env, name, core,
+                     costs=GuestCosts(irq_handler_cycles=1_500,
+                                      eoi_exit_cycles=0,
+                                      sync_exit_cycles=0))
+        return self.attach_vm(machine, channel, external_nic)
+
+    def port_of(self, vm: Vm) -> NetPort:
+        return self._clients[vm.name].port
+
+    def client_of(self, vm: Vm) -> VrioClient:
+        return self._clients[vm.name]
+
+    def attach_block_device(self, vm: Vm,
+                            device: StorageDevice) -> VrioBlockHandle:
+        """Register an IOhost-resident device as the VM's remote disk."""
+        client = self._clients[vm.name]
+        device_id = next(_device_ids)
+        client.devices[device_id] = device
+        if client.reliable is None:
+            client.reliable = ReliableBlockChannel(
+                self.env,
+                send=lambda req, xid, cid=vm.name: self._start_blk_tx(cid, req, xid),
+                initial_timeout_ns=self.costs.blk_initial_timeout_ns,
+                max_retransmissions=self.costs.blk_max_retransmissions)
+        handle = VrioBlockHandle(self, client, device_id)
+        return handle
+
+    def _iohost_tx_irq(self, core: Core):
+        def fire():
+            self.stats.iohost_interrupts.add()
+            core.execute(self.costs.host_irq_cycles, tag="iohost_irq",
+                         high_priority=True)
+        return fire
+
+    # -- channel frame helpers -----------------------------------------------------
+
+    def _channel_frame_to_iohost(self, client: VrioClient,
+                                 packet: ChannelPacket) -> EthernetFrame:
+        return EthernetFrame(
+            src=client.t_vf.mac, dst=client.channel.iohost_fn.mac,
+            payload=packet,
+            payload_bytes=chunk_wire_payload_bytes(packet.chunk_bytes,
+                                                   self.channel_mtu),
+            kind="vrio", created_ns=self.env.now)
+
+    def _channel_frame_to_guest(self, client: VrioClient,
+                                packet: ChannelPacket) -> EthernetFrame:
+        return EthernetFrame(
+            src=client.channel.iohost_fn.mac, dst=client.t_vf.mac,
+            payload=packet,
+            payload_bytes=chunk_wire_payload_bytes(packet.chunk_bytes,
+                                                   self.channel_mtu),
+            kind="vrio", created_ns=self.env.now)
+
+    def _chunk_packets(self, client_id: str, direction: str, inner,
+                       size_bytes: int, message_id: int) -> List[ChannelPacket]:
+        sizes = chunk_sizes(size_bytes)
+        return [ChannelPacket(client_id=client_id, direction=direction,
+                              inner=inner, message_id=message_id,
+                              chunk_index=i, chunk_count=len(sizes),
+                              chunk_bytes=size,
+                              fragments=chunk_fragments(size, self.channel_mtu))
+                for i, size in enumerate(sizes)]
+
+    def _worker_rx_cycles(self, packet: ChannelPacket) -> int:
+        """IOhost cycles to receive one channel chunk (reassembly is
+        software; zero-copy unless the MTU breaks the 17-fragment bound).
+
+        Block chunks skip the per-byte net-forwarding touch cost: their
+        payload moves zero-copy into the block layer (§4.4), and the fixed
+        fast-path cost is charged by the block service instead.
+        """
+        c = self.costs
+        # Each TSO fragment carries the vRIO + fake TCP/IP headers inside
+        # the MTU, so the per-fragment payload budget shrinks accordingly.
+        header_bytes = VRIO_HEADER_BYTES + FAKE_TCPIP_HEADER_BYTES
+        zero_copy = reassembly_is_zero_copy(
+            packet.chunk_bytes, self.channel_mtu - header_bytes,
+            header_bytes=header_bytes)
+        is_block = isinstance(packet.inner, BlockChannelOp)
+        if is_block:
+            cycles = c.worker_per_frag_cycles * packet.fragments
+        else:
+            cycles = (c.worker_rx_per_msg_cycles
+                      + c.worker_per_frag_cycles * packet.fragments
+                      + c.worker_per_byte_cycles * packet.chunk_bytes)
+        if zero_copy:
+            self.zero_copy_chunks.add()
+        else:
+            self.copied_chunks.add()
+            cycles += c.worker_copy_per_byte_cycles * packet.chunk_bytes
+        return int(cycles)
+
+    # -- guest -> external (net transmit) ---------------------------------------------
+
+    def _guest_net_tx(self, client_id: str, message: NetMessage) -> None:
+        self.env.process(self._guest_net_tx_path(client_id, message),
+                         name=f"vrio-tx:{client_id}")
+
+    def _guest_net_tx_path(self, client_id: str, message: NetMessage):
+        c = self.costs
+        client = self._clients[client_id]
+        if self.tracer:
+            self.tracer.point(message.message_id, "guest_tx",
+                              client=client_id, bytes=message.size_bytes)
+        packets = self._chunk_packets(client_id, "to_iohost", message,
+                                      message.size_bytes, message.message_id)
+        for i, packet in enumerate(packets):
+            cycles = transport_tx_cycles(c, packet.chunk_bytes,
+                                         self.channel_mtu)
+            if i == 0:
+                cycles += int(c.guest_net_per_msg_cycles
+                              + c.guest_net_per_byte_cycles * message.size_bytes)
+            if client.transport_mode == "virtio":
+                # Migration fallback Tvirtio: the kick traps and the local
+                # hypervisor relays the frame (traditional paravirtual).
+                yield client.vm.sync_exit()
+            yield client.vm.vcpu.execute(cycles, tag="net_tx")
+            frame = self._channel_frame_to_iohost(client, packet)
+            last = i == len(packets) - 1
+            client.t_vf.transmit(frame, completion_interrupt=last)
+            client.transport_stats.chunks_sent.add()
+        client.transport_stats.messages_sent.add()
+        client.transport_stats.bytes_sent.add(message.size_bytes)
+
+    # -- IOhost ingress from the channel ------------------------------------------------
+
+    def _channel_ingress(self, packet: ChannelPacket,
+                         done=None) -> None:
+        self.env.process(self._channel_ingress_path(packet, done),
+                         name=f"vrio-ioh-ch:{packet.client_id}")
+
+    def _steer_key(self, packet: ChannelPacket):
+        inner = packet.inner
+        if isinstance(inner, BlockChannelOp):
+            return ("blk", packet.client_id, inner.device_id)
+        if isinstance(inner, ControlCommand):
+            return ("ctl", packet.client_id)
+        return ("net", packet.client_id)
+
+    def _note_chunk(self, client: VrioClient, packet: ChannelPacket) -> bool:
+        """Track multi-chunk messages; True when the last chunk landed."""
+        if packet.chunk_count == 1:
+            return True
+        seen = client.rx_chunks.get(packet.message_id, 0) + 1
+        if seen >= packet.chunk_count:
+            client.rx_chunks.pop(packet.message_id, None)
+            return True
+        client.rx_chunks[packet.message_id] = seen
+        return False
+
+    def _channel_ingress_path(self, packet: ChannelPacket, done=None):
+        client = self._clients.get(packet.client_id)
+        if client is None or self.failed:
+            if done is not None:
+                done()
+            return
+        key = self._steer_key(packet)
+        worker = self.pool.acquire(key)
+        span = None
+        if self.tracer:
+            span = self.tracer.begin(packet.message_id, "iohost_service",
+                                     worker=worker.name,
+                                     chunk=packet.chunk_index)
+        try:
+            yield worker.execute(self._worker_rx_cycles(packet), tag="worker_rx")
+            if not self._note_chunk(client, packet):
+                return
+            inner = packet.inner
+            if isinstance(inner, NetMessage):
+                yield from self._egress_external(worker, client, inner)
+            elif isinstance(inner, BlockChannelOp):
+                yield from self._serve_block_op(worker, client, inner)
+            elif isinstance(inner, ControlCommand):
+                yield from self._serve_control(worker, client, inner)
+        finally:
+            self.pool.release(key)
+            if span is not None:
+                self.tracer.end(span)
+            if done is not None:
+                done()
+
+    def _egress_external(self, worker: Core, client: VrioClient,
+                         message: NetMessage):
+        c = self.costs
+        if not self.interposers.admit(message):
+            return
+        cycles = int(c.worker_tx_per_msg_cycles
+                     + self.interposers.cycles(message.size_bytes,
+                                               message.kind))
+        yield worker.execute(cycles, tag="worker_tx")
+        # NIC store-and-forward / DMA pipeline latency of this pass.
+        yield self.env.timeout(c.iohost_forward_latency_ns)
+        frame = EthernetFrame(
+            src=client.f_fn.mac, dst=message.dst, payload=message,
+            payload_bytes=message_wire_bytes(message.size_bytes,
+                                             self.external_mtu),
+            kind=message.kind, created_ns=self.env.now)
+        client.f_fn.transmit(frame, completion_interrupt=not self.poll)
+        self.forwarded_to_external.add()
+
+    # -- external -> guest (net receive) --------------------------------------------------
+
+    def _external_ingress(self, client_id: str, message: NetMessage,
+                          done=None) -> None:
+        self.env.process(self._external_ingress_path(client_id, message, done),
+                         name=f"vrio-ioh-ext:{client_id}")
+
+    def _external_ingress_path(self, client_id: str, message: NetMessage,
+                               done=None):
+        if self.failed:
+            if done is not None:
+                done()
+            return
+        c = self.costs
+        client = self._clients[client_id]
+        key = ("net", client_id)
+        worker = self.pool.acquire(key)
+        span = None
+        if self.tracer:
+            span = self.tracer.begin(message.message_id, "iohost_service",
+                                     worker=worker.name, direction="ingress")
+        try:
+            if not self.interposers.admit(message):
+                return
+            rx_cycles = int(c.worker_rx_per_msg_cycles
+                            + c.worker_per_byte_cycles * message.size_bytes
+                            + self.interposers.cycles(message.size_bytes,
+                                                      message.kind))
+            yield worker.execute(rx_cycles, tag="worker_rx")
+            packets = self._chunk_packets(client_id, "to_guest", message,
+                                          message.size_bytes,
+                                          message.message_id)
+            yield worker.execute(
+                c.worker_tx_per_msg_cycles * len(packets), tag="worker_tx")
+            # NIC store-and-forward / DMA pipeline latency of this pass.
+            yield self.env.timeout(c.iohost_forward_latency_ns)
+            for packet in packets:
+                frame = self._channel_frame_to_guest(client, packet)
+                client.channel.iohost_fn.transmit(
+                    frame, completion_interrupt=not self.poll)
+            self.forwarded_to_guest.add()
+        finally:
+            self.pool.release(key)
+            if span is not None:
+                self.tracer.end(span)
+            if done is not None:
+                done()
+
+    # -- guest channel receive (T VF, ELI) ---------------------------------------------------
+
+    def _on_guest_channel_rx(self, client_id: str) -> None:
+        self.env.process(self._guest_channel_rx_path(client_id),
+                         name=f"vrio-grx:{client_id}")
+
+    def _guest_channel_rx_path(self, client_id: str):
+        c = self.costs
+        client = self._clients[client_id]
+        vm = client.vm
+        first = True
+        while True:
+            ok, frame = client.t_vf.rx_ring.try_get()
+            if not ok:
+                break
+            packet: ChannelPacket = frame.payload
+            extra = transport_rx_cycles(c, packet.chunk_bytes,
+                                        self.channel_mtu)
+            client.transport_stats.chunks_received.add()
+            inner = packet.inner
+            is_net = isinstance(inner, NetMessage)
+            if is_net and self._note_chunk(client, packet):
+                extra += int(c.guest_net_per_msg_cycles
+                             + c.guest_net_per_byte_cycles * inner.size_bytes)
+            elif (isinstance(inner, BlockChannelResp)
+                  and packet.chunk_index == packet.chunk_count - 1):
+                extra += 2 * c.ring_op_cycles  # guest block-layer reap
+            if client.transport_mode == "virtio":
+                # Tvirtio fallback: completions arrive injected, not ELI.
+                done = vm.deliver_interrupt_injected(extra_cycles=extra)
+            elif first:
+                done = vm.deliver_interrupt_exitless(extra_cycles=extra)
+            else:
+                # Coalesced with the interrupt already being handled.
+                done = vm.vcpu.execute(extra, tag="guest_irq",
+                                       high_priority=True)
+            first = False
+            yield done
+            if is_net:
+                if packet.chunk_index == packet.chunk_count - 1:
+                    client.transport_stats.messages_received.add()
+                    client.transport_stats.bytes_received.add(inner.size_bytes)
+                    if self.tracer:
+                        self.tracer.point(inner.message_id, "guest_deliver",
+                                          client=client_id)
+                    client.port.deliver(inner)
+            elif isinstance(inner, BlockChannelResp):
+                self._guest_blk_response(client, inner, packet)
+            elif isinstance(inner, ControlCommand):
+                self._apply_control(client, inner)
+        client.t_vf.rearm()
+
+    # -- block datapath ------------------------------------------------------------------------
+
+    def _guest_blk_submit(self, client: VrioClient, device_id: int,
+                          request: BlockRequest, done: Event):
+        c = self.costs
+        request.issued_ns = self.env.now
+        request.meta["device_id"] = device_id
+        yield client.vm.vcpu.execute(
+            c.guest_blk_per_req_cycles + c.ring_op_cycles, tag="blk_submit")
+        reliable_done = client.reliable.submit(request)
+
+        def finish(_event):
+            if reliable_done.ok:
+                done.succeed(request)
+            else:
+                done.fail(reliable_done.value)
+
+        reliable_done.add_callback(finish)
+
+    def _start_blk_tx(self, client_id: str, request: BlockRequest,
+                      xmit_id: int) -> None:
+        self.env.process(self._blk_tx_path(client_id, request, xmit_id),
+                         name=f"vrio-blk-tx:{client_id}")
+
+    def _blk_tx_path(self, client_id: str, request: BlockRequest,
+                     xmit_id: int):
+        c = self.costs
+        client = self._clients[client_id]
+        op = BlockChannelOp(request=request, xmit_id=xmit_id,
+                            device_id=request.meta["device_id"])
+        packets = self._chunk_packets(client_id, "to_iohost", op,
+                                      op.size_bytes,
+                                      message_id=xmit_id << 20)
+        for i, packet in enumerate(packets):
+            cycles = transport_tx_cycles(c, packet.chunk_bytes,
+                                         self.channel_mtu)
+            yield client.vm.vcpu.execute(cycles, tag="blk_tx")
+            frame = self._channel_frame_to_iohost(client, packet)
+            client.t_vf.transmit(frame, completion_interrupt=False)
+            client.transport_stats.chunks_sent.add()
+
+    def _serve_block_op(self, worker: Core, client: VrioClient,
+                        op: BlockChannelOp):
+        c = self.costs
+        device = client.devices.get(op.device_id)
+        if device is None:
+            return
+        request = op.request
+        kind = "blk_read" if request.op == "read" else "blk_write"
+        if not self.interposers.admit(op):
+            return
+        # Zero copy (§4.4): write interiors are reused in place (only
+        # unaligned edges copy); reads must copy into the block system's
+        # buffers.
+        if request.op == "read":
+            copy = int(c.worker_block_copy_per_byte_cycles
+                       * request.size_bytes)
+        elif not request.is_sector_aligned():
+            copy = int(c.worker_copy_per_byte_cycles * 512)
+        else:
+            copy = 0
+        cycles = int(c.worker_blk_per_op_cycles + device.cpu_cycles(request)
+                     + copy
+                     + self.interposers.cycles(request.size_bytes, kind))
+        yield worker.execute(cycles, tag="worker_blk")
+        # The IOhost block pipeline latency (data DMA, buffer turnaround)
+        # overlaps the media access — the DMA engines and the device work
+        # in parallel, so a slow medium hides the pipeline (§5's SATA-SSD
+        # observation).
+        pipeline = self.env.timeout(c.vrio_block_service_latency_ns)
+        media = device.submit(BlockRequest(op=request.op,
+                                           sector=request.sector,
+                                           size_bytes=request.size_bytes))
+        yield self.env.all_of([pipeline, media])
+        resp_size = request.size_bytes if request.op == "read" else 64
+        resp = BlockChannelResp(request_id=request.request_id,
+                                xmit_id=op.xmit_id,
+                                device_id=op.device_id, ok=True,
+                                size_bytes=resp_size)
+        packets = self._chunk_packets(client.client_id, "to_guest", resp,
+                                      resp_size,
+                                      message_id=(op.xmit_id << 20) | 1)
+        yield self.env.timeout(c.iohost_forward_latency_ns)
+        for packet in packets:
+            frame = self._channel_frame_to_guest(client, packet)
+            client.channel.iohost_fn.transmit(frame,
+                                              completion_interrupt=not self.poll)
+
+    def _guest_blk_response(self, client: VrioClient, resp: BlockChannelResp,
+                            packet: ChannelPacket) -> None:
+        if packet.chunk_index != packet.chunk_count - 1:
+            return
+        client.reliable.on_response(resp.request_id, resp.xmit_id, resp)
+
+    # -- control plane ------------------------------------------------------------------------------
+
+    def _serve_control(self, worker: Core, client: VrioClient,
+                       command: ControlCommand):
+        yield worker.execute(self.costs.worker_rx_per_msg_cycles, tag="control")
+        self._apply_control(client, command)
+
+    def send_control(self, client_id: str, command: ControlCommand) -> None:
+        """I/O-hypervisor-initiated device management toward a client."""
+        client = self._clients[client_id]
+        packets = self._chunk_packets(client_id, "to_guest", command,
+                                      command.size_bytes,
+                                      message_id=next(_device_ids) << 24)
+        for packet in packets:
+            frame = self._channel_frame_to_guest(client, packet)
+            client.channel.iohost_fn.transmit(frame,
+                                              completion_interrupt=not self.poll)
+
+    def _apply_control(self, client: VrioClient, command: ControlCommand) -> None:
+        if command.action == "create" and command.device_type == "blk":
+            # Device object arrives out-of-band via params (simulation).
+            device = (command.params or {}).get("device")
+            if device is not None:
+                client.devices[command.device_id] = device
+        elif command.action == "destroy":
+            client.devices.pop(command.device_id, None)

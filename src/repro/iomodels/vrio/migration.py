@@ -1,0 +1,67 @@
+"""Live migration support (§4.6).
+
+A VM's front-end (F) and transport (T) interfaces have distinct MAC
+addresses; only F is externally visible.  That split is what makes
+migration possible:
+
+1. F switches its channel from the SRIOV VF (``Tsriov``) to a traditional
+   virtio NIC (``Tvirtio``), which the local hypervisor can migrate —
+   modeled here by ``transport_mode = "virtio"``, whose datapath pays the
+   trap-and-emulate costs (kick exits, injected completions).
+2. The VM migrates between VMhosts sharing the IOhost: the model moves the
+   T address onto the target VMhost's channel NIC and rebinds the VCPU.
+3. F switches back to ``Tsriov`` on the target.
+
+The paper implemented the three transports but not the dynamic switch; we
+implement the switch too, with a configurable blackout window standing in
+for the stop-and-copy downtime.
+"""
+
+from __future__ import annotations
+
+from ...hw.nic import Nic
+from ...sim import Environment, Event
+from .frontend import VmhostChannel, VrioClient, VrioModel
+
+__all__ = ["switch_transport", "live_migrate"]
+
+
+def switch_transport(client: VrioClient, mode: str) -> None:
+    """Flip a client's channel between Tsriov and Tvirtio."""
+    if mode not in ("sriov", "virtio"):
+        raise ValueError(f"unknown transport mode {mode!r}")
+    client.transport_mode = mode
+
+
+def live_migrate(model: VrioModel, client: VrioClient,
+                 target_channel: VmhostChannel,
+                 downtime_ns: int = 30_000_000) -> Event:
+    """Migrate ``client`` to the VMhost behind ``target_channel``.
+
+    Returns an event that triggers when the VM runs on the target with
+    Tsriov restored.  Traffic in flight during the blackout is simply
+    delayed/dropped like on a real stop-and-copy; the block reliability
+    layer recovers its own losses.
+    """
+    env = model.env
+
+    def migration():
+        # Phase 1: fall back to the migratable virtio transport.
+        switch_transport(client, "virtio")
+        # Phase 2: stop-and-copy blackout.
+        yield env.timeout(downtime_ns)
+        # Phase 3: re-create the T VF on the target VMhost's channel NIC.
+        old_vf = client.t_vf
+        new_vf = target_channel.vmhost_nic.create_function(
+            f"T-{client.client_id}-migrated", notify_mode="eli")
+        new_vf.on_notify = old_vf.on_notify
+        new_vf.on_tx_complete = old_vf.on_tx_complete
+        old_vf.on_notify = None
+        old_vf.on_tx_complete = None
+        client.t_vf = new_vf
+        client.channel = target_channel
+        # Phase 4: resume the fast path.
+        switch_transport(client, "sriov")
+        return client
+
+    return env.process(migration(), name=f"migrate:{client.client_id}")

@@ -1,0 +1,60 @@
+"""vRIO channel protocol objects: block ops, responses, control commands."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ...hw.storage import BlockRequest
+
+__all__ = ["BlockChannelOp", "BlockChannelResp", "ControlCommand"]
+
+
+@dataclass
+class BlockChannelOp:
+    """A block request travelling IOclient -> IOhost."""
+
+    request: BlockRequest
+    xmit_id: int
+    device_id: int
+    size_bytes: int = 0     # data carried on the wire in this direction
+    kind: str = "blk_op"
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        # Writes carry their payload toward the IOhost; reads carry only
+        # the (small) command descriptor.
+        if self.size_bytes == 0:
+            self.size_bytes = (self.request.size_bytes
+                               if self.request.op == "write" else 64)
+
+
+@dataclass
+class BlockChannelResp:
+    """A block completion travelling IOhost -> IOclient."""
+
+    request_id: int
+    xmit_id: int
+    device_id: int
+    ok: bool
+    size_bytes: int         # read data, or a small ack for writes
+    kind: str = "blk_resp"
+    meta: dict = field(default_factory=dict)
+
+
+@dataclass
+class ControlCommand:
+    """I/O-hypervisor -> IOclient device management (§4.1).
+
+    In vRIO, paravirtual devices are created and destroyed *by the I/O
+    hypervisor*, not the local hypervisor; the transport driver's secondary
+    role is executing these commands.
+    """
+
+    action: str             # "create" or "destroy"
+    device_type: str        # "net" or "blk"
+    device_id: int
+    client_id: str
+    size_bytes: int = 64
+    kind: str = "control"
+    params: Optional[dict] = None

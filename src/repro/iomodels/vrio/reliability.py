@@ -1,0 +1,142 @@
+"""Block-request reliability over the unreliable Ethernet channel (§4.5).
+
+Network I/O needs no help — TCP retransmits and UDP tolerates loss — but a
+virtual *block* device must be reliable.  The mechanism, exactly as in the
+paper:
+
+* every transmission (or retransmission) carries a fresh unique identifier;
+* the initial timeout is 10 ms, doubling on each expiry;
+* on expiry the request is presumed lost and retransmitted;
+* responses whose identifier differs from the current one are *stale* and
+  ignored;
+* after ``max_retransmissions`` unsuccessful tries, a device error is
+  raised.
+
+Retransmission is safe only because the guest disk scheduler guarantees a
+single outstanding request per block
+(:class:`repro.guest.blkqueue.GuestBlockScheduler`), so a retransmitted
+write can never race a newer write to the same block.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, Optional
+
+from ...hw.storage import BlockRequest
+from ...sim import Counter, Environment, Event
+
+__all__ = ["ReliableBlockChannel", "BlockDeviceError"]
+
+_xmit_ids = itertools.count(1)
+
+
+class BlockDeviceError(Exception):
+    """Raised to the guest when a block request exhausts retransmissions."""
+
+    def __init__(self, request: BlockRequest, attempts: int):
+        super().__init__(
+            f"block request {request.request_id} ({request.op} "
+            f"sector={request.sector}) failed after {attempts} attempts")
+        self.request = request
+        self.attempts = attempts
+
+
+class _Outstanding:
+    __slots__ = ("request", "xmit_id", "timeout_ns", "attempts", "done")
+
+    def __init__(self, request: BlockRequest, xmit_id: int,
+                 timeout_ns: int, done: Event):
+        self.request = request
+        self.xmit_id = xmit_id
+        self.timeout_ns = timeout_ns
+        self.attempts = 1
+        self.done = done
+
+
+class ReliableBlockChannel:
+    """Retransmitting request tracker for one IOclient's block traffic.
+
+    ``send`` is the underlying transmit function taking
+    ``(request, xmit_id)``; it is called for the original transmission and
+    every retransmission.
+    """
+
+    def __init__(self, env: Environment,
+                 send: Callable[[BlockRequest, int], None],
+                 initial_timeout_ns: int = 10_000_000,
+                 max_retransmissions: int = 8):
+        if initial_timeout_ns <= 0:
+            raise ValueError(f"timeout must be positive: {initial_timeout_ns}")
+        if max_retransmissions < 0:
+            raise ValueError("max_retransmissions must be >= 0")
+        self.env = env
+        self._send = send
+        self.initial_timeout_ns = initial_timeout_ns
+        self.max_retransmissions = max_retransmissions
+        self._outstanding: Dict[int, _Outstanding] = {}  # by request_id
+        self.retransmissions = Counter("retransmissions")
+        self.stale_responses = Counter("stale_responses")
+        self.failures = Counter("failures")
+        self.completions = Counter("completions")
+
+    @property
+    def outstanding_count(self) -> int:
+        return len(self._outstanding)
+
+    def submit(self, request: BlockRequest) -> Event:
+        """Send a request reliably; the event carries the request on
+        success and fails with :class:`BlockDeviceError` on exhaustion."""
+        if request.request_id in self._outstanding:
+            raise ValueError(
+                f"request {request.request_id} already outstanding")
+        done = self.env.event()
+        entry = _Outstanding(request, next(_xmit_ids),
+                             self.initial_timeout_ns, done)
+        self._outstanding[request.request_id] = entry
+        self._send(request, entry.xmit_id)
+        self.env.process(self._timer(entry), name="blk-retrans-timer")
+        return done
+
+    def on_response(self, request_id: int, xmit_id: int,
+                    payload: Optional[object] = None) -> bool:
+        """Handle a response from the IOhost.
+
+        Returns True if it completed a live request; False if it was stale
+        or unknown (late duplicate after completion).
+        """
+        entry = self._outstanding.get(request_id)
+        if entry is None:
+            self.stale_responses.add()
+            return False
+        if entry.xmit_id != xmit_id:
+            # A response to a transmission we already gave up on.
+            self.stale_responses.add()
+            return False
+        del self._outstanding[request_id]
+        self.completions.add()
+        entry.done.succeed(payload if payload is not None else entry.request)
+        return True
+
+    def _timer(self, entry: _Outstanding):
+        env = self.env
+        while True:
+            timeout_ns = entry.timeout_ns
+            xmit_at_sleep = entry.xmit_id
+            yield env.timeout(timeout_ns)
+            live = self._outstanding.get(entry.request.request_id)
+            if live is not entry or entry.xmit_id != xmit_at_sleep:
+                return  # completed (or superseded) while we slept
+            if entry.attempts > self.max_retransmissions:
+                del self._outstanding[entry.request.request_id]
+                self.failures.add()
+                entry.done.fail(BlockDeviceError(entry.request,
+                                                 entry.attempts))
+                return
+            # Presumed lost: retransmit under a fresh identifier, double
+            # the timeout (§4.5).
+            entry.xmit_id = next(_xmit_ids)
+            entry.attempts += 1
+            entry.timeout_ns *= 2
+            self.retransmissions.add()
+            self._send(entry.request, entry.xmit_id)

@@ -1,0 +1,365 @@
+"""Discrete-event simulation kernel.
+
+A small, fast, generator-based event engine in the style of SimPy, built for
+the vRIO reproduction.  Time is kept as an integer number of nanoseconds so
+that event ordering is exact and runs are bit-reproducible.
+
+The core concepts:
+
+* :class:`Environment` owns the clock and the pending-event heap.
+* :class:`Event` is a one-shot waitable.  Processes wait on events by
+  yielding them.
+* :class:`Process` wraps a generator.  Each ``yield`` suspends the process
+  until the yielded event triggers; the event's value becomes the result of
+  the ``yield`` expression.  A process is itself an event that triggers when
+  the generator returns (with the generator's return value).
+* :class:`Timeout` is an event that triggers after a fixed delay.
+
+Example
+-------
+>>> env = Environment()
+>>> def proc(env):
+...     yield env.timeout(5)
+...     return env.now
+>>> p = env.process(proc(env))
+>>> env.run()
+>>> p.value
+5
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "Interrupt",
+    "AllOf",
+    "AnyOf",
+    "SimulationError",
+]
+
+
+class SimulationError(Exception):
+    """Raised for misuse of the simulation kernel."""
+
+
+class Interrupt(Exception):
+    """Raised inside a process that another process interrupted.
+
+    The ``cause`` attribute carries the value passed to
+    :meth:`Process.interrupt`.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+# Event states.
+_PENDING = 0
+_TRIGGERED = 1  # scheduled, value fixed, callbacks not yet run
+_PROCESSED = 2  # callbacks have run
+
+
+class Event:
+    """A one-shot occurrence that processes can wait for.
+
+    An event starts *pending*; calling :meth:`succeed` or :meth:`fail`
+    *triggers* it, scheduling its callbacks to run at the current simulation
+    time.  Waiting on an already-processed event resumes the waiter
+    immediately (on the next scheduling step) with the stored value.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_state", "_ok")
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: List[Callable[["Event"], None]] = []
+        self._value: Any = None
+        self._state = _PENDING
+        self._ok = True
+
+    # -- inspection --------------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value (callbacks may not have run)."""
+        return self._state != _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once the event's callbacks have run."""
+        return self._state == _PROCESSED
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (not failed)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value; raises if the event is still pending."""
+        if self._state == _PENDING:
+            raise SimulationError("event value not yet available")
+        return self._value
+
+    # -- triggering --------------------------------------------------------
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._state != _PENDING:
+            raise SimulationError("event already triggered")
+        self._value = value
+        self._state = _TRIGGERED
+        self.env._schedule_event(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception to raise in waiters."""
+        if self._state != _PENDING:
+            raise SimulationError("event already triggered")
+        if not isinstance(exception, BaseException):
+            raise SimulationError("fail() requires an exception instance")
+        self._value = exception
+        self._ok = False
+        self._state = _TRIGGERED
+        self.env._schedule_event(self)
+        return self
+
+    def _run_callbacks(self) -> None:
+        self._state = _PROCESSED
+        callbacks, self.callbacks = self.callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Run ``callback(event)`` when the event is processed."""
+        if self._state == _PROCESSED:
+            # Already done: deliver on the next scheduling step to preserve
+            # run-to-completion semantics.
+            self.env.call_soon(lambda: callback(self))
+        else:
+            self.callbacks.append(callback)
+
+
+class Timeout(Event):
+    """An event that triggers ``delay`` nanoseconds in the future."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: int, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._value = value
+        self._state = _TRIGGERED
+        env._schedule_event(self, delay)
+
+
+class Process(Event):
+    """A running generator; also an event that triggers on completion."""
+
+    __slots__ = ("generator", "_waiting_on", "name")
+
+    def __init__(self, env: "Environment", generator: Generator,
+                 name: str = ""):
+        super().__init__(env)
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._waiting_on: Optional[Event] = None
+        # Kick off on the next scheduling step.
+        env.call_soon(lambda: self._resume(None, None))
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return self._state == _PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if not self.is_alive:
+            return
+        waiting = self._waiting_on
+        if waiting is not None:
+            # Detach from the event we were waiting on.
+            try:
+                waiting.callbacks.remove(self._on_event)
+            except ValueError:
+                pass
+            self._waiting_on = None
+        self.env.call_soon(lambda: self._resume(None, Interrupt(cause)))
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _on_event(self, event: Event) -> None:
+        self._waiting_on = None
+        if event.ok:
+            self._resume(event.value, None)
+        else:
+            self._resume(None, event.value)
+
+    def _resume(self, value: Any, exc: Optional[BaseException]) -> None:
+        if not self.is_alive:
+            return
+        try:
+            if exc is not None:
+                target = self.generator.throw(exc)
+            else:
+                target = self.generator.send(value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except Interrupt:
+            # An unhandled interrupt terminates the process quietly.
+            self.succeed(None)
+            return
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded {target!r}, not an Event")
+        if target.env is not self.env:
+            raise SimulationError("yielded event belongs to another Environment")
+        self._waiting_on = target
+        target.add_callback(self._on_event)
+
+
+class AllOf(Event):
+    """Triggers when all given events have succeeded.
+
+    Value is the list of the events' values in the given order.  Fails as
+    soon as any constituent fails.
+    """
+
+    __slots__ = ("_events", "_remaining")
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self._events = list(events)
+        self._remaining = len(self._events)
+        if self._remaining == 0:
+            self.succeed([])
+            return
+        for event in self._events:
+            event.add_callback(self._on_child)
+
+    def _on_child(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event.ok:
+            self.fail(event.value)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed([e.value for e in self._events])
+
+
+class AnyOf(Event):
+    """Triggers when the first of the given events does.
+
+    Value is a ``(event, value)`` tuple identifying the winner.
+    """
+
+    __slots__ = ("_events",)
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self._events = list(events)
+        if not self._events:
+            raise SimulationError("AnyOf requires at least one event")
+        for event in self._events:
+            event.add_callback(self._on_child)
+
+    def _on_child(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if event.ok:
+            self.succeed((event, event.value))
+        else:
+            self.fail(event.value)
+
+
+class Environment:
+    """The simulation clock and scheduler.
+
+    Time is an integer count of nanoseconds since the start of the run.
+    """
+
+    def __init__(self):
+        self._now: int = 0
+        self._heap: List = []
+        self._seq: int = 0  # tie-breaker preserving FIFO order at equal times
+
+    @property
+    def now(self) -> int:
+        """Current simulation time in nanoseconds."""
+        return self._now
+
+    # -- scheduling --------------------------------------------------------
+
+    def _schedule_event(self, event: Event, delay: int = 0) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (self._now + delay, self._seq, event, None))
+
+    def call_soon(self, fn: Callable[[], None], delay: int = 0) -> None:
+        """Run ``fn()`` after ``delay`` ns (0 = this time step, FIFO)."""
+        self._seq += 1
+        heapq.heappush(self._heap, (self._now + delay, self._seq, None, fn))
+
+    # -- factories ---------------------------------------------------------
+
+    def event(self) -> Event:
+        """Create a fresh pending event."""
+        return Event(self)
+
+    def timeout(self, delay: int, value: Any = None) -> Timeout:
+        """Create an event that triggers ``delay`` ns from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        """Start running ``generator`` as a simulation process."""
+        return Process(self, generator, name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- execution ---------------------------------------------------------
+
+    def step(self) -> None:
+        """Process the single next scheduled item."""
+        when, _seq, event, fn = heapq.heappop(self._heap)
+        if when < self._now:
+            raise SimulationError("time went backwards")
+        self._now = when
+        if event is not None:
+            event._run_callbacks()
+        else:
+            fn()
+
+    def run(self, until: Optional[int] = None) -> None:
+        """Run until the heap empties or the clock would pass ``until``.
+
+        When ``until`` is given the clock is left exactly at ``until`` and
+        any events scheduled for later remain pending.
+        """
+        if until is not None and until < self._now:
+            raise SimulationError("cannot run backwards in time")
+        heap = self._heap
+        while heap:
+            if until is not None and heap[0][0] > until:
+                self._now = until
+                return
+            self.step()
+        if until is not None:
+            self._now = until
+
+    def peek(self) -> Optional[int]:
+        """Time of the next scheduled item, or None if the heap is empty."""
+        return self._heap[0][0] if self._heap else None

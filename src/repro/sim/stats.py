@@ -1,0 +1,219 @@
+"""Measurement primitives: counters, histograms, utilization, time series.
+
+All statistics are cheap to update on the simulation hot path and are only
+summarized on demand.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .engine import Environment
+
+__all__ = [
+    "Counter",
+    "Histogram",
+    "TimeWeighted",
+    "UtilizationTracker",
+    "TimeSeries",
+    "percentile",
+]
+
+
+def percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile ``q`` in [0, 100] of sorted data."""
+    if not sorted_values:
+        raise ValueError("percentile of empty data")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile out of range: {q}")
+    if len(sorted_values) == 1:
+        return float(sorted_values[0])
+    rank = (q / 100.0) * (len(sorted_values) - 1)
+    low = int(math.floor(rank))
+    high = int(math.ceil(rank))
+    if low == high:
+        return float(sorted_values[low])
+    frac = rank - low
+    return float(sorted_values[low]) * (1 - frac) + float(sorted_values[high]) * frac
+
+
+class Counter:
+    """A named monotonic event counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.value = 0
+
+    def add(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, {self.value})"
+
+
+class Histogram:
+    """Collects samples; summarizes mean/percentiles on demand."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self._samples: List[float] = []
+
+    def add(self, value: float) -> None:
+        self._samples.append(value)
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    @property
+    def samples(self) -> List[float]:
+        return self._samples
+
+    def mean(self) -> float:
+        if not self._samples:
+            raise ValueError(f"histogram {self.name!r} is empty")
+        return sum(self._samples) / len(self._samples)
+
+    def stdev(self) -> float:
+        n = len(self._samples)
+        if n < 2:
+            return 0.0
+        mu = self.mean()
+        return math.sqrt(sum((x - mu) ** 2 for x in self._samples) / (n - 1))
+
+    def min(self) -> float:
+        return min(self._samples)
+
+    def max(self) -> float:
+        return max(self._samples)
+
+    def percentile(self, q: float) -> float:
+        return percentile(sorted(self._samples), q)
+
+    def percentiles(self, qs: Sequence[float]) -> Dict[float, float]:
+        data = sorted(self._samples)
+        return {q: percentile(data, q) for q in qs}
+
+
+class TimeWeighted:
+    """Tracks the time-weighted average of a piecewise-constant value."""
+
+    def __init__(self, env: Environment, initial: float = 0.0):
+        self.env = env
+        self._value = initial
+        self._last_change = env.now
+        self._weighted_sum = 0.0
+        self._start = env.now
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def set(self, value: float) -> None:
+        now = self.env.now
+        self._weighted_sum += self._value * (now - self._last_change)
+        self._value = value
+        self._last_change = now
+
+    def add(self, delta: float) -> None:
+        self.set(self._value + delta)
+
+    def average(self) -> float:
+        """Time-weighted average from creation until now."""
+        now = self.env.now
+        total = now - self._start
+        if total == 0:
+            return self._value
+        weighted = self._weighted_sum + self._value * (now - self._last_change)
+        return weighted / total
+
+
+class UtilizationTracker:
+    """Tracks the busy fraction of a serving resource (e.g. a core).
+
+    Distinguishes *busy* (executing any work) from *useful* (executing work
+    that is not idle polling), which is what Figure 15 of the paper plots:
+    a polling sidecore is 100% busy but may be mostly useless.
+    """
+
+    def __init__(self, env: Environment):
+        self.env = env
+        self._busy_since: Optional[int] = None
+        self._busy_ns = 0
+        self._useful_ns = 0
+        self._start = env.now
+
+    def begin_busy(self) -> None:
+        if self._busy_since is None:
+            self._busy_since = self.env.now
+
+    def end_busy(self, useful: bool = True) -> None:
+        if self._busy_since is None:
+            return
+        span = self.env.now - self._busy_since
+        self._busy_ns += span
+        if useful:
+            self._useful_ns += span
+        self._busy_since = None
+
+    def account(self, duration_ns: int, useful: bool = True) -> None:
+        """Directly account ``duration_ns`` of completed busy time."""
+        self._busy_ns += duration_ns
+        if useful:
+            self._useful_ns += duration_ns
+
+    @property
+    def busy_ns(self) -> int:
+        extra = 0
+        if self._busy_since is not None:
+            extra = self.env.now - self._busy_since
+        return self._busy_ns + extra
+
+    @property
+    def useful_ns(self) -> int:
+        return self._useful_ns
+
+    def busy_fraction(self) -> float:
+        total = self.env.now - self._start
+        return self.busy_ns / total if total else 0.0
+
+    def useful_fraction(self) -> float:
+        total = self.env.now - self._start
+        return self._useful_ns / total if total else 0.0
+
+    def reset(self) -> None:
+        self._busy_ns = 0
+        self._useful_ns = 0
+        self._start = self.env.now
+        if self._busy_since is not None:
+            self._busy_since = self.env.now
+
+
+class TimeSeries:
+    """Periodic samples of a callable, e.g. utilization over time."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.times: List[int] = []
+        self.values: List[float] = []
+
+    def record(self, time_ns: int, value: float) -> None:
+        self.times.append(time_ns)
+        self.values.append(value)
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def mean(self) -> float:
+        if not self.values:
+            raise ValueError(f"time series {self.name!r} is empty")
+        return sum(self.values) / len(self.values)
+
+    def as_pairs(self) -> List[Tuple[int, float]]:
+        return list(zip(self.times, self.values))

@@ -1,0 +1,119 @@
+"""Request-lifecycle tracing.
+
+A :class:`Tracer` records typed spans and point events against the
+simulation clock, so the journey of one request — guest submit, channel
+hop, worker service, device access, completion — can be inspected or
+exported.  Tracing is off unless a tracer is installed, and costs one dict
+append per event when on.
+
+Models accept a tracer via duck typing: anything exposing
+``point(trace_id, name, **attrs)`` and ``begin/end`` works.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from .engine import Environment
+
+__all__ = ["Tracer", "Span", "TraceEvent"]
+
+_span_ids = itertools.count(1)
+
+
+@dataclass
+class TraceEvent:
+    """An instantaneous event on a trace."""
+
+    trace_id: Any
+    name: str
+    at_ns: int
+    attrs: dict = field(default_factory=dict)
+
+
+@dataclass
+class Span:
+    """A named interval on a trace."""
+
+    span_id: int
+    trace_id: Any
+    name: str
+    start_ns: int
+    end_ns: Optional[int] = None
+    attrs: dict = field(default_factory=dict)
+
+    @property
+    def duration_ns(self) -> Optional[int]:
+        if self.end_ns is None:
+            return None
+        return self.end_ns - self.start_ns
+
+
+class Tracer:
+    """Collects spans and events, indexable by trace id."""
+
+    def __init__(self, env: Environment, capacity: int = 100_000):
+        self.env = env
+        self.capacity = capacity
+        self.events: List[TraceEvent] = []
+        self.spans: List[Span] = []
+        self._open: Dict[int, Span] = {}
+        self.dropped = 0
+
+    # -- recording -----------------------------------------------------------
+
+    def point(self, trace_id: Any, name: str, **attrs) -> None:
+        """Record an instantaneous event."""
+        if len(self.events) >= self.capacity:
+            self.dropped += 1
+            return
+        self.events.append(TraceEvent(trace_id, name, self.env.now, attrs))
+
+    def begin(self, trace_id: Any, name: str, **attrs) -> int:
+        """Open a span; returns its id for :meth:`end`."""
+        span = Span(next(_span_ids), trace_id, name, self.env.now,
+                    attrs=attrs)
+        if len(self.spans) >= self.capacity:
+            self.dropped += 1
+            return span.span_id
+        self.spans.append(span)
+        self._open[span.span_id] = span
+        return span.span_id
+
+    def end(self, span_id: int, **attrs) -> None:
+        span = self._open.pop(span_id, None)
+        if span is None:
+            return
+        span.end_ns = self.env.now
+        span.attrs.update(attrs)
+
+    # -- querying ---------------------------------------------------------------
+
+    def trace(self, trace_id: Any) -> List[Any]:
+        """All events and spans of one trace, in time order."""
+        items: List[Any] = [e for e in self.events if e.trace_id == trace_id]
+        items += [s for s in self.spans if s.trace_id == trace_id]
+        return sorted(items, key=lambda i: getattr(i, "at_ns",
+                                                   getattr(i, "start_ns", 0)))
+
+    def span_durations(self, name: str) -> List[int]:
+        """Durations (ns) of every completed span with this name."""
+        return [s.duration_ns for s in self.spans
+                if s.name == name and s.end_ns is not None]
+
+    def format_trace(self, trace_id: Any) -> str:
+        """Render one trace as an indented timeline."""
+        lines = [f"trace {trace_id}:"]
+        for item in self.trace(trace_id):
+            if isinstance(item, TraceEvent):
+                lines.append(f"  {item.at_ns / 1000.0:10.2f}us  . {item.name}"
+                             + (f" {item.attrs}" if item.attrs else ""))
+            else:
+                dur = (f"{item.duration_ns / 1000.0:.2f}us"
+                       if item.duration_ns is not None else "open")
+                lines.append(f"  {item.start_ns / 1000.0:10.2f}us  "
+                             f"[{item.name} {dur}]"
+                             + (f" {item.attrs}" if item.attrs else ""))
+        return "\n".join(lines)

@@ -1,0 +1,55 @@
+"""Time/data unit helpers.  Simulation time is integer nanoseconds."""
+
+from __future__ import annotations
+
+__all__ = [
+    "NS", "US", "MS", "SEC",
+    "KB", "MB", "GB",
+    "ns_to_us", "us", "ms", "seconds",
+    "gbps_to_bytes_per_ns", "bytes_per_ns_to_gbps", "wire_time_ns",
+]
+
+NS = 1
+US = 1_000
+MS = 1_000_000
+SEC = 1_000_000_000
+
+KB = 1024
+MB = 1024 * 1024
+GB = 1024 * 1024 * 1024
+
+
+def us(value: float) -> int:
+    """Microseconds -> integer nanoseconds."""
+    return int(round(value * US))
+
+
+def ms(value: float) -> int:
+    """Milliseconds -> integer nanoseconds."""
+    return int(round(value * MS))
+
+
+def seconds(value: float) -> int:
+    """Seconds -> integer nanoseconds."""
+    return int(round(value * SEC))
+
+
+def ns_to_us(value_ns: float) -> float:
+    """Nanoseconds -> microseconds (float)."""
+    return value_ns / US
+
+
+def gbps_to_bytes_per_ns(gbps: float) -> float:
+    """Link rate in Gbit/s -> bytes per nanosecond."""
+    return gbps * 1e9 / 8 / 1e9
+
+
+def bytes_per_ns_to_gbps(bytes_per_ns: float) -> float:
+    return bytes_per_ns * 8
+
+
+def wire_time_ns(size_bytes: int, gbps: float) -> int:
+    """Serialization delay of ``size_bytes`` on a ``gbps`` link, in ns."""
+    if gbps <= 0:
+        raise ValueError(f"link rate must be positive, got {gbps}")
+    return max(1, int(round(size_bytes * 8 / gbps)))

@@ -1,0 +1,5 @@
+"""Paravirtual (virtio) protocol substrate: rings and request metadata."""
+
+from .ring import RING_SIZE_DEFAULT, VirtioRequest, Virtqueue
+
+__all__ = ["Virtqueue", "VirtioRequest", "RING_SIZE_DEFAULT"]

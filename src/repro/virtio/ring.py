@@ -1,0 +1,140 @@
+"""Virtqueues: the guest/host shared-memory rings of the virtio protocol.
+
+A :class:`Virtqueue` carries requests from a guest *front-end* to a host
+*back-end* (the avail ring) and completions back (the used ring).  The
+protocol detail that separates the I/O models is **notification policy**:
+
+* In the **baseline**, the guest *kicks* the host after adding to the avail
+  ring — a hypercall that costs a VM exit — and the host *injects* an
+  interrupt after adding to the used ring.
+* Under a **sidecore** (Elvis, and conceptually vRIO's remote worker), the
+  back-end disables kick notifications entirely and polls the avail ring;
+  completions are delivered by exitless IPI.
+
+Both rings support virtio's notification suppression: ``add_avail`` returns
+whether a kick is needed, which is False while the back-end has suppression
+on or a previous notification is still outstanding.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from ..sim import Counter, Environment, Event, Store
+
+__all__ = ["Virtqueue", "VirtioRequest", "RING_SIZE_DEFAULT"]
+
+RING_SIZE_DEFAULT = 256
+
+_request_ids = itertools.count(1)
+
+
+@dataclass
+class VirtioRequest:
+    """One descriptor-chain's worth of work travelling through a virtqueue.
+
+    ``kind`` distinguishes net tx/rx from block read/write; ``size_bytes``
+    is the data payload; ``payload`` carries the model-specific object
+    (a NetMessage or BlockRequest).
+    """
+
+    kind: str
+    size_bytes: int
+    payload: Any = None
+    device_id: int = 0
+    request_id: int = field(default_factory=lambda: next(_request_ids))
+    posted_ns: int = 0
+    meta: dict = field(default_factory=dict)
+
+
+class Virtqueue:
+    """A single virtio queue (one direction pair: avail + used)."""
+
+    def __init__(self, env: Environment, name: str = "vq",
+                 size: int = RING_SIZE_DEFAULT):
+        if size <= 0:
+            raise ValueError(f"ring size must be positive: {size}")
+        self.env = env
+        self.name = name
+        self.size = size
+        self._avail: Store = Store(env, capacity=size)
+        self._used: Store = Store(env, capacity=size)
+        # Kick suppression: the back-end turns this off when it polls.
+        self.kick_notifications_enabled = True
+        self._kick_outstanding = False
+        self.kicks = Counter(f"{name}.kicks")
+        self.kicks_suppressed = Counter(f"{name}.kicks_suppressed")
+        self.posted = Counter(f"{name}.posted")
+        self.completed = Counter(f"{name}.completed")
+        self.full_rejections = Counter(f"{name}.full_rejections")
+
+    # -- guest (front-end) side ---------------------------------------------
+
+    def add_avail(self, request: VirtioRequest) -> bool:
+        """Post a request.  Returns True iff the guest must kick the host.
+
+        Raises if the ring is full (callers should bound outstanding
+        requests; a full ring is a front-end driver bug).
+        """
+        request.posted_ns = self.env.now
+        if not self._avail.try_put(request):
+            self.full_rejections.add()
+            raise BufferError(f"virtqueue {self.name} avail ring full")
+        self.posted.add()
+        if not self.kick_notifications_enabled:
+            self.kicks_suppressed.add()
+            return False
+        if self._kick_outstanding:
+            self.kicks_suppressed.add()
+            return False
+        self._kick_outstanding = True
+        self.kicks.add()
+        return True
+
+    def get_used(self) -> Event:
+        """Wait for the next completion (used-ring entry)."""
+        return self._used.get()
+
+    def try_get_used(self):
+        """Non-blocking used-ring reap; returns ``(ok, request)``."""
+        return self._used.try_get()
+
+    # -- host (back-end) side -----------------------------------------------
+
+    def kick_serviced(self) -> None:
+        """The host finished reacting to a kick; further posts kick again."""
+        self._kick_outstanding = False
+
+    def disable_kicks(self) -> None:
+        """Sidecore mode: the back-end polls, guests never kick."""
+        self.kick_notifications_enabled = False
+
+    def enable_kicks(self) -> None:
+        self.kick_notifications_enabled = True
+
+    def get_avail(self) -> Event:
+        """Host-side wait for the next posted request."""
+        return self._avail.get()
+
+    def try_get_avail(self):
+        """Non-blocking avail poll; returns ``(ok, request)``."""
+        return self._avail.try_get()
+
+    def add_used(self, request: VirtioRequest) -> None:
+        """Complete a request back to the guest."""
+        self.completed.add()
+        if not self._used.try_put(request):
+            # A used ring is as large as avail: overflow means a protocol bug.
+            raise BufferError(f"virtqueue {self.name} used ring full")
+
+    # -- introspection --------------------------------------------------------
+
+    @property
+    def avail_pending(self) -> int:
+        return len(self._avail)
+
+    @property
+    def used_pending(self) -> int:
+        return len(self._used)

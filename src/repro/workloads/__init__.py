@@ -1,0 +1,11 @@
+"""The paper's five benchmark workloads (§5 Methodology)."""
+
+from .filebench import FilebenchRandomIO, WebserverPersonality
+from .netperf import NetperfRR, NetperfStream
+from .transactional import ApacheBench, Memslap, TransactionalWorkload
+
+__all__ = [
+    "NetperfRR", "NetperfStream",
+    "TransactionalWorkload", "ApacheBench", "Memslap",
+    "FilebenchRandomIO", "WebserverPersonality",
+]

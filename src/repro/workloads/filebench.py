@@ -1,0 +1,181 @@
+"""Filebench workloads (§5): 4 KB random readers/writers and the Webserver
+personality.
+
+The micro workloads reproduce the *Making a Local Device Remote*
+experiment (Fig. 14): per-VM thread groups doing O_DIRECT 4 KB random I/O
+against a 1 GB virtual disk, scheduled on the single VCPU by the guest
+scheduler (whose involuntary context switches are the figure's
+counterintuitive crossover mechanism).
+
+The Webserver personality reproduces the consolidation experiments
+(Figs. 15/16): 30 K files with a 28 KB mean size, 4 threads per VM doing
+open/read/close plus a log append, reported in Mbps of file data read.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from ..guest.blkqueue import GuestBlockScheduler
+from ..guest.scheduler import GuestScheduler
+from ..guest.vm import Vm
+from ..hw.storage import SECTOR_BYTES, BlockRequest
+from ..iomodels.costs import CostModel, DEFAULT_COSTS
+from ..sim import Environment
+
+__all__ = ["FilebenchRandomIO", "WebserverPersonality"]
+
+
+class FilebenchRandomIO:
+    """A thread group doing 4 KB random reads/writes on one VM's disk."""
+
+    def __init__(self, env: Environment, vm: Vm, block_handle,
+                 rng: random.Random, costs: CostModel = DEFAULT_COSTS,
+                 readers: int = 1, writers: int = 0, io_bytes: int = 4_096,
+                 disk_bytes: int = 1 << 30, warmup_ns: int = 2_000_000,
+                 app_dilation: float = 1.0,
+                 scheduler: Optional[GuestScheduler] = None):
+        if readers + writers < 1:
+            raise ValueError("need at least one thread")
+        self.env = env
+        self.vm = vm
+        self.costs = costs
+        self.rng = rng
+        self.io_bytes = io_bytes
+        self.warmup_ns = warmup_ns
+        self.app_dilation = app_dilation
+        self.operations = 0
+        self._measure_start = None
+        self.scheduler = scheduler or GuestScheduler(env, vm.vcpu)
+        self.block_sched = GuestBlockScheduler(env, block_handle.submit)
+        self._sectors = disk_bytes // SECTOR_BYTES
+        self._io_sectors = max(1, io_bytes // SECTOR_BYTES)
+        threads = (["read"] * readers) + (["write"] * writers)
+        for i, op in enumerate(threads):
+            env.process(self._thread(f"t{i}", op),
+                        name=f"filebench:{vm.name}:t{i}")
+
+    def _random_request(self, op: str) -> BlockRequest:
+        slots = self._sectors // self._io_sectors
+        sector = self.rng.randrange(slots) * self._io_sectors
+        return BlockRequest(op=op, sector=sector, size_bytes=self.io_bytes)
+
+    def _thread(self, tid: str, op: str):
+        env = self.env
+        base = self.costs.filebench_op_cycles * self.app_dilation
+        # Stagger thread start-up and jitter op costs (+-10%) so identical
+        # threads don't phase-lock into artificial lockstep.
+        yield env.timeout(self.rng.randrange(0, 30_000))
+        while True:
+            cycles = int(base * self.rng.uniform(0.9, 1.1))
+            yield self.scheduler.run((self.vm.name, tid), cycles)
+            yield self.block_sched.submit(self._random_request(op))
+            if env.now >= self.warmup_ns:
+                if self._measure_start is None:
+                    self._measure_start = env.now
+                self.operations += 1
+
+    def ops_per_sec(self) -> float:
+        if self._measure_start is None:
+            return 0.0
+        elapsed = self.env.now - self._measure_start
+        if elapsed <= 0:
+            return 0.0
+        return self.operations * 1e9 / elapsed
+
+
+class WebserverPersonality:
+    """Filebench's Webserver I/O personality on one VM (Figs. 15/16).
+
+    30 K files of variable size (lognormal, 28 KB mean); 4 threads, each
+    looping open/read-whole-file/close, appending to a shared log every
+    10 operations.  Throughput is file bytes read per second (Mbps).
+    """
+
+    FILE_COUNT = 30_000
+    MEAN_FILE_BYTES = 28 * 1024
+    THREADS = 4
+    LOG_EVERY = 10
+    LOG_APPEND_BYTES = 16 * 1024
+
+    def __init__(self, env: Environment, vm: Vm, block_handle,
+                 rng: random.Random, costs: CostModel = DEFAULT_COSTS,
+                 disk_bytes: int = 1 << 30, warmup_ns: int = 2_000_000,
+                 app_dilation: float = 1.0,
+                 scheduler: Optional[GuestScheduler] = None):
+        self.env = env
+        self.vm = vm
+        self.costs = costs
+        self.rng = rng
+        self.warmup_ns = warmup_ns
+        self.app_dilation = app_dilation
+        self.bytes_read = 0
+        self.operations = 0
+        self._measure_start = None
+        self.scheduler = scheduler or GuestScheduler(env, vm.vcpu)
+        self.block_sched = GuestBlockScheduler(env, block_handle.submit)
+        self._file_sectors = self._build_fileset(disk_bytes)
+        self._log_sector = self._file_sectors[-1][0]
+        for i in range(self.THREADS):
+            env.process(self._thread(f"w{i}"),
+                        name=f"webserver:{vm.name}:{i}")
+
+    def _build_fileset(self, disk_bytes: int) -> List[tuple]:
+        """Lay out (sector, size) for the fileset, wrapped onto the disk.
+
+        Sizes are lognormal with the paper's 28 KB mean, truncated to
+        [1 KB, 256 KB], rounded up to whole sectors.
+        """
+        files = []
+        sector = 0
+        total_sectors = disk_bytes // SECTOR_BYTES
+        mu, sigma = 9.8, 1.0  # lognormal with mean ~ 28 KB
+        for _ in range(self.FILE_COUNT):
+            size = int(self.rng.lognormvariate(mu, sigma))
+            size = max(1024, min(size, 256 * 1024))
+            sectors = -(-size // SECTOR_BYTES)
+            if sector + sectors >= total_sectors:
+                sector = 0
+            files.append((sector, sectors * SECTOR_BYTES))
+            sector += sectors
+        return files
+
+    def _thread(self, tid: str):
+        env = self.env
+        base = self.costs.webserver_op_cycles * self.app_dilation
+        ops = 0
+        yield env.timeout(self.rng.randrange(0, 50_000))
+        while True:
+            # open + read + close: app work then one whole-file read.
+            op_cycles = int(base * self.rng.uniform(0.9, 1.1))
+            yield self.scheduler.run((self.vm.name, tid), op_cycles)
+            sector, size = self.rng.choice(self._file_sectors)
+            yield self.block_sched.submit(
+                BlockRequest(op="read", sector=sector, size_bytes=size))
+            ops += 1
+            if ops % self.LOG_EVERY == 0:
+                yield self.block_sched.submit(
+                    BlockRequest(op="write", sector=self._log_sector,
+                                 size_bytes=self.LOG_APPEND_BYTES))
+            if env.now >= self.warmup_ns:
+                if self._measure_start is None:
+                    self._measure_start = env.now
+                self.bytes_read += size
+                self.operations += 1
+
+    def throughput_mbps(self) -> float:
+        if self._measure_start is None:
+            return 0.0
+        elapsed = self.env.now - self._measure_start
+        if elapsed <= 0:
+            return 0.0
+        return self.bytes_read * 8 * 1e9 / elapsed / 1e6
+
+    def ops_per_sec(self) -> float:
+        if self._measure_start is None:
+            return 0.0
+        elapsed = self.env.now - self._measure_start
+        if elapsed <= 0:
+            return 0.0
+        return self.operations * 1e9 / elapsed

@@ -1,0 +1,150 @@
+"""Netperf workloads (§5): UDP request-response and TCP stream.
+
+* :class:`NetperfRR` — the standard latency measure: a closed loop sending
+  one small request and waiting for the small response; reported latency is
+  wall time per transaction (as netperf reports it).
+* :class:`NetperfStream` — maximal one-connection throughput with 64-byte
+  messages ("to stress the I/O models"); the guest TCP stack coalesces
+  sends into 64 KB TSO chunks, so the per-send syscall cost dominates guest
+  CPU, exactly the regime the paper measures.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional
+
+from ..iomodels.base import ExternalEndpoint, NetMessage, NetPort
+from ..iomodels.costs import CostModel, DEFAULT_COSTS
+from ..sim import Environment, Event, Histogram, Store
+
+__all__ = ["NetperfRR", "NetperfStream"]
+
+
+class NetperfRR:
+    """One netperf UDP_RR client driving one VM.
+
+    ``rng`` enables ±10% jitter on the client's per-transaction work —
+    real clients are never cycle-exact, and without it closed loops
+    phase-lock into artificial synchrony.
+    """
+
+    def __init__(self, env: Environment, client: ExternalEndpoint,
+                 port: NetPort, costs: CostModel = DEFAULT_COSTS,
+                 request_bytes: int = 64, response_bytes: int = 64,
+                 warmup_ns: int = 2_000_000,
+                 rng: Optional[random.Random] = None):
+        self.env = env
+        self.client = client
+        self.port = port
+        self.costs = costs
+        self.request_bytes = request_bytes
+        self.response_bytes = response_bytes
+        self.warmup_ns = warmup_ns
+        self.rng = rng
+        self.latency_ns = Histogram("rr_latency_ns")
+        self.transactions = 0
+        self._response: Optional[Event] = None
+        port.receive_handler = self._serve
+        client.receive_handler = self._on_response
+        env.process(self._client_loop(), name=f"netperf-rr:{port.vm.name}")
+
+    # -- guest side: netserver echo -----------------------------------------
+
+    def _serve(self, message: NetMessage) -> None:
+        self.env.process(self._serve_path(message))
+
+    def _serve_path(self, message: NetMessage):
+        cycles = self.port.app_cycles(self.costs.netperf_rr_server_cycles)
+        yield self.port.vm.compute(cycles, tag="netserver")
+        self.port.send(message.src, self.response_bytes, kind="rr_resp",
+                       meta=dict(message.meta))
+
+    # -- client side ------------------------------------------------------------
+
+    def _on_response(self, message: NetMessage) -> None:
+        if self._response is not None and not self._response.triggered:
+            self._response.succeed(message)
+
+    def _client_loop(self):
+        env = self.env
+        if self.rng is not None:
+            # Desynchronize the client fleet's start-up.
+            yield env.timeout(self.rng.randrange(0, 20_000))
+        while True:
+            start = env.now
+            cycles = self.costs.loadgen_rr_cycles
+            if self.rng is not None:
+                cycles = int(cycles * self.rng.uniform(0.9, 1.1))
+            yield self.client.core.execute(cycles, tag="rr_client")
+            self._response = env.event()
+            self.client.send(self.port.mac, self.request_bytes,
+                             kind="rr_req", meta={})
+            yield self._response
+            if env.now >= self.warmup_ns:
+                self.latency_ns.add(env.now - start)
+                self.transactions += 1
+
+    # -- results -------------------------------------------------------------------
+
+    def mean_latency_us(self) -> float:
+        return self.latency_ns.mean() / 1_000.0
+
+    def percentile_us(self, q: float) -> float:
+        return self.latency_ns.percentile(q) / 1_000.0
+
+
+class NetperfStream:
+    """One netperf TCP_STREAM sender inside a VM, sinking at a client."""
+
+    def __init__(self, env: Environment, port: NetPort,
+                 client: ExternalEndpoint,
+                 costs: CostModel = DEFAULT_COSTS,
+                 message_bytes: int = 64, window_chunks: int = 4,
+                 warmup_ns: int = 2_000_000):
+        if window_chunks <= 0:
+            raise ValueError(f"window must be positive: {window_chunks}")
+        self.env = env
+        self.port = port
+        self.client = client
+        self.costs = costs
+        self.message_bytes = message_bytes
+        self.msgs_per_chunk = costs.netperf_stream_msgs_per_chunk
+        self.chunk_bytes = self.msgs_per_chunk * message_bytes
+        self.warmup_ns = warmup_ns
+        self.bytes_received = 0
+        self.chunks_received = 0
+        self._measure_start: Optional[int] = None
+        self._window: Store = Store(env, capacity=window_chunks)
+        for _ in range(window_chunks):
+            self._window.try_put(None)
+        client.receive_handler = self._on_chunk
+        env.process(self._sender(), name=f"netperf-stream:{port.vm.name}")
+
+    def _sender(self):
+        costs = self.costs
+        per_send = (costs.netperf_stream_send_cycles
+                    + self.port.per_send_extra_cycles)
+        send_cost = self.port.app_cycles(per_send * self.msgs_per_chunk)
+        while True:
+            # The guest performs msgs_per_chunk send() syscalls whose bytes
+            # the TCP stack coalesces into one TSO chunk.
+            yield self.port.vm.compute(send_cost, tag="stream_send")
+            yield self._window.get()
+            self.port.send(self.client.mac, self.chunk_bytes, kind="stream")
+
+    def _on_chunk(self, message: NetMessage) -> None:
+        self._window.try_put(None)
+        if self.env.now >= self.warmup_ns:
+            if self._measure_start is None:
+                self._measure_start = self.env.now
+            self.bytes_received += message.size_bytes
+            self.chunks_received += 1
+
+    def throughput_gbps(self) -> float:
+        if self._measure_start is None:
+            return 0.0
+        elapsed = self.env.now - self._measure_start
+        if elapsed <= 0:
+            return 0.0
+        return self.bytes_received * 8 / elapsed

@@ -1,0 +1,147 @@
+"""Transactional macrobenchmarks: Apache/ApacheBench and memcached/memslap.
+
+Both are closed-loop request-response workloads with server-side
+application work; they differ in per-request weight, response size,
+concurrency, and — critically for the I/O models — the number of network
+round trips a transaction costs:
+
+* ApacheBench (no keep-alive) opens a TCP connection per request, so one
+  HTTP transaction is several wire round trips (SYN/SYN-ACK, request,
+  response, FIN), multiplying exposure to per-message I/O overheads —
+  which is why Figure 5's throughput tracks Table 3's event "sum".
+* Memslap drives memcached over a persistent connection: one round trip.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict
+
+from ..iomodels.base import ExternalEndpoint, NetMessage, NetPort
+from ..iomodels.costs import CostModel, DEFAULT_COSTS
+from ..sim import Environment, Event
+
+__all__ = ["TransactionalWorkload", "ApacheBench", "Memslap"]
+
+_conn_ids = itertools.count(1)
+
+_HANDSHAKE_BYTES = 64
+_HANDSHAKE_SERVER_CYCLES = 1_500
+
+
+class TransactionalWorkload:
+    """A closed-loop client fleet driving one server VM."""
+
+    def __init__(self, env: Environment, client: ExternalEndpoint,
+                 port: NetPort, costs: CostModel = DEFAULT_COSTS,
+                 request_bytes: int = 200, response_bytes: int = 1_024,
+                 server_cycles: int = 20_000, client_cycles: int = 6_000,
+                 round_trips: int = 1, concurrency: int = 4,
+                 warmup_ns: int = 2_000_000, name: str = "txn"):
+        if round_trips < 1:
+            raise ValueError(f"round trips must be >= 1: {round_trips}")
+        if concurrency < 1:
+            raise ValueError(f"concurrency must be >= 1: {concurrency}")
+        self.env = env
+        self.client = client
+        self.port = port
+        self.costs = costs
+        self.request_bytes = request_bytes
+        self.response_bytes = response_bytes
+        self.server_cycles = server_cycles
+        self.client_cycles = client_cycles
+        self.round_trips = round_trips
+        self.warmup_ns = warmup_ns
+        self.name = name
+        self.transactions = 0
+        self._measure_start = None
+        self._waiters: Dict[int, Event] = {}
+        port.receive_handler = self._serve
+        client.receive_handler = self._on_response
+        for _ in range(concurrency):
+            env.process(self._connection_loop(),
+                        name=f"{name}:{port.vm.name}")
+
+    # -- server side ------------------------------------------------------------
+
+    def _serve(self, message: NetMessage) -> None:
+        self.env.process(self._serve_path(message))
+
+    def _serve_path(self, message: NetMessage):
+        final = message.meta.get("final_rt", True)
+        if final:
+            cycles = self.port.app_cycles(self.server_cycles)
+            size = self.response_bytes
+        else:
+            cycles = self.port.app_cycles(_HANDSHAKE_SERVER_CYCLES)
+            size = _HANDSHAKE_BYTES
+        yield self.port.vm.compute(cycles, tag="server_app")
+        self.port.send(message.src, size, kind="resp",
+                       meta={"conn": message.meta["conn"]})
+
+    # -- client side -----------------------------------------------------------------
+
+    def _on_response(self, message: NetMessage) -> None:
+        waiter = self._waiters.get(message.meta["conn"])
+        if waiter is not None and not waiter.triggered:
+            waiter.succeed(message)
+
+    def _connection_loop(self):
+        env = self.env
+        while True:
+            conn = next(_conn_ids)
+            yield self.client.core.execute(self.client_cycles,
+                                           tag="txn_client")
+            for rt in range(self.round_trips):
+                final = rt == self.round_trips - 1
+                waiter = env.event()
+                self._waiters[conn] = waiter
+                self.client.send(
+                    self.port.mac,
+                    self.request_bytes if final else _HANDSHAKE_BYTES,
+                    kind="req", meta={"conn": conn, "final_rt": final})
+                yield waiter
+            del self._waiters[conn]
+            if env.now >= self.warmup_ns:
+                if self._measure_start is None:
+                    self._measure_start = env.now
+                self.transactions += 1
+
+    # -- results --------------------------------------------------------------------------
+
+    def throughput_tps(self) -> float:
+        if self._measure_start is None:
+            return 0.0
+        elapsed = self.env.now - self._measure_start
+        if elapsed <= 0:
+            return 0.0
+        return self.transactions * 1e9 / elapsed
+
+
+class ApacheBench(TransactionalWorkload):
+    """ab driving an Apache VM: heavy requests, one connection each."""
+
+    def __init__(self, env: Environment, client: ExternalEndpoint,
+                 port: NetPort, costs: CostModel = DEFAULT_COSTS,
+                 concurrency: int = 4, warmup_ns: int = 2_000_000):
+        super().__init__(env, client, port, costs,
+                         request_bytes=220, response_bytes=8_192,
+                         server_cycles=costs.apache_request_cycles,
+                         client_cycles=9_000,
+                         round_trips=costs.apache_round_trips,
+                         concurrency=concurrency, warmup_ns=warmup_ns,
+                         name="apachebench")
+
+
+class Memslap(TransactionalWorkload):
+    """memslap driving a memcached VM: light ops, persistent connection."""
+
+    def __init__(self, env: Environment, client: ExternalEndpoint,
+                 port: NetPort, costs: CostModel = DEFAULT_COSTS,
+                 concurrency: int = 8, warmup_ns: int = 2_000_000):
+        super().__init__(env, client, port, costs,
+                         request_bytes=96, response_bytes=1_024,
+                         server_cycles=costs.memcached_request_cycles,
+                         client_cycles=4_000, round_trips=1,
+                         concurrency=concurrency, warmup_ns=warmup_ns,
+                         name="memslap")

@@ -1,0 +1,55 @@
+"""Unit tests for the analysis helpers."""
+
+import pytest
+
+from repro.analysis import (
+    format_table,
+    relative_percent,
+    series_by_model,
+    summarize_latency_us,
+)
+from repro.experiments import SeriesPoint
+from repro.sim import Histogram
+
+
+def test_format_table_aligns_columns():
+    rows = [{"model": "vrio", "latency": 41.2},
+            {"model": "optimum", "latency": 28.6}]
+    text = format_table(rows, [("model", "model", "10s"),
+                               ("latency", "us", "8.1f")],
+                        title="t")
+    lines = text.splitlines()
+    assert lines[0] == "t"
+    assert "vrio" in lines[2] and "41.2" in lines[2]
+    assert all(len(lines[2]) == len(lines[3]) for _ in [0])
+
+
+def test_format_table_without_title():
+    text = format_table([{"a": 1}], [("a", "a", "4d")])
+    assert len(text.splitlines()) == 2
+
+
+def test_relative_percent():
+    assert relative_percent(110, 100) == pytest.approx(10)
+    assert relative_percent(92, 100) == pytest.approx(-8)
+    with pytest.raises(ValueError):
+        relative_percent(1, 0)
+
+
+def test_summarize_latency_us():
+    h = Histogram()
+    for v in range(1000, 101000, 1000):  # 1..100 us in ns
+        h.add(v)
+    summary = summarize_latency_us(h)
+    assert summary["mean"] == pytest.approx(50.5)
+    assert summary["p50"] == pytest.approx(50.5, abs=1)
+    assert summary["max"] == pytest.approx(100)
+    assert summary["p99"] <= summary["p99.9"] <= summary["max"]
+
+
+def test_series_by_model_groups_and_sorts():
+    points = [SeriesPoint("vrio", 3, 30.0), SeriesPoint("vrio", 1, 10.0),
+              SeriesPoint("elvis", 1, 5.0)]
+    series = series_by_model(points)
+    assert series["vrio"] == [(1, 10.0), (3, 30.0)]
+    assert series["elvis"] == [(1, 5.0)]

@@ -1,0 +1,114 @@
+"""Tests for the CLI and the ASCII chart renderer."""
+
+import pytest
+
+from repro.analysis.charts import ascii_chart
+from repro.cli import ARTIFACTS, main
+
+
+def test_chart_renders_all_series():
+    series = {"a": [(1, 10.0), (2, 20.0)], "b": [(1, 15.0), (2, 5.0)]}
+    text = ascii_chart(series, width=20, height=6, title="t")
+    assert text.splitlines()[0] == "t"
+    assert "o=a" in text and "x=b" in text
+    assert "o" in text and "x" in text
+
+
+def test_chart_axis_labels():
+    text = ascii_chart({"s": [(0, 0.0), (10, 100.0)]}, width=20, height=6)
+    assert "100" in text
+    assert "0" in text
+    assert "10" in text.splitlines()[-2]
+
+
+def test_chart_flat_series_does_not_crash():
+    text = ascii_chart({"s": [(1, 5.0), (2, 5.0)]}, width=15, height=5)
+    assert "o=s" in text
+
+
+def test_chart_single_point():
+    assert ascii_chart({"s": [(1, 5.0)]}, width=15, height=5)
+
+
+def test_chart_validation():
+    with pytest.raises(ValueError):
+        ascii_chart({})
+    with pytest.raises(ValueError):
+        ascii_chart({"s": []})
+    with pytest.raises(ValueError):
+        ascii_chart({"s": [(1, 1.0)]}, width=5, height=2)
+
+
+def test_chart_y_label():
+    text = ascii_chart({"s": [(1, 0.0), (2, 10.0)]}, width=15, height=7,
+                       y_label="usec")
+    assert "usec" in text
+
+
+def test_cli_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for artifact in ARTIFACTS:
+        assert artifact in out
+
+
+def test_cli_models(capsys):
+    assert main(["models"]) == 0
+    out = capsys.readouterr().out
+    for model in ("baseline", "elvis", "optimum", "vrio", "vrio_nopoll"):
+        assert model in out
+
+
+def test_cli_costs(capsys):
+    assert main(["costs"]) == 0
+    out = capsys.readouterr().out
+    assert "vmhost_ghz" in out
+    assert "worker_per_byte_cycles" in out
+
+
+def test_cli_run_cost_artifact(capsys):
+    assert main(["run", "tab2"]) == 0
+    out = capsys.readouterr().out
+    assert "vrio" in out and "elvis" in out
+
+
+def test_cli_run_measured_artifact(capsys):
+    assert main(["run", "tab3"]) == 0
+    out = capsys.readouterr().out
+    assert "baseline" in out and "sum" in out
+
+
+def test_cli_run_with_chart(capsys):
+    assert main(["run", "fig9", "--quick", "--chart"]) == 0
+    out = capsys.readouterr().out
+    assert "Gbps" in out
+    assert "o=" in out  # chart legend rendered
+
+
+def test_cli_chart_on_table_artifact(capsys):
+    assert main(["run", "tab2", "--chart"]) == 0
+    out = capsys.readouterr().out
+    assert "no chartable series" in out
+
+
+def test_cli_rejects_unknown_artifact(capsys):
+    with pytest.raises(SystemExit):
+        main(["run", "fig99"])
+
+
+def test_cli_trace(capsys):
+    assert main(["trace"]) == 0
+    out = capsys.readouterr().out
+    assert "iohost_service" in out
+    assert "guest_deliver" in out
+    assert "request" in out and "response" in out
+
+
+def test_cli_no_command_shows_help(capsys):
+    assert main([]) == 1
+
+
+def test_every_artifact_has_description():
+    for name, (description, runner) in ARTIFACTS.items():
+        assert description
+        assert callable(runner)

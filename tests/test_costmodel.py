@@ -1,0 +1,185 @@
+"""Unit tests for the §3 cost model: catalogs, adjacency, rack pricing."""
+
+import pytest
+
+from repro.costmodel import (
+    COMPONENT_PRICES,
+    CPU_CATALOG,
+    ELVIS_SERVER,
+    NIC_CATALOG,
+    RackSetup,
+    SSD_PRICES,
+    VRIO_HEAVY_IOHOST,
+    VRIO_LIGHT_IOHOST,
+    VRIO_VMHOST,
+    cpu_adjacent_pairs,
+    nic_adjacent_pairs,
+    rack_price_comparison,
+    server_table,
+    ssd_consolidation_ratio,
+    ssd_consolidation_sweep,
+    upgrade_points,
+)
+
+
+# -- Figure 1 -----------------------------------------------------------------
+
+def test_paper_cpu_example_pair_detected():
+    """The E7-8850 v2 -> E7-8870 v2 example: x=1.51, y=1.25."""
+    pairs = cpu_adjacent_pairs()
+    example = [(a, b) for a, b in pairs
+               if a.model == "E7-8850 v2" and b.model == "E7-8870 v2"]
+    assert len(example) == 1
+    a, b = example[0]
+    assert b.price_usd / a.price_usd == pytest.approx(1.51, abs=0.01)
+    assert b.cores / a.cores == pytest.approx(1.25)
+
+
+def test_paper_nic_example_pair_detected():
+    """The Mellanox MCX312B -> MCX314A example: x~2, y=4."""
+    pairs = nic_adjacent_pairs()
+    example = [(a, b) for a, b in pairs
+               if a.model == "MCX312B-XCCT" and b.model == "MCX314A-BCCT"]
+    assert len(example) == 1
+    a, b = example[0]
+    assert b.price_usd / a.price_usd == pytest.approx(2.0, abs=0.01)
+    assert b.total_gbps / a.total_gbps == pytest.approx(4.0)
+
+
+def test_adjacency_requires_same_series():
+    """Cross-series pairs never match."""
+    for a, b in cpu_adjacent_pairs():
+        assert a.series == b.series and a.version == b.version
+    for a, b in nic_adjacent_pairs():
+        assert a.vendor == b.vendor and a.series == b.series
+
+
+def test_adjacency_requires_strictly_more_hardware():
+    for a, b in cpu_adjacent_pairs():
+        assert b.cores > a.cores
+    for a, b in nic_adjacent_pairs():
+        assert b.total_gbps > a.total_gbps
+
+
+def test_fig01_cpu_points_below_diagonal():
+    """The paper's claim: CPU upgrades carry a premium (y < x)."""
+    points = upgrade_points("cpu")
+    assert len(points) >= 3
+    assert all(y < x for x, y in points)
+
+
+def test_fig01_nic_points_above_diagonal():
+    """NIC upgrades are a bargain (y > x)."""
+    points = upgrade_points("nic")
+    assert len(points) >= 3
+    assert all(y > x for x, y in points)
+
+
+def test_upgrade_points_unknown_kind():
+    with pytest.raises(ValueError):
+        upgrade_points("gpu")
+
+
+# -- Table 1 --------------------------------------------------------------------
+
+def test_server_prices_match_paper_within_tolerance():
+    """Printed totals: elvis $44.5K, vmhost $47.0K, light $26.0K,
+    heavy $44.2K.  Component sums agree within 2.5%."""
+    printed = {"elvis": 44_500, "vmhost": 47_000,
+               "light iohost": 26_000, "heavy iohost": 44_200}
+    for row in server_table():
+        assert row["price_usd"] == pytest.approx(printed[row["server"]],
+                                                 rel=0.025)
+
+
+def test_light_iohost_exact_match():
+    """The light IOhost total is exactly the paper's $26.0K (within $50)."""
+    assert VRIO_LIGHT_IOHOST.price == pytest.approx(26_000, abs=50)
+
+
+def test_server_core_counts():
+    assert ELVIS_SERVER.cores == 72
+    assert VRIO_VMHOST.cores == 72
+    assert VRIO_LIGHT_IOHOST.cores == 36
+    assert VRIO_HEAVY_IOHOST.cores == 72
+
+
+def test_throughput_budgets_cover_requirements():
+    """Each configured server's NICs must cover its required bandwidth
+    (the IOhosts run right at their budget, as in Table 1)."""
+    for row in server_table():
+        assert row["total_gbps"] >= row["required_gbps"] - 0.7
+
+
+def test_unknown_component_rejected():
+    from repro.costmodel import ServerConfig
+    bad = ServerConfig("bad", {"base": 1, "warp_drive": 2}, 0, 0)
+    with pytest.raises(KeyError):
+        bad.price
+
+
+# -- Table 2 ----------------------------------------------------------------------
+
+def test_rack_comparison_savings_match_paper():
+    """Paper: -10% (3 servers) and -13% (6 servers); component-derived
+    totals land within 2 points."""
+    rows = rack_price_comparison()
+    by_setup = {r["setup"]: r for r in rows}
+    assert by_setup["R930 x 3"]["diff_percent"] == pytest.approx(-10, abs=2)
+    assert by_setup["R930 x 6"]["diff_percent"] == pytest.approx(-13, abs=2)
+
+
+def test_rack_transform_preserves_vm_cores():
+    """The vRIO transform must leave the rack's VMcore count unchanged -
+    that is the whole point of the consolidation."""
+    for r in rack_price_comparison():
+        assert r["elvis_vm_cores"] == r["vrio_vm_cores"]
+
+
+def test_rack_transform_undefined_sizes_rejected():
+    from repro.costmodel.racks import _vrio_rack
+    with pytest.raises(ValueError):
+        _vrio_rack(5)
+
+
+# -- Figure 3 -----------------------------------------------------------------------
+
+def test_ssd_sweep_band_matches_paper():
+    """Paper: cost reduction between 8% and 38%."""
+    ratios = [r["vrio_over_elvis"] for r in ssd_consolidation_sweep()]
+    assert min(ratios) == pytest.approx(0.62, abs=0.03)
+    assert max(ratios) < 1.0  # vRIO always cheaper
+    assert max(ratios) == pytest.approx(0.92, abs=0.04)
+
+
+def test_more_consolidation_is_cheaper():
+    """For a fixed rack, fewer vRIO drives -> lower relative price."""
+    for n in (3, 6):
+        ratios = [ssd_consolidation_ratio(n, n, v) for v in range(1, n + 1)]
+        assert ratios == sorted(ratios)
+
+
+def test_bigger_drives_amplify_savings():
+    small = ssd_consolidation_ratio(6, 6, 1, ssd="3.2TB")
+    big = ssd_consolidation_ratio(6, 6, 1, ssd="6.4TB")
+    assert big < small
+
+
+def test_ssd_ratio_validation():
+    with pytest.raises(ValueError):
+        ssd_consolidation_ratio(3, 2, 1)       # fewer drives than servers
+    with pytest.raises(ValueError):
+        ssd_consolidation_ratio(3, 3, 0)       # zero target drives
+    with pytest.raises(ValueError):
+        ssd_consolidation_ratio(3, 3, 4)       # more than source
+    with pytest.raises(ValueError):
+        ssd_consolidation_ratio(3, 3, 1, ssd="10TB")
+
+
+def test_extra_nics_scale_with_consolidated_drives():
+    from repro.costmodel.racks import _extra_nics_for_drives
+    assert _extra_nics_for_drives(0) == 0
+    assert _extra_nics_for_drives(1) == 1
+    assert _extra_nics_for_drives(3) == 1
+    assert _extra_nics_for_drives(4) == 2
+    assert _extra_nics_for_drives(6) == 2

@@ -1,0 +1,85 @@
+"""Unit tests for the Figure 2 rack wiring plans."""
+
+import pytest
+
+from repro.costmodel import (
+    PER_CORE_GBPS,
+    WiringPlan,
+    elvis_rack_plan,
+    vrio_rack_plan,
+)
+from repro.costmodel.racks import ELVIS_SERVER
+from repro.costmodel.topology import vm_cores_required_gbps
+
+
+def test_per_core_rate_matches_paper():
+    """§3: 4 CPUs x 18 cores x 380 Mbps = 26.72 Gbps... actually 27.36;
+    the paper prints 26.72 using its own rounding — we must stay within
+    a few percent of the printed requirement."""
+    assert vm_cores_required_gbps(72) == pytest.approx(
+        ELVIS_SERVER.required_gbps, rel=0.05)
+    assert PER_CORE_GBPS == 0.380
+
+
+def test_elvis_plan_three_uplinks_per_server():
+    plan = elvis_rack_plan(3)
+    assert len(plan.switch_cables) == 9       # 3 ports x 3 servers
+    assert len(plan.direct_cables) == 0
+    assert all(c.kind == "10GbE" for c in plan.cables)
+
+
+def test_elvis_plan_validates():
+    elvis_rack_plan(3).validate()
+    elvis_rack_plan(6).validate()
+
+
+def test_vrio_light_plan_shape():
+    plan = vrio_rack_plan(3)
+    # 2 VMhost->IOhost cables + 2 IOhost uplinks.
+    assert len(plan.direct_cables) == 2
+    assert len(plan.switch_cables) == 2
+    assert all(c.gbps == 40.0 for c in plan.cables)
+
+
+def test_vrio_heavy_plan_shape():
+    plan = vrio_rack_plan(6)
+    assert len(plan.direct_cables) == 4
+    assert len(plan.switch_cables) == 4
+
+
+def test_vrio_uses_fewer_switch_ports_than_elvis():
+    """§3: 'the number of cables connecting the IOhost to the switch is
+    smaller than the corresponding number in the Elvis setup'."""
+    for n in (3, 6):
+        assert (len(vrio_rack_plan(n).switch_cables)
+                < len(elvis_rack_plan(n).switch_cables))
+
+
+def test_breakout_cables_for_10gbe_switch():
+    plan = vrio_rack_plan(3, switch_is_10gbe=True)
+    assert all(c.kind == "40GbE-4x10GbE-breakout"
+               for c in plan.switch_cables)
+    plan40 = vrio_rack_plan(3, switch_is_10gbe=False)
+    assert all(c.kind == "40GbE" for c in plan40.switch_cables)
+
+
+def test_vrio_plan_rejects_other_sizes():
+    with pytest.raises(ValueError):
+        vrio_rack_plan(5)
+
+
+def test_overwired_plan_rejected():
+    from repro.costmodel import Cable
+    plan = elvis_rack_plan(3)
+    # Wire a 5th cable into server 0: exceeds its 40 Gbps NIC budget.
+    for _ in range(2):
+        plan.cables.append(Cable("elvis0", "switch", 10.0, "10GbE"))
+    with pytest.raises(ValueError):
+        plan.validate()
+
+
+def test_underwired_plan_rejected():
+    plan = vrio_rack_plan(3)
+    plan.cables = [c for c in plan.cables if c.src != "vmhost0"]
+    with pytest.raises(ValueError):
+        plan.validate()

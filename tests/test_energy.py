@@ -1,0 +1,98 @@
+"""Tests for the §4.6 energy extension (mwait sidecores)."""
+
+import pytest
+
+from repro.experiments import run_energy
+from repro.hw import Core
+from repro.sim import Environment, ms
+
+
+def test_idle_policy_validation():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Core(env, "c", 2.0, idle_policy="turbo")
+
+
+def test_poll_mode_maps_to_poll_policy():
+    env = Environment()
+    assert Core(env, "c", 2.0, poll_mode=True).idle_policy == "poll"
+    assert Core(env, "c2", 2.0).idle_policy == "halt"
+
+
+def test_explicit_policy_overrides_poll_mode():
+    env = Environment()
+    core = Core(env, "c", 2.0, poll_mode=True, idle_policy="mwait")
+    assert core.idle_policy == "mwait"
+    assert core.poll_mode is False
+
+
+def test_mwait_wakeup_latency_applied():
+    env = Environment()
+    core = Core(env, "c", 1.0, idle_policy="mwait")
+
+    def proc(env):
+        yield env.timeout(100)
+        yield core.execute(100)
+        return env.now
+
+    p = env.process(proc(env))
+    env.run()
+    # 100 arrival + 1500 mwait wakeup + 100 work.
+    assert p.value == 1700
+
+
+def test_halt_has_no_extra_wakeup():
+    env = Environment()
+    core = Core(env, "c", 1.0, idle_policy="halt")
+
+    def proc(env):
+        yield env.timeout(100)
+        yield core.execute(100)
+        return env.now
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == 200
+
+
+def test_idle_energy_ordering():
+    """For the same (idle) duration: poll burns most, mwait least."""
+    def idle_energy(policy):
+        env = Environment()
+        core = Core(env, "c", 2.0, idle_policy=policy)
+        env.process((lambda e: (yield e.timeout(1_000_000)))(env))
+        env.run()
+        return core.energy_joules()
+
+    poll = idle_energy("poll")
+    halt = idle_energy("halt")
+    mwait = idle_energy("mwait")
+    assert mwait < halt < poll
+
+
+def test_busy_energy_equal_across_policies():
+    """Fully busy cores cost the same regardless of idle policy."""
+    def busy_energy(policy):
+        env = Environment()
+        core = Core(env, "c", 1.0, idle_policy=policy)
+
+        def proc(env):
+            yield core.execute(1_000_000)
+
+        env.process(proc(env))
+        env.run()
+        return core.energy_joules()
+
+    assert busy_energy("poll") == pytest.approx(busy_energy("mwait"),
+                                                rel=0.01)
+
+
+def test_energy_experiment_tradeoff():
+    """The §4.6 prediction: mwait trades a little latency for a large
+    energy saving at light load."""
+    rows = {(r["policy"], r["n_vms"]): r for r in run_energy(
+        vm_counts=(1,), run_ns=ms(20))}
+    poll = rows[("poll", 1)]
+    mwait = rows[("mwait", 1)]
+    assert mwait["sidecore_joules"] < 0.5 * poll["sidecore_joules"]
+    assert 0 < mwait["latency_us"] - poll["latency_us"] < 10

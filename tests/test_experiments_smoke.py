@@ -1,0 +1,116 @@
+"""Smoke tests: every experiment runner produces well-formed output with
+minimal parameters, and every formatter renders it."""
+
+import pytest
+
+from repro import experiments as ex
+from repro.sim import ms
+
+FAST = ms(8)
+
+
+def test_fig01_structure():
+    result = ex.run_fig01()
+    assert set(result) == {"cpu", "nic"}
+    assert ex.format_fig01(result)
+
+
+def test_tab01_tab02_fig03_structure():
+    assert len(ex.run_tab01()) == 4
+    assert len(ex.run_tab02()) == 2
+    assert len(ex.run_fig03()) == 18  # (3 + 6 ratios) x 2 drive models
+    assert ex.format_tab01(ex.run_tab01())
+    assert ex.format_tab02(ex.run_tab02())
+    assert ex.format_fig03(ex.run_fig03())
+
+
+def test_tab03_structure():
+    rows = ex.run_tab03()
+    assert set(rows) == set(ex.PAPER_TAB03)
+    assert ex.format_tab03(rows)
+
+
+def test_fig07_structure():
+    points = ex.run_fig07(vm_counts=(1,), run_ns=FAST)
+    assert len(points) == 4  # one per model
+    assert all(p.value > 0 for p in points)
+    assert "Figure 7" in ex.format_fig07(points)
+
+
+def test_fig08_structure():
+    rows = ex.run_fig08(vm_counts=(1,), run_ns=FAST)
+    assert len(rows) == 1
+    assert ex.format_fig08(rows)
+
+
+def test_tab04_structure():
+    rows = ex.run_tab04(run_ns=ms(30))
+    assert set(rows) == {"optimum", "elvis", "vrio"}
+    for per in rows.values():
+        assert set(per) == {99.9, 99.99, 99.999, 100.0}
+    assert ex.format_tab04(rows)
+
+
+def test_fig09_fig10_fig11_structure():
+    points = ex.run_fig09(vm_counts=(1,), run_ns=FAST)
+    assert len(points) == 4
+    assert ex.format_fig09(points)
+    rows10 = ex.run_fig10(run_ns=FAST)
+    assert rows10[0]["model"] == "optimum"
+    assert ex.format_fig10(rows10)
+    rows11 = ex.run_fig11(run_ns=FAST)
+    assert [r["label"] for r in rows11][0] == "optimum_8vms"
+    assert ex.format_fig11(rows11)
+
+
+def test_fig05_fig12_structure():
+    points = ex.run_fig05(vm_counts=(1,), run_ns=FAST)
+    assert len(points) == 5
+    assert ex.format_fig05(points)
+    result = ex.run_fig12(vm_counts=(1,), run_ns=FAST)
+    assert set(result) == {"memcached", "apache"}
+    assert ex.format_fig12(result)
+
+
+def test_fig13_structure():
+    rows_a = ex.run_fig13a(total_vms=(4,), run_ns=FAST)
+    rows_b = ex.run_fig13b(total_vms=(4,), run_ns=FAST)
+    assert len(rows_a) == len(rows_b) == 3  # 1/2/4 workers
+    assert ex.format_fig13(rows_a, rows_b)
+
+
+def test_fig13_rejects_non_multiple_of_four():
+    with pytest.raises(ValueError):
+        ex.run_fig13a(total_vms=(5,), run_ns=FAST)
+
+
+def test_fig14_structure():
+    result = ex.run_fig14(vm_counts=(1,), run_ns=FAST)
+    assert set(result) == set(ex.FIG14_MIXES)
+    assert ex.format_fig14(result)
+    ssd = ex.run_fig14_ssd(vm_counts=(1,), run_ns=ms(20))
+    assert ex.format_fig14_ssd(ssd)
+
+
+def test_fig15_fig16_structure():
+    result = ex.run_fig15(run_ns=ms(12), interval_ns=ms(2))
+    assert set(result) == {"elvis", "vrio"}
+    assert ex.format_fig15(result)
+    rows_a = ex.run_fig16a(run_ns=ms(12))
+    assert [r["model"] for r in rows_a] == ["elvis", "vrio", "baseline"]
+    assert ex.format_fig16a(rows_a)
+    rows_b = ex.run_fig16b(run_ns=ms(12))
+    assert [r["model"] for r in rows_b] == ["elvis", "vrio"]
+    assert ex.format_fig16b(rows_b)
+
+
+def test_energy_structure():
+    rows = ex.run_energy(vm_counts=(1,), run_ns=FAST)
+    assert {r["policy"] for r in rows} == {"poll", "mwait"}
+    assert ex.format_energy(rows)
+
+
+def test_macro_run_validates_benchmark_name():
+    from repro.experiments.runner import macro_run
+    with pytest.raises(ValueError):
+        macro_run("quake3", "vrio", 1)

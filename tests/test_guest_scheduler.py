@@ -1,0 +1,130 @@
+"""Unit tests for the guest thread scheduler (Fig. 14's mechanism)."""
+
+import pytest
+
+from repro.guest import GuestScheduler
+from repro.hw import Core
+from repro.sim import Environment
+
+
+def make_sched(env, ctx=100, quantum=1000, ghz=1.0):
+    vcpu = Core(env, "vcpu", ghz=ghz)
+    return GuestScheduler(env, vcpu, ctx_switch_cycles=ctx,
+                          quantum_cycles=quantum), vcpu
+
+
+def test_single_thread_runs_to_completion():
+    env = Environment()
+    sched, _ = make_sched(env)
+
+    def proc(env):
+        yield sched.run("t0", 2500)
+        return env.now
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == 2500  # 3 quanta, no switches (same thread continues)
+    assert sched.involuntary_switches.value == 0
+    assert sched.voluntary_switches.value == 1
+
+
+def test_invalid_burst_rejected():
+    env = Environment()
+    sched, _ = make_sched(env)
+    with pytest.raises(ValueError):
+        sched.run("t0", 0)
+    with pytest.raises(ValueError):
+        GuestScheduler(env, Core(env, "c", 1.0), quantum_cycles=0)
+
+
+def test_two_threads_timeslice():
+    env = Environment()
+    sched, _ = make_sched(env, ctx=0, quantum=1000)
+    finish = {}
+
+    def thread(env, tid):
+        yield sched.run(tid, 2000)
+        finish[tid] = env.now
+
+    env.process(thread(env, "a"))
+    env.process(thread(env, "b"))
+    env.run()
+    # Interleaved a,b,a,b -> both finish within a quantum of each other.
+    assert abs(finish["a"] - finish["b"]) <= 1000
+    assert sched.involuntary_switches.value >= 2
+
+
+def test_context_switch_cost_charged():
+    env = Environment()
+    sched, vcpu = make_sched(env, ctx=500, quantum=1000)
+
+    def thread(env, tid):
+        yield sched.run(tid, 1000)
+
+    env.process(thread(env, "a"))
+    env.process(thread(env, "b"))
+    env.run()
+    assert vcpu.cycles_by_tag.get("ctx_switch", 0) == 500  # one a->b switch
+
+
+def test_no_switch_cost_for_same_thread():
+    env = Environment()
+    sched, vcpu = make_sched(env, ctx=500, quantum=1000)
+
+    def thread(env):
+        yield sched.run("only", 5000)
+
+    env.process(thread(env))
+    env.run()
+    assert vcpu.cycles_by_tag.get("ctx_switch", 0) == 0
+
+
+def test_deep_queue_generates_involuntary_switches():
+    """More runnable threads -> more preemptions (the Elvis regime)."""
+    def run_with_threads(n_threads):
+        env = Environment()
+        sched, _ = make_sched(env, ctx=100, quantum=1000)
+
+        def thread(env, tid):
+            for _ in range(10):
+                yield sched.run(tid, 3000)
+
+        for i in range(n_threads):
+            env.process(thread(env, f"t{i}"))
+        env.run()
+        return sched.involuntary_switches.value
+
+    assert run_with_threads(4) > run_with_threads(1)
+
+
+def test_blocked_threads_do_not_occupy_cpu():
+    """A thread waiting on I/O leaves the VCPU to others (vRIO regime)."""
+    env = Environment()
+    sched, vcpu = make_sched(env, ctx=100, quantum=1000)
+    done = []
+
+    def io_thread(env):
+        for _ in range(3):
+            yield sched.run("io", 500)
+            yield env.timeout(10_000)  # long I/O wait
+        done.append("io")
+
+    def cpu_thread(env):
+        yield sched.run("cpu", 8000)
+        done.append("cpu")
+
+    env.process(io_thread(env))
+    env.process(cpu_thread(env))
+    env.run()
+    assert set(done) == {"io", "cpu"}
+    # With the io thread mostly blocked, the queue stays shallow: the cpu
+    # thread suffers at most a couple of preemptions.
+    assert sched.involuntary_switches.value <= 3
+
+
+def test_run_queue_depth_visible():
+    env = Environment()
+    sched, _ = make_sched(env)
+    sched.run("a", 100)
+    sched.run("b", 100)
+    assert sched.run_queue_depth == 2

@@ -1,0 +1,132 @@
+"""Unit tests for the guest VM model: interrupts, exits, event counting."""
+
+import pytest
+
+from repro.guest import GuestCosts, Vm
+from repro.hw import Core
+from repro.iomodels import IoEventStats
+from repro.sim import Environment
+
+
+def make_vm(env, stats=None, ghz=1.0):
+    vcpu = Core(env, "vcpu", ghz=ghz)
+    costs = GuestCosts(irq_handler_cycles=1000, eoi_exit_cycles=2000,
+                       sync_exit_cycles=3000)
+    return Vm(env, "vm0", vcpu, costs=costs, stats=stats)
+
+
+def test_exitless_interrupt_counts_guest_interrupt_only():
+    env = Environment()
+    stats = IoEventStats()
+    vm = make_vm(env, stats)
+    vm.deliver_interrupt_exitless()
+    env.run()
+    assert stats.guest_interrupts.value == 1
+    assert stats.injections.value == 0
+    assert stats.exits.value == 0
+    assert vm.interrupts_received.value == 1
+
+
+def test_exitless_interrupt_charges_handler_cycles():
+    env = Environment()
+    vm = make_vm(env)
+
+    def proc(env):
+        yield vm.deliver_interrupt_exitless(extra_cycles=500)
+        return env.now
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == 1500  # 1000 handler + 500 extra at 1 GHz
+
+
+def test_injected_interrupt_counts_injection_and_eoi_exit():
+    env = Environment()
+    stats = IoEventStats()
+    vm = make_vm(env, stats)
+    vm.deliver_interrupt_injected()
+    env.run()
+    assert stats.guest_interrupts.value == 1
+    assert stats.injections.value == 1
+    assert stats.exits.value == 1  # the trapping EOI write
+
+
+def test_injected_interrupt_costs_more_than_exitless():
+    env = Environment()
+    vm = make_vm(env)
+
+    def run_one(deliver):
+        def proc(env):
+            start = env.now
+            yield deliver()
+            return env.now - start
+        return env.process(proc(env))
+
+    p1 = run_one(vm.deliver_interrupt_exitless)
+    env.run()
+    p2 = run_one(vm.deliver_interrupt_injected)
+    env.run()
+    assert p2.value > p1.value
+
+
+def test_sync_exit_counts_and_charges():
+    env = Environment()
+    stats = IoEventStats()
+    vm = make_vm(env, stats)
+
+    def proc(env):
+        yield vm.sync_exit()
+        return env.now
+
+    p = env.process(proc(env))
+    env.run()
+    assert stats.exits.value == 1
+    assert p.value == 3000
+
+
+def test_interrupt_preempts_app_work():
+    """IRQ handlers run at high priority ahead of queued app work."""
+    env = Environment()
+    vm = make_vm(env)
+    order = []
+
+    def app(env):
+        yield vm.compute(1000, tag="app1")
+        order.append(("app1", env.now))
+        yield vm.compute(1000, tag="app2")
+        order.append(("app2", env.now))
+
+    def irq(env):
+        yield env.timeout(500)
+        yield vm.deliver_interrupt_exitless()
+        order.append(("irq", env.now))
+
+    env.process(app(env))
+    env.process(irq(env))
+    env.run()
+    assert order[0] == ("app1", 1000)
+    assert order[1][0] == "irq"      # irq at 2000, before app2 at 3000
+    assert order[2][0] == "app2"
+
+
+def test_stats_optional():
+    env = Environment()
+    vm = make_vm(env, stats=None)
+    vm.deliver_interrupt_exitless()
+    vm.deliver_interrupt_injected()
+    env.run()  # must not raise
+    assert vm.interrupts_received.value == 2
+
+
+def test_io_event_stats_snapshot_and_total():
+    stats = IoEventStats("x")
+    stats.exits.add(3)
+    stats.guest_interrupts.add(2)
+    stats.injections.add(2)
+    stats.host_interrupts.add(2)
+    snap = stats.snapshot()
+    assert snap == {"exits": 3, "guest_interrupts": 2, "injections": 2,
+                    "host_interrupts": 2, "iohost_interrupts": 0}
+    assert stats.total() == 9
+    stats.reset()
+    assert stats.total() == 0

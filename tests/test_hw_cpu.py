@@ -1,0 +1,166 @@
+"""Unit tests for the CPU core model."""
+
+import pytest
+
+from repro.hw import Core, CpuSocket
+from repro.sim import Environment
+
+
+def test_ns_for_converts_cycles():
+    env = Environment()
+    core = Core(env, "c0", ghz=2.0)
+    assert core.ns_for(2000) == 1000
+    assert core.ns_for(0) == 0
+
+
+def test_invalid_frequency_rejected():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Core(env, "bad", ghz=0)
+
+
+def test_execute_takes_expected_time():
+    env = Environment()
+    core = Core(env, "c0", ghz=2.0)
+
+    def proc(env):
+        yield core.execute(4000)
+        return env.now
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == 2000
+
+
+def test_negative_cycles_rejected():
+    env = Environment()
+    core = Core(env, "c0", ghz=2.0)
+    with pytest.raises(ValueError):
+        core.execute(-1)
+
+
+def test_fifo_service_serializes_work():
+    env = Environment()
+    core = Core(env, "c0", ghz=1.0)
+    finish = []
+
+    def proc(env, tag, cycles):
+        yield core.execute(cycles)
+        finish.append((tag, env.now))
+
+    env.process(proc(env, "a", 100))
+    env.process(proc(env, "b", 50))
+    env.run()
+    assert finish == [("a", 100), ("b", 150)]
+
+
+def test_high_priority_jumps_queue():
+    env = Environment()
+    core = Core(env, "c0", ghz=1.0)
+    finish = []
+
+    def submit_all(env):
+        # First item starts immediately; then one normal and one high-prio
+        # arrive while it runs.  High-prio must run next.
+        first = core.execute(100, tag="first")
+        yield env.timeout(1)  # let service begin before more work arrives
+        normal = core.execute(100, tag="normal")
+        high = core.execute(10, tag="irq", high_priority=True)
+        yield first
+        finish.append(("first", env.now))
+        yield high
+        finish.append(("irq", env.now))
+        yield normal
+        finish.append(("normal", env.now))
+
+    env.process(submit_all(env))
+    env.run()
+    assert finish == [("first", 100), ("irq", 110), ("normal", 210)]
+
+
+def test_cycle_accounting_by_tag():
+    env = Environment()
+    core = Core(env, "c0", ghz=1.0)
+
+    def proc(env):
+        yield core.execute(100, tag="rx")
+        yield core.execute(200, tag="tx")
+        yield core.execute(50, tag="rx")
+
+    env.process(proc(env))
+    env.run()
+    assert core.cycles_by_tag == {"rx": 150, "tx": 200}
+    assert core.total_cycles == 350
+
+
+def test_utilization_non_poll_core_idle_is_idle():
+    env = Environment()
+    core = Core(env, "c0", ghz=1.0)
+
+    def proc(env):
+        yield env.timeout(900)
+        yield core.execute(100)
+
+    env.process(proc(env))
+    env.run()
+    assert core.util.busy_fraction() == pytest.approx(0.1)
+
+
+def test_poll_mode_idle_counts_as_useless_busy():
+    env = Environment()
+    core = Core(env, "poller", ghz=1.0, poll_mode=True, poll_dispatch_ns=0)
+
+    def proc(env):
+        yield env.timeout(600)
+        yield core.execute(400, useful=True)
+
+    env.process(proc(env))
+    env.run()
+    assert core.util.busy_fraction() == pytest.approx(1.0)
+    assert core.util.useful_fraction() == pytest.approx(0.4)
+
+
+def test_poll_dispatch_latency_applied_when_idle():
+    env = Environment()
+    core = Core(env, "poller", ghz=1.0, poll_mode=True, poll_dispatch_ns=250)
+
+    def proc(env):
+        yield env.timeout(100)
+        yield core.execute(100)
+        return env.now
+
+    p = env.process(proc(env))
+    env.run()
+    # Arrived at 100 to an idle core: 250 ns poll notice + 100 ns work.
+    assert p.value == 450
+
+
+def test_no_dispatch_latency_when_busy_backlog():
+    env = Environment()
+    core = Core(env, "poller", ghz=1.0, poll_mode=True, poll_dispatch_ns=250)
+
+    def proc(env):
+        first = core.execute(100)
+        second = core.execute(100)
+        yield first
+        yield second
+        return env.now
+
+    p = env.process(proc(env))
+    env.run()
+    # One initial dispatch penalty, then back-to-back service.
+    assert p.value == 450
+
+
+def test_socket_creates_named_cores():
+    env = Environment()
+    socket = CpuSocket(env, "cpu0", core_count=4, ghz=2.2)
+    assert len(socket) == 4
+    assert socket[2].name == "cpu0/core2"
+    assert socket[0].ghz == 2.2
+
+
+def test_socket_rejects_zero_cores():
+    env = Environment()
+    with pytest.raises(ValueError):
+        CpuSocket(env, "cpu0", core_count=0, ghz=2.2)

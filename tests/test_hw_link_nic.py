@@ -1,0 +1,206 @@
+"""Unit tests for links, NICs, and the switch."""
+
+import random
+
+import pytest
+
+from repro.hw import Link, Nic, Switch
+from repro.net import EthernetFrame, MacAddress
+from repro.sim import Environment, wire_time_ns
+
+
+def make_frame(src, dst, size=1000, kind="data"):
+    return EthernetFrame(src=src, dst=dst, payload=None,
+                         payload_bytes=size, kind=kind)
+
+
+def test_wire_time_10gbps():
+    # 1250 bytes at 10 Gbps = 1 us.
+    assert wire_time_ns(1250, 10.0) == 1000
+
+
+def test_link_delivers_frame_with_serialization_and_propagation():
+    env = Environment()
+    link = Link(env, gbps=10.0, propagation_ns=500)
+    src, dst = MacAddress("a"), MacAddress("b")
+    arrivals = []
+    link.side_b.attach_receiver(lambda f: arrivals.append((env.now, f)))
+    frame = make_frame(src, dst, size=1232)  # wire 1250 B -> 1000 ns
+    link.side_a.transmit(frame)
+    env.run()
+    assert len(arrivals) == 1
+    assert arrivals[0][0] == 1500  # 1000 serialize + 500 propagate
+
+
+def test_link_serializes_fifo():
+    env = Environment()
+    link = Link(env, gbps=10.0, propagation_ns=0)
+    src, dst = MacAddress("a"), MacAddress("b")
+    arrivals = []
+    link.side_b.attach_receiver(lambda f: arrivals.append(env.now))
+    for _ in range(3):
+        link.side_a.transmit(make_frame(src, dst, size=1232))
+    env.run()
+    assert arrivals == [1000, 2000, 3000]
+
+
+def test_link_full_duplex_directions_independent():
+    env = Environment()
+    link = Link(env, gbps=10.0, propagation_ns=0)
+    a_mac, b_mac = MacAddress("a"), MacAddress("b")
+    got_a, got_b = [], []
+    link.side_a.attach_receiver(lambda f: got_a.append(env.now))
+    link.side_b.attach_receiver(lambda f: got_b.append(env.now))
+    link.side_a.transmit(make_frame(a_mac, b_mac, size=1232))
+    link.side_b.transmit(make_frame(b_mac, a_mac, size=1232))
+    env.run()
+    assert got_a == [1000]
+    assert got_b == [1000]
+
+
+def test_lossy_link_drops_frames():
+    env = Environment()
+    link = Link(env, gbps=10.0, propagation_ns=0, loss_probability=0.5,
+                rng=random.Random(7))
+    src, dst = MacAddress("a"), MacAddress("b")
+    arrivals = []
+    link.side_b.attach_receiver(lambda f: arrivals.append(f))
+    for _ in range(200):
+        link.side_a.transmit(make_frame(src, dst, size=100))
+    env.run()
+    assert 60 < len(arrivals) < 140
+    assert link.side_a.tx_dropped == 200 - len(arrivals)
+
+
+def test_lossy_link_requires_rng():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Link(env, loss_probability=0.1)
+
+
+def test_nic_demux_by_mac():
+    env = Environment()
+    link = Link(env, gbps=10.0, propagation_ns=0)
+    nic = Nic(env, "nic0", endpoint=link.side_b)
+    vf0 = nic.create_function("vf0")
+    vf1 = nic.create_function("vf1")
+    src = MacAddress("remote")
+    link.side_a.transmit(make_frame(src, vf1.mac, size=100))
+    env.run()
+    assert vf0.rx_frames.value == 0
+    assert vf1.rx_frames.value == 1
+    assert len(vf1.rx_ring) == 1
+
+
+def test_nic_unknown_dst_counted():
+    env = Environment()
+    link = Link(env, gbps=10.0, propagation_ns=0)
+    nic = Nic(env, "nic0", endpoint=link.side_b)
+    nic.create_function("vf0")
+    link.side_a.transmit(make_frame(MacAddress("x"), MacAddress("nobody")))
+    env.run()
+    assert nic.unknown_dst.value == 1
+
+
+def test_rx_ring_overflow_drops():
+    env = Environment()
+    link = Link(env, gbps=100.0, propagation_ns=0)
+    nic = Nic(env, "nic0", endpoint=link.side_b)
+    vf = nic.create_function("vf0", rx_ring_size=4)
+    src = MacAddress("remote")
+    for _ in range(10):
+        link.side_a.transmit(make_frame(src, vf.mac, size=100))
+    env.run()
+    assert vf.rx_frames.value == 4
+    assert vf.rx_dropped.value == 6
+
+
+def test_interrupt_mode_fires_and_coalesces():
+    env = Environment()
+    link = Link(env, gbps=100.0, propagation_ns=0)
+    nic = Nic(env, "nic0", endpoint=link.side_b)
+    vf = nic.create_function("vf0", notify_mode="interrupt")
+    fired = []
+    vf.on_notify = lambda: fired.append(env.now)
+    src = MacAddress("remote")
+    for _ in range(5):
+        link.side_a.transmit(make_frame(src, vf.mac, size=100))
+    env.run()
+    # Only the first arrival fires; the rest coalesce until rearm.
+    assert len(fired) == 1
+    assert vf.coalesced.value == 4
+    vf.rearm()
+    env.run()
+    # Ring still has frames, so rearm refires once.
+    assert len(fired) == 2
+
+
+def test_poll_mode_never_notifies():
+    env = Environment()
+    link = Link(env, gbps=100.0, propagation_ns=0)
+    nic = Nic(env, "nic0", endpoint=link.side_b)
+    vf = nic.create_function("vf0", notify_mode="poll")
+    vf.on_notify = lambda: pytest.fail("poll mode must not notify")
+    link.side_a.transmit(make_frame(MacAddress("remote"), vf.mac))
+    env.run()
+    assert vf.notifications.value == 0
+    assert len(vf.rx_ring) == 1
+
+
+def test_tx_completion_interrupt():
+    env = Environment()
+    link = Link(env, gbps=10.0, propagation_ns=0)
+    nic = Nic(env, "nic0", endpoint=link.side_b)
+    vf = nic.create_function("vf0", notify_mode="interrupt")
+    link.side_a.attach_receiver(lambda f: None)
+    completions = []
+    vf.on_tx_complete = lambda: completions.append(env.now)
+    vf.transmit(make_frame(vf.mac, MacAddress("peer"), size=100),
+                completion_interrupt=True)
+    env.run()
+    assert len(completions) == 1
+    assert vf.tx_frames.value == 1
+
+
+def test_invalid_notify_mode_rejected():
+    env = Environment()
+    nic = Nic(env, "nic0")
+    with pytest.raises(ValueError):
+        nic.create_function("vf0", notify_mode="magic")
+
+
+def test_switch_forwards_between_hosts():
+    env = Environment()
+    switch = Switch(env, forwarding_latency_ns=800)
+    link_a = Link(env, gbps=10.0, propagation_ns=100)
+    link_b = Link(env, gbps=10.0, propagation_ns=100)
+    host_a_end = switch.add_port(link_a)
+    host_b_end = switch.add_port(link_b)
+    mac_a, mac_b = MacAddress("hostA"), MacAddress("hostB")
+    switch.learn(mac_a, link_a.side_a)
+    switch.learn(mac_b, link_b.side_a)
+    arrivals = []
+    host_b_end.attach_receiver(lambda f: arrivals.append(env.now))
+    host_a_end.transmit(make_frame(mac_a, mac_b, size=1232))
+    env.run()
+    assert switch.forwarded.value == 1
+    # serialize 1000 + prop 100 + fwd 800 + serialize 1000 + prop 100
+    assert arrivals == [3000]
+
+
+def test_switch_unknown_mac_counted():
+    env = Environment()
+    switch = Switch(env)
+    link_a = Link(env, gbps=10.0, propagation_ns=0)
+    host_a_end = switch.add_port(link_a)
+    host_a_end.transmit(make_frame(MacAddress("a"), MacAddress("ghost")))
+    env.run()
+    assert switch.unknown_dst.value == 1
+
+
+def test_switch_learn_foreign_port_rejected():
+    env = Environment()
+    switch = Switch(env)
+    other_link = Link(env)
+    with pytest.raises(ValueError):
+        switch.learn(MacAddress("m"), other_link.side_a)

@@ -1,0 +1,104 @@
+"""Unit tests for storage device models."""
+
+import pytest
+
+from repro.hw import BlockRequest, StorageDevice, make_pcie_ssd, make_ramdisk, make_sata_ssd
+from repro.sim import Environment
+
+
+def test_block_request_validation():
+    with pytest.raises(ValueError):
+        BlockRequest(op="erase", sector=0, size_bytes=512)
+    with pytest.raises(ValueError):
+        BlockRequest(op="read", sector=0, size_bytes=0)
+    with pytest.raises(ValueError):
+        BlockRequest(op="read", sector=-1, size_bytes=512)
+
+
+def test_block_request_sector_helpers():
+    req = BlockRequest(op="read", sector=0, size_bytes=4096)
+    assert req.sectors == 8
+    assert req.is_sector_aligned()
+    odd = BlockRequest(op="write", sector=0, size_bytes=100)
+    assert odd.sectors == 1
+    assert not odd.is_sector_aligned()
+
+
+def test_request_ids_unique():
+    a = BlockRequest(op="read", sector=0, size_bytes=512)
+    b = BlockRequest(op="read", sector=0, size_bytes=512)
+    assert a.request_id != b.request_id
+
+
+def test_device_time_includes_latency_and_transfer():
+    env = Environment()
+    dev = StorageDevice(env, "d", latency_ns=1000, bandwidth_gbps=8.0,
+                        queue_depth=1, cpu_cycles_per_request=0,
+                        cpu_cycles_per_byte=0.0)
+    req = BlockRequest(op="read", sector=0, size_bytes=8000)
+    # 8000 B at 8 Gbps = 8000 ns transfer + 1000 ns latency.
+    assert dev.device_time_ns(req) == 9000
+
+
+def test_submit_completes_after_device_time():
+    env = Environment()
+    dev = StorageDevice(env, "d", latency_ns=500, bandwidth_gbps=8.0,
+                        queue_depth=4, cpu_cycles_per_request=0,
+                        cpu_cycles_per_byte=0.0)
+
+    def proc(env):
+        yield dev.submit(BlockRequest(op="write", sector=0, size_bytes=8000))
+        return env.now
+
+    p = env.process(proc(env))
+    env.run()
+    # 8000 B at 8 Gbps = 8000 ns transfer + 500 ns latency.
+    assert p.value == 8500
+    assert dev.writes.value == 1
+    assert dev.bytes_written.value == 8000
+
+
+def test_queue_depth_limits_concurrency():
+    env = Environment()
+    dev = StorageDevice(env, "d", latency_ns=1000, bandwidth_gbps=0,
+                        queue_depth=2, cpu_cycles_per_request=0,
+                        cpu_cycles_per_byte=0.0)
+    done_times = []
+
+    def proc(env):
+        yield dev.submit(BlockRequest(op="read", sector=0, size_bytes=512))
+        done_times.append(env.now)
+
+    for _ in range(4):
+        env.process(proc(env))
+    env.run()
+    # Two at a time: two finish at 1000, two more at 2000.
+    assert done_times == [1000, 1000, 2000, 2000]
+
+
+def test_capacity_bound_enforced():
+    env = Environment()
+    dev = StorageDevice(env, "d", latency_ns=0, bandwidth_gbps=0,
+                        queue_depth=1, cpu_cycles_per_request=0,
+                        cpu_cycles_per_byte=0.0, capacity_bytes=1024)
+    with pytest.raises(ValueError):
+        dev.submit(BlockRequest(op="read", sector=2, size_bytes=512))
+
+
+def test_cpu_cycles_scales_with_size():
+    env = Environment()
+    dev = make_ramdisk(env)
+    small = dev.cpu_cycles(BlockRequest(op="read", sector=0, size_bytes=512))
+    large = dev.cpu_cycles(BlockRequest(op="read", sector=0, size_bytes=65536))
+    assert large > small
+    assert small >= dev.cpu_cycles_per_request
+
+
+def test_device_speed_ordering():
+    """Ramdisk must be faster than PCIe SSD, which beats SATA SSD."""
+    env = Environment()
+    ram = make_ramdisk(env)
+    pcie = make_pcie_ssd(env)
+    sata = make_sata_ssd(env)
+    req = BlockRequest(op="read", sector=0, size_bytes=4096)
+    assert ram.device_time_ns(req) < pcie.device_time_ns(req) < sata.device_time_ns(req)

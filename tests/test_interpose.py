@@ -1,0 +1,111 @@
+"""Unit tests for the interposition framework and services."""
+
+import pytest
+
+from repro.interpose import (
+    AesEncryption,
+    DeduplicationIndex,
+    Firewall,
+    Interposer,
+    InterposerChain,
+)
+from repro.iomodels import NetMessage
+from repro.net import MacAddress
+
+
+def msg(size=1000, kind="data", meta=None):
+    return NetMessage(src=MacAddress("a"), dst=MacAddress("b"),
+                      size_bytes=size, kind=kind, meta=meta or {})
+
+
+def test_empty_chain_admits_everything_for_free():
+    chain = InterposerChain()
+    assert chain.cycles(10_000) == 0
+    assert chain.admit(msg()) is True
+    assert len(chain) == 0
+
+
+def test_chain_sums_cycles():
+    chain = InterposerChain([AesEncryption(cycles_per_byte=2.0,
+                                           setup_cycles=100),
+                             Firewall(cycles_per_packet=50)])
+    expected = 100 + 2 * 1000 + 50
+    assert chain.cycles(1000, "data") == expected
+
+
+def test_base_interposer_abstract():
+    with pytest.raises(NotImplementedError):
+        Interposer().cycles(1, "data")
+
+
+def test_aes_cost_scales_with_bytes():
+    aes = AesEncryption(cycles_per_byte=5.0, setup_cycles=1000)
+    assert aes.cycles(0, "data") == 1000
+    assert aes.cycles(1000, "data") == 6000
+    aes.observe(msg(size=4096))
+    assert aes.bytes_encrypted.value == 4096
+
+
+def test_firewall_veto_drops_message():
+    fw = Firewall(rules=[lambda m: m.size_bytes < 500])
+    chain = InterposerChain([fw])
+    assert chain.admit(msg(size=100)) is True
+    assert chain.admit(msg(size=1000)) is False
+    assert fw.dropped.value == 1
+    assert chain.vetoed.value == 1
+
+
+def test_firewall_cost_scales_with_rules():
+    one = Firewall(rules=[lambda m: True], cycles_per_packet=100)
+    three = Firewall(rules=[lambda m: True] * 3, cycles_per_packet=100)
+    assert three.cycles(0, "data") == 3 * one.cycles(0, "data")
+
+
+def test_dedup_tracks_hits():
+    dd = DeduplicationIndex()
+    chain = InterposerChain([dd])
+    chain.admit(msg(kind="blk_write", meta={"content_key": "X"}))
+    chain.admit(msg(kind="blk_write", meta={"content_key": "X"}))
+    chain.admit(msg(kind="blk_write", meta={"content_key": "Y"}))
+    assert dd.hits.value == 1
+    assert dd.misses.value == 2
+    assert dd.unique_blocks == 2
+
+
+def test_dedup_ignores_non_writes():
+    dd = DeduplicationIndex()
+    assert dd.cycles(4096, "blk_read") == 0
+    assert dd.cycles(4096, "blk_write") > 0
+    dd.observe(msg(kind="data"))
+    assert dd.hits.value == 0 and dd.misses.value == 0
+
+
+def test_meter_accounts_per_source():
+    from repro.interpose import Meter
+    meter = Meter()
+    chain = InterposerChain([meter])
+    a = msg(size=100)
+    b = msg(size=200)
+    chain.admit(a)
+    chain.admit(a)
+    chain.admit(b)
+    assert meter.bytes_by_src[a.src] == 200
+    assert meter.packets_by_src[a.src] == 2
+    assert meter.bytes_by_src[b.src] == 200
+
+
+def test_chain_add_appends():
+    chain = InterposerChain()
+    chain.add(AesEncryption())
+    assert len(chain) == 1
+
+
+def test_sriov_refuses_interposition():
+    """The optimum model must reject interposers - that's its limitation."""
+    from repro.iomodels import OptimumModel
+    from repro.sim import Environment
+    model = OptimumModel(Environment())
+    with pytest.raises(NotImplementedError):
+        model.add_interposer(AesEncryption())
+    with pytest.raises(NotImplementedError):
+        model.attach_block_device(None, None)

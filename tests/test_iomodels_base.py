@@ -1,0 +1,113 @@
+"""Unit tests for the shared iomodels base: NetPort, ExternalEndpoint."""
+
+import pytest
+
+from repro.hw import Core, Link, Nic
+from repro.iomodels.base import ExternalEndpoint, NetMessage, NetPort
+from repro.net import MacAddress
+from repro.sim import Environment, ms
+
+
+def test_netport_counts_traffic():
+    env = Environment()
+    sent = []
+    port = NetPort(env, vm=None, mac=MacAddress("p"),
+                   transmit=sent.append)
+    port.send(MacAddress("d"), 100)
+    port.send(MacAddress("d"), 200)
+    assert port.tx_messages.value == 2
+    assert port.tx_bytes.value == 300
+    assert len(sent) == 2
+
+
+def test_netport_deliver_invokes_handler():
+    env = Environment()
+    port = NetPort(env, vm=None, mac=MacAddress("p"),
+                   transmit=lambda m: None)
+    got = []
+    port.receive_handler = got.append
+    message = NetMessage(src=MacAddress("s"), dst=port.mac, size_bytes=64)
+    port.deliver(message)
+    assert got == [message]
+    assert port.rx_messages.value == 1
+    assert port.rx_bytes.value == 64
+
+
+def test_netport_deliver_without_handler_is_safe():
+    env = Environment()
+    port = NetPort(env, vm=None, mac=MacAddress("p"),
+                   transmit=lambda m: None)
+    port.deliver(NetMessage(src=MacAddress("s"), dst=port.mac,
+                            size_bytes=64))
+    assert port.rx_messages.value == 1
+
+
+def test_netport_app_cycles_dilation():
+    env = Environment()
+    port = NetPort(env, vm=None, mac=MacAddress("p"),
+                   transmit=lambda m: None, app_dilation=1.5)
+    assert port.app_cycles(1000) == 1500
+
+
+def test_external_endpoints_roundtrip():
+    """Two bare-metal endpoints on one link exchange messages with stack
+    costs charged on their cores."""
+    env = Environment()
+    link = Link(env, gbps=10.0, propagation_ns=100)
+    nic_a = Nic(env, "a", endpoint=link.side_a)
+    nic_b = Nic(env, "b", endpoint=link.side_b)
+    a = ExternalEndpoint(env, "A", Core(env, "ca", 2.9),
+                         nic_a.create_function("fa"), per_msg_cycles=2900)
+    b = ExternalEndpoint(env, "B", Core(env, "cb", 2.9),
+                         nic_b.create_function("fb"), per_msg_cycles=2900)
+    got = []
+    b.receive_handler = lambda m: b.send(m.src, 128)
+    a.receive_handler = lambda m: got.append((env.now, m))
+    a.send(b.mac, 64)
+    env.run(until=ms(1))
+    assert len(got) == 1
+    assert got[0][1].size_bytes == 128
+    # Each endpoint charged its stack cost twice (tx + rx).
+    assert a.core.total_cycles == 2 * 2900
+    assert b.core.total_cycles == 2 * 2900
+
+
+def test_external_endpoint_counters():
+    env = Environment()
+    link = Link(env, gbps=10.0, propagation_ns=0)
+    nic_a = Nic(env, "a", endpoint=link.side_a)
+    nic_b = Nic(env, "b", endpoint=link.side_b)
+    a = ExternalEndpoint(env, "A", Core(env, "ca", 2.9),
+                         nic_a.create_function("fa"))
+    b = ExternalEndpoint(env, "B", Core(env, "cb", 2.9),
+                         nic_b.create_function("fb"))
+    b.receive_handler = lambda m: None
+    for _ in range(3):
+        a.send(b.mac, 64)
+    env.run(until=ms(1))
+    assert a.tx_messages.value == 3
+    assert b.rx_messages.value == 3
+
+
+def test_message_created_timestamp():
+    env = Environment()
+    port = NetPort(env, vm=None, mac=MacAddress("p"),
+                   transmit=lambda m: None)
+
+    def proc(env):
+        yield env.timeout(777)
+        message = port.send(MacAddress("d"), 64)
+        return message.created_ns
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == 777
+
+
+def test_message_ids_monotone_unique():
+    env = Environment()
+    port = NetPort(env, vm=None, mac=MacAddress("p"),
+                   transmit=lambda m: None)
+    ids = [port.send(MacAddress("d"), 64).message_id for _ in range(5)]
+    assert len(set(ids)) == 5
+    assert ids == sorted(ids)

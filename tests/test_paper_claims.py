@@ -1,0 +1,142 @@
+"""The paper's headline claims, asserted against the simulation.
+
+These are the reproduction's acceptance tests: each checks a *shape* the
+paper reports (who wins, by roughly what factor, where crossovers fall),
+with bands wide enough to be robust to calibration drift.
+"""
+
+import pytest
+
+from repro.experiments import (
+    PAPER_TAB03,
+    run_fig08,
+    run_tab03,
+)
+from repro.experiments.runner import rr_run, stream_run
+from repro.sim import ms
+
+
+def mean_latency_us(model, n, run_ns=ms(30)):
+    _tb, workloads = rr_run(model, n, run_ns=run_ns)
+    return sum(w.mean_latency_us() for w in workloads) / n
+
+
+def aggregate_gbps(model, n, run_ns=ms(30)):
+    _tb, workloads = stream_run(model, n, run_ns=run_ns)
+    return sum(w.throughput_gbps() for w in workloads)
+
+
+# -- Table 3: the event counts are exact -------------------------------------
+
+def test_table3_event_counts_exact():
+    rows = run_tab03()
+    for model_name, expected in PAPER_TAB03.items():
+        got = {k: v for k, v in rows[model_name].items() if k != "sum"}
+        assert got == expected, f"{model_name}: {got} != {expected}"
+
+
+# -- §1 / Figure 7: latency claims ---------------------------------------------
+
+def test_optimum_rr_latency_in_paper_band():
+    """Paper: 30-32 us with close-to-perfect scalability."""
+    lat1 = mean_latency_us("optimum", 1)
+    lat7 = mean_latency_us("optimum", 7)
+    assert 25 < lat1 < 35
+    assert lat7 - lat1 < 3  # near-flat
+
+
+def test_vrio_hop_costs_about_12us():
+    """Paper: vRIO's latency is ~12 us above the optimum (Fig. 7/8)."""
+    gap = mean_latency_us("vrio", 1) - mean_latency_us("optimum", 1)
+    assert 10 < gap < 16
+
+
+def test_vrio_at_most_1_2x_elvis_latency():
+    """Paper headline: vRIO latency bounded at 1.18x Elvis for network
+    I/O (the worst case, N=1)."""
+    ratio = mean_latency_us("vrio", 1) / mean_latency_us("elvis", 1)
+    assert 1.1 < ratio < 1.35
+
+
+def test_elvis_crosses_vrio_around_n6():
+    """Paper: the gap shrinks with N until vRIO becomes faster at N=6."""
+    assert mean_latency_us("elvis", 1) < mean_latency_us("vrio", 1)
+    crossed_at = None
+    for n in range(4, 8):
+        if mean_latency_us("elvis", n) >= mean_latency_us("vrio", n):
+            crossed_at = n
+            break
+    assert crossed_at is not None and 5 <= crossed_at <= 7
+
+
+def test_baseline_is_the_worst_and_degrades():
+    lat_base_1 = mean_latency_us("baseline", 1)
+    lat_base_7 = mean_latency_us("baseline", 7)
+    assert lat_base_1 > mean_latency_us("elvis", 1)
+    assert lat_base_7 > mean_latency_us("vrio", 7)
+    assert lat_base_7 > lat_base_1 + 10  # visible degradation
+
+
+# -- Figure 8: gap growth and contention -----------------------------------------
+
+def test_vrio_gap_grows_slightly_with_contention():
+    """Paper: the gap grows ~12 -> ~13 us as IOhost contention rises."""
+    rows = run_fig08(vm_counts=(1, 7), run_ns=ms(30))
+    gap1, gap7 = rows[0], rows[1]
+    assert gap7["latency_gap_us"] >= gap1["latency_gap_us"]
+    assert gap7["latency_gap_us"] - gap1["latency_gap_us"] < 3
+    assert gap1["contention_pct"] < 5
+    assert 5 < gap7["contention_pct"] < 50
+
+
+# -- Figure 9/10: stream throughput ------------------------------------------------
+
+def test_stream_vrio_5_to_8_percent_below_optimum():
+    opt = aggregate_gbps("optimum", 7)
+    vrio = aggregate_gbps("vrio", 7)
+    assert 0.88 < vrio / opt < 0.96
+
+
+def test_stream_elvis_matches_optimum():
+    opt = aggregate_gbps("optimum", 7)
+    elvis = aggregate_gbps("elvis", 7)
+    assert abs(elvis / opt - 1.0) < 0.03
+
+
+def test_stream_baseline_far_behind():
+    opt = aggregate_gbps("optimum", 7)
+    base = aggregate_gbps("baseline", 7)
+    assert base / opt < 0.8
+
+
+def test_stream_scales_linearly_below_saturation():
+    one = aggregate_gbps("vrio", 1)
+    four = aggregate_gbps("vrio", 4)
+    assert four == pytest.approx(4 * one, rel=0.1)
+
+
+# -- Figure 10: cycles per packet ---------------------------------------------------
+
+def test_cycles_per_packet_ordering():
+    """Paper: optimum +0%, elvis +1%, vrio +9%, baseline +40%."""
+    from repro.experiments import run_fig10
+    rows = {r["model"]: r["relative_to_optimum"] for r in run_fig10(ms(30))}
+    assert rows["optimum"] == 0.0
+    assert 0.0 < rows["elvis"] < 0.05
+    assert 0.04 < rows["vrio"] < 0.13
+    assert 0.30 < rows["baseline"] < 0.60
+    assert rows["elvis"] < rows["vrio"] < rows["baseline"]
+
+
+# -- §1 headline: same sidecores -> more throughput ----------------------------------
+
+def test_vrio_beats_elvis_with_same_sidecores_under_load():
+    """The §1 claim "1.82x the throughput using the same number of
+    sidecores" is about saturated sidecores; memcached at N=7 shows the
+    effect (Elvis saturates its sidecore on interrupt processing)."""
+    from repro.experiments.runner import macro_run
+    _tb, w_vrio = macro_run("memcached", "vrio", 7, run_ns=ms(20))
+    _tb, w_elvis = macro_run("memcached", "elvis", 7, run_ns=ms(20))
+    vrio = sum(w.throughput_tps() for w in w_vrio)
+    elvis = sum(w.throughput_tps() for w in w_elvis)
+    assert 1.4 < vrio / elvis < 2.4

@@ -1,0 +1,118 @@
+"""Property-based tests on the simulation kernel's core invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw import Core
+from repro.sim import Environment, Store
+
+
+@given(st.lists(st.integers(min_value=1, max_value=10_000),
+                min_size=1, max_size=30))
+@settings(max_examples=50, deadline=None)
+def test_core_work_conservation(bursts):
+    """Total busy time equals total submitted cycles (at 1 GHz), and the
+    finish time equals the makespan of serialized work."""
+    env = Environment()
+    core = Core(env, "c", ghz=1.0)
+    for cycles in bursts:
+        core.execute(cycles)
+    env.run()
+    assert env.now == sum(bursts)
+    assert core.total_cycles == sum(bursts)
+    assert core.util.busy_ns == sum(bursts)
+
+
+@given(st.lists(st.integers(min_value=1, max_value=1000),
+                min_size=1, max_size=25),
+       st.integers(min_value=1, max_value=5))
+@settings(max_examples=40, deadline=None)
+def test_core_completion_order_fifo_same_priority(bursts, ghz):
+    env = Environment()
+    core = Core(env, "c", ghz=float(ghz))
+    order = []
+
+    def proc(env, tag, cycles):
+        yield core.execute(cycles)
+        order.append(tag)
+
+    for i, cycles in enumerate(bursts):
+        env.process(proc(env, i, cycles))
+    env.run()
+    assert order == list(range(len(bursts)))
+
+
+@given(st.lists(st.sampled_from(["put", "get"]), min_size=1, max_size=60))
+@settings(max_examples=60, deadline=None)
+def test_store_is_exactly_a_fifo(ops):
+    """Whatever interleaving of puts/gets, items come out in put order."""
+    env = Environment()
+    store = Store(env)
+    put_seq = iter(range(1000))
+    expected = []
+    got = []
+
+    def consumer(env):
+        item = yield store.get()
+        got.append(item)
+
+    for op in ops:
+        if op == "put":
+            value = next(put_seq)
+            expected.append(value)
+            store.try_put(value)
+        else:
+            env.process(consumer(env))
+    env.run()
+    assert got == expected[:len(got)]
+    assert len(got) == min(ops.count("put"), ops.count("get"))
+
+
+@given(st.lists(st.tuples(st.integers(min_value=0, max_value=10_000),
+                          st.integers(min_value=0, max_value=500)),
+                min_size=1, max_size=40))
+@settings(max_examples=40, deadline=None)
+def test_timeouts_fire_in_order(pairs):
+    """Events scheduled at (t, seq) fire in nondecreasing time order with
+    FIFO tie-breaking."""
+    env = Environment()
+    fired = []
+
+    def proc(env, delay, tag):
+        yield env.timeout(delay)
+        fired.append((env.now, tag))
+
+    for tag, (delay, _salt) in enumerate(pairs):
+        env.process(proc(env, delay, tag))
+    env.run()
+    times = [t for t, _tag in fired]
+    assert times == sorted(times)
+    # Ties preserve creation order.
+    for t in set(times):
+        tags = [tag for when, tag in fired if when == t]
+        assert tags == sorted(tags)
+
+
+@given(st.integers(min_value=1, max_value=20),
+       st.integers(min_value=1, max_value=8))
+@settings(max_examples=30, deadline=None)
+def test_resource_never_exceeds_capacity(n_users, capacity):
+    from repro.sim import Resource
+    env = Environment()
+    resource = Resource(env, capacity=capacity)
+    concurrent = [0]
+    peak = [0]
+
+    def user(env):
+        yield resource.request()
+        concurrent[0] += 1
+        peak[0] = max(peak[0], concurrent[0])
+        yield env.timeout(10)
+        concurrent[0] -= 1
+        resource.release()
+
+    for _ in range(n_users):
+        env.process(user(env))
+    env.run()
+    assert peak[0] <= capacity
+    assert concurrent[0] == 0

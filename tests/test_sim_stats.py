@@ -1,0 +1,156 @@
+"""Unit tests for the statistics primitives."""
+
+import pytest
+
+from repro.sim import (
+    Counter,
+    Environment,
+    Histogram,
+    TimeSeries,
+    TimeWeighted,
+    UtilizationTracker,
+    percentile,
+)
+
+
+def test_percentile_endpoints():
+    data = [1.0, 2.0, 3.0, 4.0]
+    assert percentile(data, 0) == 1.0
+    assert percentile(data, 100) == 4.0
+
+
+def test_percentile_interpolates():
+    data = [0.0, 10.0]
+    assert percentile(data, 50) == 5.0
+    assert percentile(data, 25) == 2.5
+
+
+def test_percentile_single_value():
+    assert percentile([7.0], 99) == 7.0
+
+
+def test_percentile_empty_raises():
+    with pytest.raises(ValueError):
+        percentile([], 50)
+
+
+def test_percentile_out_of_range_raises():
+    with pytest.raises(ValueError):
+        percentile([1.0], 101)
+
+
+def test_counter_accumulates():
+    c = Counter("exits")
+    c.add()
+    c.add(4)
+    assert c.value == 5
+    c.reset()
+    assert c.value == 0
+
+
+def test_histogram_summary():
+    h = Histogram("lat")
+    for v in [10, 20, 30, 40]:
+        h.add(v)
+    assert h.count == 4
+    assert h.mean() == 25
+    assert h.min() == 10
+    assert h.max() == 40
+    assert h.percentile(50) == 25
+
+
+def test_histogram_empty_mean_raises():
+    with pytest.raises(ValueError):
+        Histogram().mean()
+
+
+def test_histogram_stdev():
+    h = Histogram()
+    for v in [2, 4, 4, 4, 5, 5, 7, 9]:
+        h.add(v)
+    assert h.stdev() == pytest.approx(2.138, abs=0.01)
+
+
+def test_time_weighted_average():
+    env = Environment()
+    tw = TimeWeighted(env, initial=0.0)
+
+    def proc(env):
+        yield env.timeout(10)
+        tw.set(4.0)
+        yield env.timeout(30)
+
+    env.process(proc(env))
+    env.run()
+    # 10 ns at 0 + 30 ns at 4 -> average 3.0
+    assert tw.average() == pytest.approx(3.0)
+
+
+def test_time_weighted_add():
+    env = Environment()
+    tw = TimeWeighted(env, initial=1.0)
+    tw.add(2.0)
+    assert tw.value == 3.0
+
+
+def test_utilization_tracker_busy_fraction():
+    env = Environment()
+    util = UtilizationTracker(env)
+
+    def proc(env):
+        util.begin_busy()
+        yield env.timeout(25)
+        util.end_busy(useful=True)
+        yield env.timeout(75)
+
+    env.process(proc(env))
+    env.run()
+    assert util.busy_fraction() == pytest.approx(0.25)
+    assert util.useful_fraction() == pytest.approx(0.25)
+
+
+def test_utilization_tracker_useless_polling():
+    env = Environment()
+    util = UtilizationTracker(env)
+
+    def proc(env):
+        util.begin_busy()
+        yield env.timeout(60)
+        util.end_busy(useful=False)
+        util.begin_busy()
+        yield env.timeout(40)
+        util.end_busy(useful=True)
+
+    env.process(proc(env))
+    env.run()
+    assert util.busy_fraction() == pytest.approx(1.0)
+    assert util.useful_fraction() == pytest.approx(0.4)
+
+
+def test_utilization_direct_account():
+    env = Environment()
+    util = UtilizationTracker(env)
+
+    def proc(env):
+        yield env.timeout(100)
+
+    env.process(proc(env))
+    env.run()
+    util.account(30, useful=True)
+    util.account(20, useful=False)
+    assert util.busy_fraction() == pytest.approx(0.5)
+    assert util.useful_fraction() == pytest.approx(0.3)
+
+
+def test_time_series_records():
+    ts = TimeSeries("util")
+    ts.record(0, 0.5)
+    ts.record(1000, 0.7)
+    assert len(ts) == 2
+    assert ts.mean() == pytest.approx(0.6)
+    assert ts.as_pairs() == [(0, 0.5), (1000, 0.7)]
+
+
+def test_time_series_empty_mean_raises():
+    with pytest.raises(ValueError):
+        TimeSeries().mean()

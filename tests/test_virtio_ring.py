@@ -1,0 +1,152 @@
+"""Unit tests for virtqueues and notification suppression."""
+
+import pytest
+
+from repro.sim import Environment
+from repro.virtio import RING_SIZE_DEFAULT, VirtioRequest, Virtqueue
+
+
+def make_request(kind="net_tx", size=64):
+    return VirtioRequest(kind=kind, size_bytes=size)
+
+
+def test_request_ids_unique():
+    a = make_request()
+    b = make_request()
+    assert a.request_id != b.request_id
+
+
+def test_add_avail_first_post_kicks():
+    env = Environment()
+    vq = Virtqueue(env)
+    assert vq.add_avail(make_request()) is True
+    assert vq.kicks.value == 1
+
+
+def test_kick_suppressed_while_outstanding():
+    env = Environment()
+    vq = Virtqueue(env)
+    assert vq.add_avail(make_request()) is True
+    assert vq.add_avail(make_request()) is False
+    assert vq.kicks_suppressed.value == 1
+    vq.kick_serviced()
+    assert vq.add_avail(make_request()) is True
+    assert vq.kicks.value == 2
+
+
+def test_disable_kicks_sidecore_mode():
+    env = Environment()
+    vq = Virtqueue(env)
+    vq.disable_kicks()
+    for _ in range(5):
+        assert vq.add_avail(make_request()) is False
+    assert vq.kicks.value == 0
+    assert vq.kicks_suppressed.value == 5
+
+
+def test_enable_kicks_restores_notifications():
+    env = Environment()
+    vq = Virtqueue(env)
+    vq.disable_kicks()
+    vq.add_avail(make_request())
+    vq.enable_kicks()
+    assert vq.add_avail(make_request()) is True
+
+
+def test_host_poll_avail():
+    env = Environment()
+    vq = Virtqueue(env)
+    vq.disable_kicks()
+    req = make_request()
+    vq.add_avail(req)
+    ok, got = vq.try_get_avail()
+    assert ok and got is req
+    ok, _ = vq.try_get_avail()
+    assert not ok
+
+
+def test_avail_fifo_order():
+    env = Environment()
+    vq = Virtqueue(env)
+    vq.disable_kicks()
+    reqs = [make_request() for _ in range(3)]
+    for r in reqs:
+        vq.add_avail(r)
+    got = [vq.try_get_avail()[1] for _ in range(3)]
+    assert got == reqs
+
+
+def test_used_ring_roundtrip():
+    env = Environment()
+    vq = Virtqueue(env)
+    vq.disable_kicks()
+    req = make_request()
+    vq.add_avail(req)
+    _, got = vq.try_get_avail()
+    vq.add_used(got)
+    assert vq.completed.value == 1
+    ok, reaped = vq.try_get_used()
+    assert ok and reaped is req
+
+
+def test_get_avail_blocks_until_post():
+    env = Environment()
+    vq = Virtqueue(env)
+    vq.disable_kicks()
+    log = []
+
+    def backend(env):
+        req = yield vq.get_avail()
+        log.append((env.now, req.kind))
+
+    def guest(env):
+        yield env.timeout(100)
+        vq.add_avail(make_request(kind="blk_write"))
+
+    env.process(backend(env))
+    env.process(guest(env))
+    env.run()
+    assert log == [(100, "blk_write")]
+
+
+def test_full_avail_ring_raises():
+    env = Environment()
+    vq = Virtqueue(env, size=2)
+    vq.disable_kicks()
+    vq.add_avail(make_request())
+    vq.add_avail(make_request())
+    with pytest.raises(BufferError):
+        vq.add_avail(make_request())
+    assert vq.full_rejections.value == 1
+
+
+def test_posted_ns_stamped():
+    env = Environment()
+    vq = Virtqueue(env)
+    vq.disable_kicks()
+
+    def proc(env):
+        yield env.timeout(123)
+        req = make_request()
+        vq.add_avail(req)
+        return req.posted_ns
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == 123
+
+
+def test_zero_size_ring_rejected():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Virtqueue(env, size=0)
+
+
+def test_pending_counters():
+    env = Environment()
+    vq = Virtqueue(env)
+    vq.disable_kicks()
+    vq.add_avail(make_request())
+    vq.add_avail(make_request())
+    assert vq.avail_pending == 2
+    assert vq.used_pending == 0

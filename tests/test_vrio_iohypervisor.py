@@ -1,0 +1,202 @@
+"""Unit tests for the I/O hypervisor worker pool and NIC pumps."""
+
+import pytest
+
+from repro.hw import Core, Link, Nic
+from repro.iomodels.costs import DEFAULT_COSTS
+from repro.iomodels.vrio import WorkerPool
+from repro.iomodels.vrio.iohypervisor import NicPump
+from repro.net import EthernetFrame, MacAddress
+from repro.sim import Counter, Environment
+
+
+def make_pool(env, n=2):
+    workers = [Core(env, f"w{i}", ghz=2.7) for i in range(n)]
+    return WorkerPool(env, workers), workers
+
+
+def test_pool_requires_workers():
+    env = Environment()
+    with pytest.raises(ValueError):
+        WorkerPool(env, [])
+
+
+def test_affinity_same_device_same_worker():
+    """§4.1 steering: while device D has in-flight work on worker W, new
+    work for D goes to W regardless of load."""
+    env = Environment()
+    pool, workers = make_pool(env, n=2)
+    w1 = pool.acquire("devA")
+    w2 = pool.acquire("devA")
+    assert w1 is w2
+    assert pool.affinity_hits.value == 1
+    pool.release("devA")
+    pool.release("devA")
+
+
+def test_release_frees_affinity():
+    env = Environment()
+    pool, workers = make_pool(env, n=2)
+    first = pool.acquire("devA")
+    pool.release("devA")
+    # Make `first` busy so the next acquire prefers the other worker.
+    first.execute(10_000)
+    second = pool.acquire("devA")
+    assert second is not first
+
+
+def test_idle_worker_preferred():
+    env = Environment()
+    pool, workers = make_pool(env, n=2)
+    workers[0].execute(100_000)  # load up worker 0
+
+    def proc(env):
+        yield env.timeout(10)  # let worker 0 start executing
+        return pool.acquire("devB")
+
+    p = env.process(proc(env))
+    env.run(until=50)
+    assert p.value is workers[1]
+
+
+def test_contention_counted():
+    env = Environment()
+    pool, workers = make_pool(env, n=1)
+    workers[0].execute(100_000)
+
+    def proc(env):
+        yield env.timeout(10)
+        pool.acquire("devA")
+
+    env.process(proc(env))
+    env.run(until=50)
+    assert pool.contended.value == 1
+    assert pool.contention_fraction() == 1.0
+
+
+def test_contention_fraction_empty_pool():
+    env = Environment()
+    pool, _ = make_pool(env)
+    assert pool.contention_fraction() == 0.0
+
+
+def test_order_preserved_per_device():
+    """Two messages of one device must be serviced in submission order even
+    with multiple workers available."""
+    env = Environment()
+    pool, workers = make_pool(env, n=4)
+    finished = []
+
+    def handle(tag, cycles):
+        worker = pool.acquire("dev")
+
+        def path(env):
+            yield worker.execute(cycles)
+            finished.append(tag)
+            pool.release("dev")
+
+        env.process(path(env))
+
+    handle("first", 5000)   # longer work submitted first
+    handle("second", 100)   # shorter work second, same device
+    env.run()
+    assert finished == ["first", "second"]
+
+
+def _frame(dst, size=100):
+    return EthernetFrame(src=MacAddress("src"), dst=dst, payload=("pkt", size),
+                         payload_bytes=size)
+
+
+def make_nic_fn(env):
+    link = Link(env, gbps=10.0, propagation_ns=0)
+    nic = Nic(env, "nic", endpoint=link.side_b)
+    fn = nic.create_function("fn")
+    return link, fn
+
+
+def _collector(got):
+    def handler(payload, done):
+        got.append(payload)
+        done()
+    return handler
+
+
+def test_poll_pump_delivers_payloads():
+    env = Environment()
+    link, fn = make_nic_fn(env)
+    got = []
+    NicPump(env, fn, _collector(got), poll=True, costs=DEFAULT_COSTS)
+    link.side_a.transmit(_frame(fn.mac))
+    env.run()
+    assert got == [("pkt", 100)]
+    assert fn.notify_mode == "poll"
+
+
+def test_interrupt_pump_counts_iohost_interrupts():
+    env = Environment()
+    link, fn = make_nic_fn(env)
+    core = Core(env, "irqcore", ghz=2.7)
+    counter = Counter("iohost")
+    got = []
+    NicPump(env, fn, _collector(got), poll=False, costs=DEFAULT_COSTS,
+            irq_core=core, irq_counter=counter)
+    link.side_a.transmit(_frame(fn.mac))
+    env.run()
+    assert got == [("pkt", 100)]
+    assert counter.value == 1
+    assert core.cycles_by_tag.get("iohost_irq", 0) == DEFAULT_COSTS.host_irq_cycles
+
+
+def test_interrupt_pump_requires_core():
+    env = Environment()
+    _link, fn = make_nic_fn(env)
+    with pytest.raises(ValueError):
+        NicPump(env, fn, lambda p, d: None, poll=False, costs=DEFAULT_COSTS)
+
+
+def test_pump_rejects_bad_window():
+    env = Environment()
+    _link, fn = make_nic_fn(env)
+    with pytest.raises(ValueError):
+        NicPump(env, fn, lambda p, d: None, poll=True, costs=DEFAULT_COSTS,
+                window=0)
+
+
+def test_interrupt_pump_coalesces_burst():
+    """A burst arriving while the IRQ is unserviced drains under one
+    interrupt (NAPI-style)."""
+    env = Environment()
+    link, fn = make_nic_fn(env)
+    core = Core(env, "irqcore", ghz=2.7)
+    counter = Counter("iohost")
+    got = []
+    NicPump(env, fn, _collector(got), poll=False, costs=DEFAULT_COSTS,
+            irq_core=core, irq_counter=counter)
+    for _ in range(5):
+        link.side_a.transmit(_frame(fn.mac))
+    env.run()
+    assert len(got) == 5
+    assert counter.value < 5  # coalescing happened
+
+
+def test_pump_window_exerts_backpressure():
+    """Frames beyond the processing window stay in the Rx ring until a
+    slot frees — the mechanism behind the §4.5 ring-overflow incident."""
+    env = Environment()
+    link, fn = make_nic_fn(env)
+    releases = []
+
+    def slow_handler(payload, done):
+        releases.append(done)  # hold every slot
+
+    NicPump(env, fn, slow_handler, poll=True, costs=DEFAULT_COSTS, window=2)
+    for _ in range(5):
+        link.side_a.transmit(_frame(fn.mac))
+    env.run()
+    assert len(releases) == 2          # only the window was admitted
+    assert len(fn.rx_ring) == 3        # the rest wait in the ring
+    releases.pop()()                   # free one slot
+    env.run()
+    assert len(releases) == 2          # one more admitted
+    assert len(fn.rx_ring) == 2

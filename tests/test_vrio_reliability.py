@@ -1,0 +1,221 @@
+"""Unit + property tests for the §4.5 block retransmission protocol."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw import BlockRequest
+from repro.iomodels.vrio import BlockDeviceError, ReliableBlockChannel
+from repro.sim import Environment, ms
+
+
+class RecordingSender:
+    """Captures (request, xmit_id) transmissions for assertions."""
+
+    def __init__(self):
+        self.sent = []
+
+    def __call__(self, request, xmit_id):
+        self.sent.append((request, xmit_id))
+
+
+def make_channel(env, sender, timeout_ms=10, max_retrans=8):
+    return ReliableBlockChannel(env, sender,
+                                initial_timeout_ns=ms(timeout_ms),
+                                max_retransmissions=max_retrans)
+
+
+def req(sector=0):
+    return BlockRequest(op="write", sector=sector, size_bytes=4096)
+
+
+def test_successful_response_completes():
+    env = Environment()
+    sender = RecordingSender()
+    chan = make_channel(env, sender)
+    request = req()
+
+    def proc(env):
+        done = chan.submit(request)
+        # Respond promptly with the right xmit id.
+        _, xmit_id = sender.sent[-1]
+        yield env.timeout(1000)
+        chan.on_response(request.request_id, xmit_id)
+        result = yield done
+        return result
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value is request
+    assert chan.completions.value == 1
+    assert chan.retransmissions.value == 0
+    assert chan.outstanding_count == 0
+
+
+def test_timeout_retransmits_with_fresh_id():
+    env = Environment()
+    sender = RecordingSender()
+    chan = make_channel(env, sender, timeout_ms=10)
+    request = req()
+
+    def proc(env):
+        done = chan.submit(request)
+        yield env.timeout(ms(25))  # past first (10ms) and into second (20ms)
+        # complete it so the run terminates
+        chan.on_response(request.request_id, sender.sent[-1][1])
+        yield done
+
+    env.process(proc(env))
+    env.run()
+    assert chan.retransmissions.value == 1
+    ids = [xid for _, xid in sender.sent]
+    assert len(ids) == 2 and ids[0] != ids[1]
+
+
+def test_timeout_doubles():
+    """First timeout at 10ms, second at 10+20=30ms (§4.5 doubling)."""
+    env = Environment()
+    times = []
+
+    def sender(request, xmit_id):
+        times.append(env.now)
+
+    chan = make_channel(env, sender, timeout_ms=10, max_retrans=2)
+    done = chan.submit(req())
+    done.add_callback(lambda e: None)  # swallow the eventual failure
+    env.run()
+    # initial at 0, retrans at 10ms, 30ms; failure check at 70ms.
+    assert times[0] == 0
+    assert times[1] == ms(10)
+    assert times[2] == ms(30)
+
+
+def test_stale_response_ignored():
+    env = Environment()
+    sender = RecordingSender()
+    chan = make_channel(env, sender, timeout_ms=10)
+    request = req()
+
+    def proc(env):
+        done = chan.submit(request)
+        first_xmit = sender.sent[0][1]
+        yield env.timeout(ms(15))  # one retransmission happened
+        assert chan.on_response(request.request_id, first_xmit) is False
+        assert chan.stale_responses.value == 1
+        assert chan.outstanding_count == 1  # still live
+        current_xmit = sender.sent[-1][1]
+        assert chan.on_response(request.request_id, current_xmit) is True
+        yield done
+
+    env.process(proc(env))
+    env.run()
+    assert chan.completions.value == 1
+
+
+def test_unknown_response_counts_stale():
+    env = Environment()
+    chan = make_channel(env, RecordingSender())
+    assert chan.on_response(424242, 1) is False
+    assert chan.stale_responses.value == 1
+
+
+def test_exhaustion_raises_device_error():
+    env = Environment()
+    sender = RecordingSender()
+    chan = make_channel(env, sender, timeout_ms=1, max_retrans=3)
+    request = req()
+    caught = []
+
+    def proc(env):
+        try:
+            yield chan.submit(request)
+        except BlockDeviceError as exc:
+            caught.append(exc)
+
+    env.process(proc(env))
+    env.run()
+    assert len(caught) == 1
+    assert caught[0].request is request
+    assert chan.failures.value == 1
+    assert len(sender.sent) == 4  # original + 3 retransmissions
+    assert chan.outstanding_count == 0
+
+
+def test_duplicate_submit_rejected():
+    env = Environment()
+    chan = make_channel(env, RecordingSender())
+    request = req()
+    chan.submit(request)
+    with pytest.raises(ValueError):
+        chan.submit(request)
+
+
+def test_invalid_parameters_rejected():
+    env = Environment()
+    with pytest.raises(ValueError):
+        ReliableBlockChannel(env, RecordingSender(), initial_timeout_ns=0)
+    with pytest.raises(ValueError):
+        ReliableBlockChannel(env, RecordingSender(), max_retransmissions=-1)
+
+
+def test_response_after_completion_is_stale():
+    """A duplicate response (e.g. the IOhost served both the original and a
+    retransmission) must be ignored after completion."""
+    env = Environment()
+    sender = RecordingSender()
+    chan = make_channel(env, sender)
+    request = req()
+    done = chan.submit(request)
+    xmit = sender.sent[0][1]
+    assert chan.on_response(request.request_id, xmit) is True
+    assert chan.on_response(request.request_id, xmit) is False
+    assert chan.stale_responses.value == 1
+    env.run()
+    assert done.ok
+
+
+@given(loss=st.lists(st.booleans(), min_size=1, max_size=6),
+       respond_delay_ms=st.integers(min_value=1, max_value=5))
+@settings(max_examples=50, deadline=None)
+def test_exactly_once_completion_under_loss(loss, respond_delay_ms):
+    """Property: whatever prefix of transmissions the 'network' drops, the
+    request completes exactly once (or fails after exhaustion), and never
+    both."""
+    env = Environment()
+    completions = []
+
+    class LossySender:
+        def __init__(self):
+            self.count = 0
+
+        def __call__(self, request, xmit_id):
+            drop = self.count < len(loss) and loss[self.count]
+            self.count += 1
+            if drop:
+                return
+            # Delivered: the IOhost responds after a delay.
+            env.call_soon(
+                lambda: completions.append(
+                    chan.on_response(request.request_id, xmit_id)),
+                delay=ms(respond_delay_ms))
+
+    sender = LossySender()
+    chan = make_channel(env, sender, timeout_ms=10, max_retrans=10)
+    request = req()
+    outcome = []
+
+    def proc(env):
+        try:
+            yield chan.submit(request)
+            outcome.append("ok")
+        except BlockDeviceError:
+            outcome.append("failed")
+
+    env.process(proc(env))
+    env.run()
+    assert outcome in (["ok"], ["failed"])
+    # Exactly one response may have been accepted as live.
+    assert completions.count(True) <= 1
+    if outcome == ["ok"]:
+        assert completions.count(True) == 1
+    assert chan.outstanding_count == 0

@@ -1,0 +1,164 @@
+"""Unit tests for the benchmark workloads."""
+
+import pytest
+
+from repro.cluster import build_simple_setup
+from repro.sim import ms
+from repro.workloads import (
+    ApacheBench,
+    FilebenchRandomIO,
+    Memslap,
+    NetperfRR,
+    NetperfStream,
+    TransactionalWorkload,
+    WebserverPersonality,
+)
+
+
+def test_netperf_rr_measures_latency():
+    tb = build_simple_setup("optimum", 1)
+    rr = NetperfRR(tb.env, tb.clients[0], tb.ports[0], tb.costs,
+                   warmup_ns=ms(1))
+    tb.env.run(until=ms(10))
+    assert rr.transactions > 50
+    assert 10 < rr.mean_latency_us() < 100
+    assert rr.percentile_us(99) >= rr.percentile_us(50)
+
+
+def test_netperf_rr_warmup_excluded():
+    tb = build_simple_setup("optimum", 1)
+    rr = NetperfRR(tb.env, tb.clients[0], tb.ports[0], tb.costs,
+                   warmup_ns=ms(5))
+    tb.env.run(until=ms(6))
+    # Roughly 1ms of measurement at ~30us per transaction.
+    assert rr.transactions < 60
+
+
+def test_netperf_stream_throughput_positive():
+    tb = build_simple_setup("optimum", 1)
+    st = NetperfStream(tb.env, tb.ports[0], tb.clients[0], tb.costs,
+                       warmup_ns=ms(2))
+    tb.env.run(until=ms(20))
+    assert 0.5 < st.throughput_gbps() < 2.0
+
+
+def test_netperf_stream_window_required():
+    tb = build_simple_setup("optimum", 1)
+    with pytest.raises(ValueError):
+        NetperfStream(tb.env, tb.ports[0], tb.clients[0], tb.costs,
+                      window_chunks=0)
+
+
+def test_netperf_stream_chunk_math():
+    tb = build_simple_setup("optimum", 1)
+    st = NetperfStream(tb.env, tb.ports[0], tb.clients[0], tb.costs,
+                       message_bytes=64)
+    assert st.chunk_bytes == 64 * tb.costs.netperf_stream_msgs_per_chunk
+    assert st.throughput_gbps() == 0.0  # before any traffic
+
+
+def test_transactional_round_trips_multiply_messages():
+    tb = build_simple_setup("optimum", 1)
+    w = TransactionalWorkload(tb.env, tb.clients[0], tb.ports[0], tb.costs,
+                              round_trips=3, concurrency=1, warmup_ns=0)
+    tb.env.run(until=ms(10))
+    assert w.transactions > 0
+    # 3 messages inbound per transaction.
+    assert tb.ports[0].rx_messages.value == pytest.approx(
+        3 * w.transactions, abs=3)
+
+
+def test_transactional_validation():
+    tb = build_simple_setup("optimum", 1)
+    with pytest.raises(ValueError):
+        TransactionalWorkload(tb.env, tb.clients[0], tb.ports[0], tb.costs,
+                              round_trips=0)
+    with pytest.raises(ValueError):
+        TransactionalWorkload(tb.env, tb.clients[0], tb.ports[0], tb.costs,
+                              concurrency=0)
+
+
+def test_memslap_faster_than_apachebench():
+    """Memcached ops are much lighter than HTTP requests."""
+    def tps(cls):
+        tb = build_simple_setup("optimum", 1)
+        w = cls(tb.env, tb.clients[0], tb.ports[0], tb.costs, warmup_ns=ms(2))
+        tb.env.run(until=ms(20))
+        return w.throughput_tps()
+
+    assert tps(Memslap) > 5 * tps(ApacheBench)
+
+
+def test_apachebench_concurrency_increases_throughput():
+    def tps(concurrency):
+        tb = build_simple_setup("optimum", 1)
+        w = ApacheBench(tb.env, tb.clients[0], tb.ports[0], tb.costs,
+                        concurrency=concurrency, warmup_ns=ms(2))
+        tb.env.run(until=ms(20))
+        return w.throughput_tps()
+
+    assert tps(4) > tps(1)
+
+
+def test_filebench_requires_threads():
+    tb = build_simple_setup("elvis", 1, with_clients=False)
+    handle = tb.attach_ramdisk(tb.vms[0])
+    with pytest.raises(ValueError):
+        FilebenchRandomIO(tb.env, tb.vms[0], handle,
+                          tb.rng.stream("x"), tb.costs, readers=0, writers=0)
+
+
+def test_filebench_reader_makes_progress():
+    tb = build_simple_setup("elvis", 1, with_clients=False)
+    handle = tb.attach_ramdisk(tb.vms[0])
+    w = FilebenchRandomIO(tb.env, tb.vms[0], handle, tb.rng.stream("x"),
+                          tb.costs, readers=1, warmup_ns=ms(2))
+    tb.env.run(until=ms(20))
+    assert w.ops_per_sec() > 1000
+
+
+def test_filebench_more_threads_more_throughput_on_remote_disk():
+    """With vRIO's long block latency, threads pipeline: 2 threads beat 1."""
+    def ops(readers):
+        tb = build_simple_setup("vrio", 1, with_clients=False)
+        handle = tb.attach_ramdisk(tb.vms[0])
+        w = FilebenchRandomIO(tb.env, tb.vms[0], handle, tb.rng.stream("x"),
+                              tb.costs, readers=readers, warmup_ns=ms(2))
+        tb.env.run(until=ms(25))
+        return w.ops_per_sec()
+
+    assert ops(2) > 1.4 * ops(1)
+
+
+def test_webserver_personality_reads_files():
+    tb = build_simple_setup("elvis", 1, with_clients=False)
+    handle = tb.attach_ramdisk(tb.vms[0])
+    w = WebserverPersonality(tb.env, tb.vms[0], handle, tb.rng.stream("w"),
+                             tb.costs, warmup_ns=ms(2))
+    tb.env.run(until=ms(40))
+    assert w.operations > 10
+    assert w.throughput_mbps() > 0
+    assert w.bytes_read > 0
+
+
+def test_webserver_fileset_statistics():
+    """Mean file size must be near the paper's 28 KB."""
+    tb = build_simple_setup("elvis", 1, with_clients=False)
+    handle = tb.attach_ramdisk(tb.vms[0])
+    w = WebserverPersonality(tb.env, tb.vms[0], handle, tb.rng.stream("w"),
+                             tb.costs)
+    assert len(w._file_sectors) == WebserverPersonality.FILE_COUNT
+    mean = sum(size for _s, size in w._file_sectors) / len(w._file_sectors)
+    assert 20 * 1024 < mean < 40 * 1024
+
+
+def test_webserver_appends_to_log():
+    tb = build_simple_setup("elvis", 1, with_clients=False)
+    handle = tb.attach_ramdisk(tb.vms[0])
+    w = WebserverPersonality(tb.env, tb.vms[0], handle, tb.rng.stream("w"),
+                             tb.costs, warmup_ns=0)
+    tb.env.run(until=ms(60))
+    # One log write per LOG_EVERY reads per thread.
+    device_writes = handle.device.writes.value
+    assert device_writes >= w.operations // WebserverPersonality.LOG_EVERY - 4
+    assert device_writes > 0
