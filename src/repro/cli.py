@@ -12,6 +12,10 @@ models
     Describe the five I/O model configurations.
 costs
     Dump the calibrated cost-model constants.
+verify [--scenario NAME] [--update-goldens] [--list]
+    Run the verification harness: every canonical scenario is executed,
+    audited against the simulation invariants, re-run to prove bit
+    determinism, and compared to its committed golden fingerprint.
 """
 
 from __future__ import annotations
@@ -135,6 +139,73 @@ def _trace_one_request() -> None:
         print(tracer.format_trace(responses["response"].message_id))
 
 
+def _verify_command(args) -> int:
+    """Run scenarios through invariants, determinism, and golden checks."""
+    from .testing import (
+        GoldenMismatch,
+        SCENARIOS,
+        assert_matches_golden,
+        check_deterministic,
+        golden_path,
+        save_golden,
+        scenario_names,
+        verify_testbed,
+    )
+
+    names = args.scenario or scenario_names()
+    unknown = [n for n in names if n not in SCENARIOS]
+    if unknown:
+        print(f"unknown scenario(s): {', '.join(unknown)}")
+        print(f"known: {', '.join(scenario_names())}")
+        return 1
+    if args.list:
+        for name in scenario_names():
+            print(f"{name:24s} {SCENARIOS[name].description}")
+        return 0
+
+    failures = 0
+    print(f"{'scenario':24s} {'invariants':>10s} {'determinism':>11s} "
+          f"{'golden':>8s}")
+    for name in names:
+        problems = []
+        try:
+            results = check_deterministic(name, seed=args.seed)
+            det = "ok"
+        except AssertionError as exc:
+            # Still audit the single run we can get.
+            from .testing import run_scenario
+            results = [run_scenario(name, seed=args.seed)]
+            det = "DIVERGED"
+            problems.append(str(exc))
+        result = results[0]
+        violations = verify_testbed(result.testbed, result.monitor)
+        inv = "ok" if not violations else f"{len(violations)} broken"
+        problems.extend(str(v) for v in violations)
+        if args.update_goldens:
+            save_golden(name, result.metrics)
+            golden = "updated"
+        elif not golden_path(name).exists():
+            golden = "missing"
+        else:
+            try:
+                assert_matches_golden(name, result.metrics)
+                golden = "ok"
+            except GoldenMismatch as exc:
+                golden = "MISMATCH"
+                problems.append(str(exc))
+        print(f"{name:24s} {inv:>10s} {det:>11s} {golden:>8s}")
+        if problems:
+            failures += 1
+            for problem in problems:
+                for line in str(problem).splitlines():
+                    print(f"    {line}")
+    if failures:
+        print(f"\n{failures} of {len(names)} scenario(s) FAILED")
+        return 1
+    print(f"\nall {len(names)} scenario(s) verified")
+    return 0
+
+
 _MODEL_HELP = """The five I/O model configurations (paper §2):
 
 baseline     KVM/virtio trap-and-emulate.  3 exits + 2 injections per
@@ -174,6 +245,18 @@ def _main(argv: Optional[list] = None) -> int:
     run_parser.add_argument("--chart", action="store_true",
                             help="also render an ASCII chart (series "
                                  "figures only)")
+    verify_parser = sub.add_parser(
+        "verify", help="run the verification harness")
+    verify_parser.add_argument("--scenario", action="append", default=None,
+                               metavar="NAME",
+                               help="verify only this scenario (repeatable)")
+    verify_parser.add_argument("--seed", type=int, default=0,
+                               help="master RNG seed for the runs")
+    verify_parser.add_argument("--update-goldens", action="store_true",
+                               help="rewrite the golden fingerprints "
+                                    "instead of comparing")
+    verify_parser.add_argument("--list", action="store_true",
+                               help="list scenarios and exit")
     args = parser.parse_args(argv)
 
     if args.command == "list":
@@ -191,6 +274,8 @@ def _main(argv: Optional[list] = None) -> int:
     if args.command == "trace":
         _trace_one_request()
         return 0
+    if args.command == "verify":
+        return _verify_command(args)
     if args.command == "run":
         _description, runner = ARTIFACTS[args.artifact]
         text, points = runner(args.quick)

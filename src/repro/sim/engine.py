@@ -293,11 +293,35 @@ class Environment:
         self._now: int = 0
         self._heap: List = []
         self._seq: int = 0  # tie-breaker preserving FIFO order at equal times
+        self._monitors: List = []
 
     @property
     def now(self) -> int:
         """Current simulation time in nanoseconds."""
         return self._now
+
+    # -- monitoring --------------------------------------------------------
+
+    def add_monitor(self, monitor) -> None:
+        """Attach an execution monitor.
+
+        A monitor is anything with an ``on_step(now, item)`` method; it is
+        called after every scheduler step with the (possibly advanced)
+        clock and the processed item — an :class:`Event` or, for
+        ``call_soon`` entries, the bare callable.  Monitors cost one truth
+        test per step while none are attached, so production runs are
+        unaffected; the verification harness uses them to audit clock
+        monotonicity and event flow.
+        """
+        if monitor not in self._monitors:
+            self._monitors.append(monitor)
+
+    def remove_monitor(self, monitor) -> None:
+        """Detach a previously attached monitor (no-op if absent)."""
+        try:
+            self._monitors.remove(monitor)
+        except ValueError:
+            pass
 
     # -- scheduling --------------------------------------------------------
 
@@ -342,6 +366,10 @@ class Environment:
             event._run_callbacks()
         else:
             fn()
+        if self._monitors:
+            item = event if event is not None else fn
+            for monitor in self._monitors:
+                monitor.on_step(when, item)
 
     def run(self, until: Optional[int] = None) -> None:
         """Run until the heap empties or the clock would pass ``until``.

@@ -1,0 +1,68 @@
+"""Bit-reproducibility checks.
+
+The whole experimental method of this reproduction rests on determinism:
+the paper averages five repetitions, we run once *because rerunning is a
+no-op*.  These helpers make that claim falsifiable — run a scenario
+twice, digest the metrics, and demand identical bits.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Dict, List
+
+from .scenarios import ScenarioResult, run_scenario
+
+__all__ = [
+    "metrics_digest",
+    "compare_runs",
+    "check_deterministic",
+    "assert_deterministic",
+]
+
+Metrics = Dict[str, float]
+
+
+def metrics_digest(metrics: Metrics) -> str:
+    """SHA-256 over the canonical JSON encoding of a metric dict.
+
+    ``repr``-exact for floats: two digests match iff every metric is
+    bit-identical.
+    """
+    payload = json.dumps(
+        {k: repr(v) for k, v in sorted(metrics.items())},
+        sort_keys=True).encode()
+    return hashlib.sha256(payload).hexdigest()
+
+
+def compare_runs(first: Metrics, second: Metrics) -> List[str]:
+    """Every metric that differs between two runs (bit-exact comparison)."""
+    diffs: List[str] = []
+    for key in sorted(set(first) | set(second)):
+        a, b = first.get(key), second.get(key)
+        if a is None or b is None or repr(a) != repr(b):
+            diffs.append(f"{key}: {a!r} vs {b!r}")
+    return diffs
+
+
+def check_deterministic(name: str, seed: int = 0,
+                        runs: int = 2) -> List[ScenarioResult]:
+    """Run a scenario ``runs`` times; raises AssertionError on divergence."""
+    if runs < 2:
+        raise ValueError(f"need at least two runs to compare, got {runs}")
+    results = [run_scenario(name, seed=seed) for _ in range(runs)]
+    reference = results[0].metrics
+    for i, result in enumerate(results[1:], start=2):
+        diffs = compare_runs(reference, result.metrics)
+        if diffs:
+            listing = "\n".join(f"  - {d}" for d in diffs)
+            raise AssertionError(
+                f"scenario {name!r} (seed={seed}) is nondeterministic; "
+                f"run 1 vs run {i} differ in {len(diffs)} metric(s):\n"
+                f"{listing}")
+    return results
+
+
+# Backwards-friendly alias used by tests reading as an assertion.
+assert_deterministic = check_deterministic

@@ -1,0 +1,76 @@
+"""A tiny, dependency-free property-based testing harness.
+
+Hypothesis is not available in this environment, so this module provides
+the 10% of it the reproduction needs: run a property over many
+pseudo-random cases, and when one fails, report the exact case seed so
+the failure replays with a one-liner.
+
+Usage::
+
+    def prop(rng, case):
+        size = rng.randrange(1, 65536)
+        assert sum(segment_sizes(size, 8100)) == size
+
+    run_property(prop, n_cases=500, seed=7)
+
+Each case gets its own ``random.Random`` derived from ``(seed, case)``,
+so cases are independent and any single case is reproducible via
+``replay_case(prop, seed, case)``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable
+
+__all__ = ["PropertyFailure", "run_property", "replay_case", "case_rng"]
+
+
+class PropertyFailure(AssertionError):
+    """A property failed; carries the reproducing (seed, case) pair."""
+
+    def __init__(self, message: str, seed: int, case: int,
+                 cause: BaseException):
+        super().__init__(message)
+        self.seed = seed
+        self.case = case
+        self.cause = cause
+
+
+def case_rng(seed: int, case: int) -> random.Random:
+    """The deterministic RNG for one property case.
+
+    Seeded through a string (SHA-512 inside ``random.Random``) so
+    neighbouring cases share no state.
+    """
+    return random.Random(f"property/{seed}/{case}")
+
+
+def run_property(prop: Callable[[random.Random, int], None],
+                 n_cases: int = 200, seed: int = 0) -> int:
+    """Run ``prop(rng, case_index)`` for ``n_cases`` independent cases.
+
+    Returns the number of cases run.  On the first failing case, raises
+    :class:`PropertyFailure` naming the seed and case index; replay that
+    single case with :func:`replay_case`.
+    """
+    if n_cases <= 0:
+        raise ValueError(f"need a positive case count, got {n_cases}")
+    for case in range(n_cases):
+        try:
+            prop(case_rng(seed, case), case)
+        except PropertyFailure:
+            raise
+        except BaseException as exc:
+            raise PropertyFailure(
+                f"property {getattr(prop, '__name__', 'prop')!r} failed on "
+                f"case {case}/{n_cases} (seed={seed}): {exc!r}\n"
+                f"replay with replay_case(prop, seed={seed}, case={case})",
+                seed=seed, case=case, cause=exc) from exc
+    return n_cases
+
+
+def replay_case(prop: Callable[[random.Random, int], None],
+                seed: int, case: int) -> None:
+    """Re-run exactly one failing case (for debugging)."""
+    prop(case_rng(seed, case), case)

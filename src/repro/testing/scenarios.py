@@ -1,0 +1,264 @@
+"""Canonical verification scenarios: small, fast, deterministic runs.
+
+Every consumer of the verification harness — the golden-regression tests,
+the determinism tests, the invariant battery, and ``repro verify`` —
+drives the *same* registry of scenarios, so a behavioural change in any
+datapath shows up identically everywhere.
+
+Each scenario assembles a testbed, attaches an
+:class:`~repro.testing.invariants.EngineMonitor`, runs a short workload,
+and distils the run into a flat ``{metric_name: number}`` dict.  The
+metrics are chosen to fingerprint the whole datapath: event-stream shape,
+Table-3 virtualization events, message/byte flows, cycle ledgers, and the
+workload's own figures of merit.  Runs are a few simulated milliseconds —
+long enough for hundreds of transactions, short enough that the full
+registry replays in seconds of wall time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Tuple
+
+from ..cluster import (
+    MODEL_NAMES,
+    build_scalability_setup,
+    build_simple_setup,
+)
+from ..sim import ms
+from ..workloads import ApacheBench, NetperfRR, NetperfStream
+from ..workloads.filebench import FilebenchRandomIO
+from .invariants import EngineMonitor
+
+__all__ = [
+    "Scenario",
+    "ScenarioResult",
+    "SCENARIOS",
+    "scenario_names",
+    "run_scenario",
+]
+
+Metrics = Dict[str, float]
+
+
+@dataclass
+class ScenarioResult:
+    """Everything one scenario run produced."""
+
+    name: str
+    testbed: object
+    workloads: List[object]
+    monitor: EngineMonitor
+    metrics: Metrics
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named, reproducible verification run."""
+
+    name: str
+    description: str
+    build: Callable[[int], ScenarioResult] = field(repr=False)
+    tags: Tuple[str, ...] = ()
+
+
+# -- shared metric collection ------------------------------------------------
+
+def _common_metrics(testbed, monitor: EngineMonitor) -> Metrics:
+    metrics: Metrics = {
+        "sim.now_ns": testbed.env.now,
+        "sim.steps": monitor.steps,
+        "sim.events": monitor.events_processed,
+        "stats.total": testbed.stats.total(),
+    }
+    for column, value in testbed.stats.snapshot().items():
+        metrics[f"stats.{column}"] = value
+    for scope, items in (("ports", testbed.ports), ("clients", testbed.clients)):
+        metrics[f"{scope}.tx_messages"] = sum(
+            p.tx_messages.value for p in items)
+        metrics[f"{scope}.rx_messages"] = sum(
+            p.rx_messages.value for p in items)
+    metrics["ports.tx_bytes"] = sum(p.tx_bytes.value for p in testbed.ports)
+    metrics["ports.rx_bytes"] = sum(p.rx_bytes.value for p in testbed.ports)
+    metrics["cores.vm_cycles"] = sum(
+        vm.vcpu.total_cycles for vm in testbed.vms)
+    metrics["cores.service_cycles"] = sum(
+        c.total_cycles for c in testbed.service_cores)
+    metrics["cores.service_busy_ns"] = sum(
+        c.util.busy_ns for c in testbed.service_cores)
+    metrics["cores.service_useful_ns"] = sum(
+        c.util.useful_ns for c in testbed.service_cores)
+    return metrics
+
+
+def _finish(name: str, testbed, workloads, monitor: EngineMonitor,
+            extra: Metrics) -> ScenarioResult:
+    metrics = _common_metrics(testbed, monitor)
+    metrics.update(extra)
+    return ScenarioResult(name=name, testbed=testbed, workloads=workloads,
+                          monitor=monitor, metrics=metrics)
+
+
+# -- scenario builders -------------------------------------------------------
+
+_RR_RUN_NS = ms(6)
+_RR_WARMUP_NS = ms(1)
+
+
+def _rr_scenario(model_name: str, n_vms: int = 2):
+    def build(seed: int) -> ScenarioResult:
+        tb = build_simple_setup(model_name, n_vms, seed=seed)
+        monitor = EngineMonitor.attach(tb.env)
+        workloads = [
+            NetperfRR(tb.env, tb.clients[i], tb.ports[i], tb.costs,
+                      warmup_ns=_RR_WARMUP_NS,
+                      rng=tb.rng.stream(f"rr-client-{i}"))
+            for i in range(n_vms)]
+        tb.env.run(until=_RR_RUN_NS)
+        transactions = sum(w.transactions for w in workloads)
+        extra = {
+            "rr.transactions": transactions,
+            "rr.mean_latency_us": sum(
+                w.mean_latency_us() for w in workloads) / n_vms,
+            "rr.p90_latency_us": max(
+                w.percentile_us(90) for w in workloads),
+        }
+        return _finish(f"rr_{model_name}", tb, workloads, monitor, extra)
+
+    return build
+
+
+def _stream_scenario(model_name: str):
+    def build(seed: int) -> ScenarioResult:
+        tb = build_simple_setup(model_name, 1, seed=seed)
+        monitor = EngineMonitor.attach(tb.env)
+        workloads = [NetperfStream(tb.env, tb.ports[0], tb.clients[0],
+                                   tb.costs, warmup_ns=_RR_WARMUP_NS)]
+        tb.env.run(until=_RR_RUN_NS)
+        extra = {
+            "stream.gbps": workloads[0].throughput_gbps(),
+            "stream.chunks": workloads[0].chunks_received,
+            "stream.bytes": workloads[0].bytes_received,
+        }
+        return _finish(f"stream_{model_name}", tb, workloads, monitor, extra)
+
+    return build
+
+
+def _apache_scenario(model_name: str, n_vms: int = 2):
+    def build(seed: int) -> ScenarioResult:
+        tb = build_simple_setup(model_name, n_vms, seed=seed)
+        monitor = EngineMonitor.attach(tb.env)
+        workloads = [ApacheBench(tb.env, tb.clients[i], tb.ports[i],
+                                 tb.costs, warmup_ns=_RR_WARMUP_NS)
+                     for i in range(n_vms)]
+        tb.env.run(until=ms(8))
+        extra = {
+            "apache.transactions": sum(w.transactions for w in workloads),
+            "apache.tps": sum(w.throughput_tps() for w in workloads),
+        }
+        return _finish(f"apache_{model_name}", tb, workloads, monitor, extra)
+
+    return build
+
+
+def _filebench_scenario(model_name: str, channel_loss: float = 0.0,
+                        run_ns: int = ms(8)):
+    # A lossy channel only exercises §4.5 retransmission if the run
+    # outlives the 10 ms initial block timeout (plus a doubling or two).
+    suffix = "_lossy" if channel_loss else ""
+
+    def build(seed: int) -> ScenarioResult:
+        kwargs = {"seed": seed}
+        if model_name in ("vrio", "vrio_nopoll"):
+            kwargs["channel_loss"] = channel_loss
+        tb = build_simple_setup(model_name, 1, with_clients=False, **kwargs)
+        monitor = EngineMonitor.attach(tb.env)
+        handle = tb.attach_ramdisk(tb.vms[0])
+        workloads = [FilebenchRandomIO(
+            tb.env, tb.vms[0], handle, rng=tb.rng.stream("filebench"),
+            costs=tb.costs, readers=2, writers=1, warmup_ns=_RR_WARMUP_NS)]
+        tb.env.run(until=run_ns)
+        extra = {
+            "filebench.operations": workloads[0].operations,
+            "filebench.ops_per_sec": workloads[0].ops_per_sec(),
+        }
+        if model_name == "vrio":
+            client = tb.model.client_of(tb.vms[0])
+            extra["filebench.retransmissions"] = (
+                client.reliable.retransmissions.value)
+        return _finish(f"filebench_{model_name}{suffix}", tb, workloads,
+                       monitor, extra)
+
+    return build
+
+
+def _scalability_scenario():
+    def build(seed: int) -> ScenarioResult:
+        tb = build_scalability_setup(n_vmhosts=2, vms_per_host=2, workers=1,
+                                     seed=seed)
+        monitor = EngineMonitor.attach(tb.env)
+        workloads = [
+            NetperfRR(tb.env, tb.clients[i], tb.ports[i], tb.costs,
+                      warmup_ns=_RR_WARMUP_NS,
+                      rng=tb.rng.stream(f"rr-client-{i}"))
+            for i in range(len(tb.vms))]
+        tb.env.run(until=_RR_RUN_NS)
+        extra = {
+            "rr.transactions": sum(w.transactions for w in workloads),
+            "rr.mean_latency_us": sum(
+                w.mean_latency_us() for w in workloads) / len(workloads),
+        }
+        return _finish("scalability_vrio", tb, workloads, monitor, extra)
+
+    return build
+
+
+# -- registry ---------------------------------------------------------------
+
+def _build_registry() -> Dict[str, Scenario]:
+    registry: Dict[str, Scenario] = {}
+
+    def add(name: str, description: str, build, *tags: str) -> None:
+        registry[name] = Scenario(name=name, description=description,
+                                  build=build, tags=tuple(tags))
+
+    for model in MODEL_NAMES:
+        add(f"rr_{model}",
+            f"netperf RR, 2 VMs, {model} datapath (Fig. 7 shape)",
+            _rr_scenario(model), "net", "latency", model)
+    add("stream_vrio", "netperf 64B stream through the IOhost (Fig. 9)",
+        _stream_scenario("vrio"), "net", "throughput", "vrio")
+    add("stream_elvis", "netperf 64B stream with a local sidecore",
+        _stream_scenario("elvis"), "net", "throughput", "elvis")
+    add("apache_vrio", "ApacheBench macrobenchmark over vRIO (Fig. 12)",
+        _apache_scenario("vrio"), "net", "macro", "vrio")
+    add("filebench_vrio", "random I/O on a remote ramdisk (Fig. 14)",
+        _filebench_scenario("vrio"), "block", "vrio")
+    add("filebench_baseline", "random I/O on a local virtio ramdisk",
+        _filebench_scenario("baseline"), "block", "baseline")
+    add("filebench_vrio_lossy",
+        "remote block I/O over a 5%-loss channel (§4.5 retransmission)",
+        _filebench_scenario("vrio", channel_loss=0.05, run_ns=ms(40)),
+        "block", "vrio", "loss")
+    add("scalability_vrio",
+        "one IOhost serving 2 VMhosts x 2 VMs (Fig. 13 topology)",
+        _scalability_scenario(), "net", "scalability", "vrio")
+    return registry
+
+
+SCENARIOS: Dict[str, Scenario] = _build_registry()
+
+
+def scenario_names() -> List[str]:
+    return sorted(SCENARIOS)
+
+
+def run_scenario(name: str, seed: int = 0) -> ScenarioResult:
+    """Build and run one registered scenario; returns its result bundle."""
+    try:
+        scenario = SCENARIOS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; known: {', '.join(scenario_names())}")
+    return scenario.build(seed)
