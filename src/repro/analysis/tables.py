@@ -57,7 +57,15 @@ def relative_percent(value: float, reference: float) -> float:
 
 
 def summarize_latency_us(histogram: Histogram) -> Dict[str, float]:
-    """Mean/median/tails of a nanosecond latency histogram, in us."""
+    """Mean/median/tails of a nanosecond latency histogram, in us.
+
+    An empty histogram (a workload that completed nothing) summarizes to
+    ``None`` entries rather than raising, so summaries over mixed runs
+    stay renderable.
+    """
+    if histogram.count == 0:
+        return {"mean": None, "p50": None, "p99": None, "p99.9": None,
+                "max": None}
     return {
         "mean": histogram.mean() / 1000.0,
         "p50": histogram.percentile(50) / 1000.0,

@@ -12,10 +12,16 @@ models
     Describe the five I/O model configurations.
 costs
     Dump the calibrated cost-model constants.
-verify [--scenario NAME] [--update-goldens] [--list]
+verify [--scenario NAME] [--update-goldens] [--list] [--telemetry]
     Run the verification harness: every canonical scenario is executed,
     audited against the simulation invariants, re-run to prove bit
     determinism, and compared to its committed golden fingerprint.
+    ``--telemetry`` adds a pass validating each scenario's metrics and
+    Chrome-trace exports.
+observe SCENARIO [--seed N] [--trace PATH] [--json FILE] [--csv FILE]
+    Run one scenario under full telemetry: print the per-stage latency
+    breakdown and key metrics, and write a Chrome ``trace_event`` JSON
+    file viewable in chrome://tracing or Perfetto.
 """
 
 from __future__ import annotations
@@ -139,6 +145,33 @@ def _trace_one_request() -> None:
         print(tracer.format_trace(responses["response"].message_id))
 
 
+def _telemetry_smoke(name: str, seed: int) -> Optional[str]:
+    """Re-run ``name`` under a telemetry session and validate the outputs.
+
+    Returns None on success, or a short description of what failed.
+    Asserts the metrics dump is non-empty and schema-valid and the Chrome
+    trace export round-trips as valid ``trace_event`` JSON.
+    """
+    from .telemetry import (
+        TelemetrySession,
+        validate_chrome_trace,
+        validate_metrics,
+    )
+    from .testing import run_scenario
+
+    with TelemetrySession() as session:
+        result = run_scenario(name, seed=seed)
+    telemetry = session.for_testbed(result.testbed)
+    if telemetry is None:
+        return "testbed was not bound to the telemetry session"
+    try:
+        validate_metrics(telemetry.snapshot())
+        validate_chrome_trace(telemetry.chrome_trace())
+    except ValueError as exc:
+        return str(exc)
+    return None
+
+
 def _verify_command(args) -> int:
     """Run scenarios through invariants, determinism, and golden checks."""
     from .testing import (
@@ -164,8 +197,11 @@ def _verify_command(args) -> int:
         return 0
 
     failures = 0
-    print(f"{'scenario':24s} {'invariants':>10s} {'determinism':>11s} "
-          f"{'golden':>8s}")
+    header = (f"{'scenario':24s} {'invariants':>10s} {'determinism':>11s} "
+              f"{'golden':>8s}")
+    if args.telemetry:
+        header += f" {'telemetry':>9s}"
+    print(header)
     for name in names:
         problems = []
         try:
@@ -193,7 +229,15 @@ def _verify_command(args) -> int:
             except GoldenMismatch as exc:
                 golden = "MISMATCH"
                 problems.append(str(exc))
-        print(f"{name:24s} {inv:>10s} {det:>11s} {golden:>8s}")
+        line = f"{name:24s} {inv:>10s} {det:>11s} {golden:>8s}"
+        if args.telemetry:
+            issue = _telemetry_smoke(name, seed=args.seed)
+            if issue is None:
+                line += f" {'ok':>9s}"
+            else:
+                line += f" {'INVALID':>9s}"
+                problems.append(f"telemetry: {issue}")
+        print(line)
         if problems:
             failures += 1
             for problem in problems:
@@ -203,6 +247,42 @@ def _verify_command(args) -> int:
         print(f"\n{failures} of {len(names)} scenario(s) FAILED")
         return 1
     print(f"\nall {len(names)} scenario(s) verified")
+    return 0
+
+
+def _observe_command(args) -> int:
+    """Run one scenario under full telemetry and report what it did."""
+    import json
+
+    from .telemetry import (
+        TelemetrySession,
+        to_chrome_trace_json,
+        to_metrics_csv,
+        to_metrics_json,
+    )
+    from .testing import SCENARIOS, run_scenario, scenario_names
+
+    if args.scenario not in SCENARIOS:
+        print(f"unknown scenario: {args.scenario}")
+        print(f"known: {', '.join(scenario_names())}")
+        return 1
+    with TelemetrySession() as session:
+        result = run_scenario(args.scenario, seed=args.seed)
+    telemetry = session.for_testbed(result.testbed)
+    print(telemetry.report(title=f"{args.scenario} (seed {args.seed})"))
+    trace_path = args.trace or f"{args.scenario}.trace.json"
+    with open(trace_path, "w") as fh:
+        fh.write(to_chrome_trace_json(telemetry.tracer))
+    print(f"\nchrome trace written to {trace_path} "
+          f"(load via chrome://tracing or https://ui.perfetto.dev)")
+    if args.json:
+        with open(args.json, "w") as fh:
+            fh.write(to_metrics_json(telemetry.snapshot()))
+        print(f"metrics JSON written to {args.json}")
+    if args.csv:
+        with open(args.csv, "w") as fh:
+            fh.write(to_metrics_csv(telemetry.snapshot()))
+        print(f"metrics CSV written to {args.csv}")
     return 0
 
 
@@ -257,6 +337,23 @@ def _main(argv: Optional[list] = None) -> int:
                                     "instead of comparing")
     verify_parser.add_argument("--list", action="store_true",
                                help="list scenarios and exit")
+    verify_parser.add_argument("--telemetry", action="store_true",
+                               help="also re-run each scenario under a "
+                                    "telemetry session and validate its "
+                                    "metrics + Chrome-trace exports")
+    observe_parser = sub.add_parser(
+        "observe", help="run one scenario under full telemetry")
+    observe_parser.add_argument("scenario", metavar="SCENARIO",
+                                help="scenario name (see verify --list)")
+    observe_parser.add_argument("--seed", type=int, default=0,
+                                help="master RNG seed for the run")
+    observe_parser.add_argument("--trace", metavar="PATH", default=None,
+                                help="Chrome trace output path "
+                                     "(default: <scenario>.trace.json)")
+    observe_parser.add_argument("--json", metavar="FILE", default=None,
+                                help="also dump the metrics snapshot as JSON")
+    observe_parser.add_argument("--csv", metavar="FILE", default=None,
+                                help="also dump the metrics snapshot as CSV")
     args = parser.parse_args(argv)
 
     if args.command == "list":
@@ -276,6 +373,8 @@ def _main(argv: Optional[list] = None) -> int:
         return 0
     if args.command == "verify":
         return _verify_command(args)
+    if args.command == "observe":
+        return _observe_command(args)
     if args.command == "run":
         _description, runner = ARTIFACTS[args.artifact]
         text, points = runner(args.quick)

@@ -35,6 +35,7 @@ from ..iomodels import (
 from ..iomodels.base import ExternalEndpoint
 from ..iomodels.costs import CostModel
 from ..sim import Environment, RngRegistry
+from ..telemetry import bind_testbed, register_storage_device
 from .host import IoHostMachine, LoadGenHost, VmHostMachine
 
 __all__ = [
@@ -87,6 +88,9 @@ class Testbed:
             raise NotImplementedError(
                 f"model {self.model_name!r} does not support host-managed "
                 "block devices")
+        telemetry = getattr(self, "telemetry", None)
+        if telemetry is not None:
+            register_storage_device(telemetry.registry, device)
         return self._block_attach(vm, device)
 
 
@@ -197,11 +201,13 @@ def build_simple_setup(model_name: str, n_vms: int,
         loadgens.append(loadgen)
         clients = [loadgen.new_client_endpoint() for _ in range(n_vms)]
 
-    return Testbed(env=env, costs=costs, model_name=model_name, vms=vms,
-                   ports=ports, clients=clients, stats=stats,
-                   service_cores=service_cores, rng=rng, vmhosts=[vmhost],
-                   iohost=iohost, loadgens=loadgens, models=models,
-                   _block_attach=block_attach)
+    testbed = Testbed(env=env, costs=costs, model_name=model_name, vms=vms,
+                      ports=ports, clients=clients, stats=stats,
+                      service_cores=service_cores, rng=rng, vmhosts=[vmhost],
+                      iohost=iohost, loadgens=loadgens, models=models,
+                      _block_attach=block_attach)
+    bind_testbed(testbed)
+    return testbed
 
 
 def build_scalability_setup(n_vmhosts: int = 4, vms_per_host: int = 1,
@@ -257,11 +263,13 @@ def build_scalability_setup(n_vmhosts: int = 4, vms_per_host: int = 1,
             ports.append(model.attach_vm(vm, channel, external_nic))
             clients.append(loadgen.new_client_endpoint())
 
-    return Testbed(env=env, costs=costs, model_name="vrio", vms=vms,
-                   ports=ports, clients=clients, stats=stats,
-                   service_cores=worker_cores, rng=rng, vmhosts=vmhosts,
-                   iohost=iohost, loadgens=loadgens, models=[model],
-                   _block_attach=model.attach_block_device)
+    testbed = Testbed(env=env, costs=costs, model_name="vrio", vms=vms,
+                      ports=ports, clients=clients, stats=stats,
+                      service_cores=worker_cores, rng=rng, vmhosts=vmhosts,
+                      iohost=iohost, loadgens=loadgens, models=[model],
+                      _block_attach=model.attach_block_device)
+    bind_testbed(testbed)
+    return testbed
 
 
 def build_switched_setup(n_vms: int = 1, workers: int = 1,
@@ -341,6 +349,7 @@ def build_switched_setup(n_vms: int = 1, workers: int = 1,
                             "vmhost": vmhost_link.side_a}
     testbed.vmhost_fallback_nic = vmhost_fallback_nic
     testbed.fallback_io_core = vmhost.new_io_core()
+    bind_testbed(testbed)
     return testbed
 
 
@@ -420,8 +429,10 @@ def build_consolidation_setup(model_name: str, n_vmhosts: int = 2,
     def block_attach(vm: Vm, device: StorageDevice):
         return attach_map[vm.name](vm, device)
 
-    return Testbed(env=env, costs=costs, model_name=model_name, vms=vms,
-                   ports=ports, clients=[], stats=stats,
-                   service_cores=service_cores, rng=rng, vmhosts=vmhosts,
-                   iohost=iohost, loadgens=[], models=models,
-                   _block_attach=block_attach)
+    testbed = Testbed(env=env, costs=costs, model_name=model_name, vms=vms,
+                      ports=ports, clients=[], stats=stats,
+                      service_cores=service_cores, rng=rng, vmhosts=vmhosts,
+                      iohost=iohost, loadgens=[], models=models,
+                      _block_attach=block_attach)
+    bind_testbed(testbed)
+    return testbed

@@ -35,7 +35,13 @@ from .latency_experiments import (
     run_tab04,
 )
 from .runner import SeriesPoint, macro_run, rr_run, stream_run
-from .scalability_experiments import format_fig13, run_fig13a, run_fig13b
+from .scalability_experiments import (
+    format_fig13,
+    format_fig13_util,
+    run_fig13_util,
+    run_fig13a,
+    run_fig13b,
+)
 from .tab03_events import PAPER_TAB03, format_tab03, run_tab03
 from .throughput_experiments import (
     format_fig05,
@@ -61,6 +67,7 @@ __all__ = [
     "run_fig09", "format_fig09", "run_fig10", "format_fig10",
     "run_fig11", "format_fig11", "run_fig12", "format_fig12",
     "run_fig13a", "run_fig13b", "format_fig13",
+    "run_fig13_util", "format_fig13_util",
     "run_fig14", "format_fig14", "FIG14_MIXES",
     "run_fig14_ssd", "format_fig14_ssd",
     "run_fig15", "format_fig15",

@@ -22,6 +22,7 @@ from typing import Dict, List
 from ..cluster import Testbed, build_consolidation_setup
 from ..interpose import AesEncryption
 from ..sim import TimeSeries, ms
+from ..telemetry import sample_utilization
 from ..workloads import WebserverPersonality
 
 __all__ = [
@@ -46,20 +47,7 @@ def _start_webservers(tb: Testbed, vm_indices, run_ns: int,
 
 def _sample_utilization(tb: Testbed, interval_ns: int) -> List[TimeSeries]:
     """Periodic useful-cycle utilization of each service core."""
-    series = [TimeSeries(core.name) for core in tb.service_cores]
-    last = [0] * len(tb.service_cores)
-
-    def sampler():
-        while True:
-            yield tb.env.timeout(interval_ns)
-            for idx, core in enumerate(tb.service_cores):
-                useful = core.util.useful_ns
-                fraction = (useful - last[idx]) / interval_ns
-                last[idx] = useful
-                series[idx].record(tb.env.now, fraction * 100.0)
-
-    tb.env.process(sampler(), name="utilization-sampler")
-    return series
+    return sample_utilization(tb.env, tb.service_cores, interval_ns)
 
 
 def run_fig15(run_ns: int = ms(60), interval_ns: int = ms(2)) -> Dict[str, dict]:

@@ -15,7 +15,8 @@ from ..cluster import build_scalability_setup
 from ..sim import ms
 from ..workloads import NetperfRR, NetperfStream
 
-__all__ = ["run_fig13a", "run_fig13b", "format_fig13"]
+__all__ = ["run_fig13a", "run_fig13b", "format_fig13",
+           "run_fig13_util", "format_fig13_util"]
 
 WORKER_COUNTS = (1, 2, 4)
 
@@ -58,6 +59,55 @@ def run_fig13b(total_vms: Sequence[int] = (4, 8, 12, 16, 20, 24, 28),
             rows.append({"workers": workers, "n_vms": n,
                          "throughput_gbps": total})
     return rows
+
+
+def run_fig13_util(total_vms: int = 8, workers: int = 2,
+                   run_ns: int = ms(40)) -> List[dict]:
+    """Per-sidecore utilization of the Fig. 13 stream run, read two ways.
+
+    Runs the 13b topology under a telemetry session and reports each
+    IOhost sidecore's busy/useful fractions both directly from the core
+    and through the metrics registry — the two must agree, which is the
+    registry's correctness check against the scalability experiment.
+    """
+    from ..telemetry import TelemetrySession
+
+    if total_vms % 4:
+        raise ValueError("total VM count must be a multiple of 4")
+    with TelemetrySession() as session:
+        tb = build_scalability_setup(n_vmhosts=4, vms_per_host=total_vms // 4,
+                                     workers=workers, model_numa=False)
+        streams = [NetperfStream(tb.env, tb.ports[i], tb.clients[i],
+                                 tb.costs, warmup_ns=ms(3))
+                   for i in range(total_vms)]
+        tb.env.run(until=run_ns)
+    del streams
+    snapshot = session.for_testbed(tb).snapshot()
+    rows = []
+    for idx, core in enumerate(tb.service_cores):
+        rows.append({
+            "worker": idx,
+            "core": core.name,
+            "busy_fraction": core.util.busy_fraction(),
+            "useful_fraction": core.util.useful_fraction(),
+            "busy_fraction_registry":
+                snapshot[f"sidecores.{idx}.util.busy_fraction"],
+            "useful_fraction_registry":
+                snapshot[f"sidecores.{idx}.util.useful_fraction"],
+        })
+    return rows
+
+
+def format_fig13_util(rows: List[dict]) -> str:
+    lines = ["Figure 13 sidecore utilization: core ledger vs metrics registry",
+             f"{'core':24s} {'busy':>7s} {'busy(reg)':>9s} "
+             f"{'useful':>7s} {'useful(reg)':>11s}"]
+    for r in rows:
+        lines.append(f"{r['core']:24s} {r['busy_fraction']:7.4f} "
+                     f"{r['busy_fraction_registry']:9.4f} "
+                     f"{r['useful_fraction']:7.4f} "
+                     f"{r['useful_fraction_registry']:11.4f}")
+    return "\n".join(lines)
 
 
 def format_fig13(rows_a: List[dict], rows_b: List[dict]) -> str:

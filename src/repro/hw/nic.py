@@ -137,6 +137,11 @@ class Nic:
         endpoint.attach_receiver(self._demux)
 
     @property
+    def endpoint(self) -> Optional[LinkEndpoint]:
+        """The attached link endpoint, or None while unwired."""
+        return self._endpoint
+
+    @property
     def gbps(self) -> float:
         if self._endpoint is None:
             raise RuntimeError(f"NIC {self.name} is not attached to a link")

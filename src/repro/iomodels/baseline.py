@@ -56,7 +56,8 @@ class BaselineModel:
                  costs: CostModel = DEFAULT_COSTS,
                  stats: Optional[IoEventStats] = None,
                  interposers: Optional[InterposerChain] = None,
-                 mtu: int = STANDARD_MTU):
+                 mtu: int = STANDARD_MTU,
+                 tracer=None):
         self.env = env
         self.nic = nic
         self.io_core = io_core
@@ -64,9 +65,20 @@ class BaselineModel:
         self.stats = stats if stats is not None else IoEventStats("baseline")
         self.interposers = interposers if interposers is not None else InterposerChain()
         self.mtu = mtu
+        self.tracer = tracer  # optional repro.sim.trace.Tracer
         self._fn_of: Dict[Vm, NicFunction] = {}
         self._port_of: Dict[Vm, NetPort] = {}
         self._tx_vq_of: Dict[Vm, Virtqueue] = {}
+
+    def register_telemetry(self, namespace) -> None:
+        """Register this model's instruments into a metrics namespace."""
+        namespace.register_gauge("attached_vms",
+                                 lambda m=self: len(m._port_of))
+        for vm, vq in self._tx_vq_of.items():
+            ns = namespace.namespace(f"txq.{vm.name}")
+            for counter in ("kicks", "kicks_suppressed", "posted",
+                            "completed", "full_rejections"):
+                ns.register_counter(counter, getattr(vq, counter))
 
     def add_interposer(self, interposer) -> None:
         self.interposers.add(interposer)
@@ -107,6 +119,9 @@ class BaselineModel:
 
     def _guest_tx(self, vm: Vm, message: NetMessage):
         c = self.costs
+        if self.tracer:
+            self.tracer.point(message.message_id, "guest_tx",
+                              vm=vm.name, bytes=message.size_bytes)
         cycles = int(c.guest_net_per_msg_cycles
                      + c.guest_net_per_byte_cycles * message.size_bytes
                      + c.ring_op_cycles)
@@ -130,6 +145,10 @@ class BaselineModel:
         self._tx_vq_of[vm].kick_serviced()
         if not self.interposers.admit(message):
             return
+        span = None
+        if self.tracer:
+            span = self.tracer.begin(message.message_id, "vhost_service",
+                                     core=self.io_core.name, direction="tx")
         cycles = int(c.vhost_wakeup_cycles + c.backend_per_msg_cycles
                      + c.sidecore_per_byte_cycles * message.size_bytes
                      + self.interposers.cycles(message.size_bytes, message.kind))
@@ -139,6 +158,8 @@ class BaselineModel:
             payload_bytes=message_wire_bytes(message.size_bytes, self.mtu),
             kind=message.kind, created_ns=self.env.now)
         self._fn_of[vm].transmit(frame, completion_interrupt=True)
+        if span is not None:
+            self.tracer.end(span)
 
     def _on_tx_complete(self, vm: Vm) -> None:
         self.stats.host_interrupts.add()
@@ -174,15 +195,25 @@ class BaselineModel:
             message: NetMessage = frame.payload
             if not self.interposers.admit(message):
                 continue
+            span = None
+            if self.tracer:
+                span = self.tracer.begin(message.message_id, "vhost_service",
+                                         core=self.io_core.name,
+                                         direction="rx")
             cycles = int(c.vhost_wakeup_cycles + c.backend_per_msg_cycles
                          + c.sidecore_per_byte_cycles * message.size_bytes
                          + self.interposers.cycles(message.size_bytes,
                                                    message.kind))
             yield self.io_core.execute(cycles, tag="vhost")
             yield self.io_core.execute(c.injection_cycles, tag="injection")
+            if span is not None:
+                self.tracer.end(span)
             extra = int(c.guest_net_per_msg_cycles
                         + c.guest_net_per_byte_cycles * message.size_bytes)
             yield vm.deliver_interrupt_injected(extra_cycles=extra)
+            if self.tracer:
+                self.tracer.point(message.message_id, "guest_deliver",
+                                  vm=vm.name)
             port.deliver(message)
         fn.rearm()
 

@@ -55,7 +55,8 @@ class ElvisModel:
                  costs: CostModel = DEFAULT_COSTS,
                  stats: Optional[IoEventStats] = None,
                  interposers: Optional[InterposerChain] = None,
-                 mtu: int = STANDARD_MTU):
+                 mtu: int = STANDARD_MTU,
+                 tracer=None):
         if not sidecores:
             raise ValueError("Elvis requires at least one sidecore")
         self.env = env
@@ -65,11 +66,22 @@ class ElvisModel:
         self.stats = stats if stats is not None else IoEventStats("elvis")
         self.interposers = interposers if interposers is not None else InterposerChain()
         self.mtu = mtu
+        self.tracer = tracer  # optional repro.sim.trace.Tracer
         self._fn_of: Dict[Vm, NicFunction] = {}
         self._port_of: Dict[Vm, NetPort] = {}
         self._sidecore_of: Dict[Vm, Core] = {}
         self._tx_vq_of: Dict[Vm, Virtqueue] = {}
         self._attach_count = 0
+
+    def register_telemetry(self, namespace) -> None:
+        """Register this model's instruments into a metrics namespace."""
+        namespace.register_gauge("attached_vms",
+                                 lambda m=self: len(m._port_of))
+        for vm, vq in self._tx_vq_of.items():
+            ns = namespace.namespace(f"txq.{vm.name}")
+            for counter in ("kicks", "kicks_suppressed", "posted",
+                            "completed", "full_rejections"):
+                ns.register_counter(counter, getattr(vq, counter))
 
     def add_interposer(self, interposer) -> None:
         self.interposers.add(interposer)
@@ -116,6 +128,9 @@ class ElvisModel:
 
     def _guest_tx(self, vm: Vm, message: NetMessage):
         c = self.costs
+        if self.tracer:
+            self.tracer.point(message.message_id, "guest_tx",
+                              vm=vm.name, bytes=message.size_bytes)
         cycles = int(c.guest_net_per_msg_cycles
                      + c.guest_net_per_byte_cycles * message.size_bytes
                      + c.ring_op_cycles)
@@ -136,6 +151,10 @@ class ElvisModel:
             return
         if not self.interposers.admit(message):
             return
+        span = None
+        if self.tracer:
+            span = self.tracer.begin(message.message_id, "sidecore_service",
+                                     core=sidecore.name, direction="tx")
         cycles = int(c.backend_per_msg_cycles
                      + c.sidecore_per_byte_cycles * message.size_bytes
                      + self.interposers.cycles(message.size_bytes, message.kind))
@@ -146,6 +165,8 @@ class ElvisModel:
             kind=message.kind, created_ns=self.env.now)
         # Physical NIC tx raises a host interrupt on completion.
         self._fn_of[vm].transmit(frame, completion_interrupt=True)
+        if span is not None:
+            self.tracer.end(span)
 
     def _on_tx_complete(self, vm: Vm) -> None:
         self.stats.host_interrupts.add()
@@ -180,14 +201,24 @@ class ElvisModel:
             message: NetMessage = frame.payload
             if not self.interposers.admit(message):
                 continue
+            span = None
+            if self.tracer:
+                span = self.tracer.begin(message.message_id,
+                                         "sidecore_service",
+                                         core=sidecore.name, direction="rx")
             cycles = int(c.backend_per_msg_cycles
                          + c.sidecore_per_byte_cycles * message.size_bytes
                          + self.interposers.cycles(message.size_bytes,
                                                    message.kind))
             yield sidecore.execute(cycles, tag="backend")
+            if span is not None:
+                self.tracer.end(span)
             extra = int(c.guest_net_per_msg_cycles
                         + c.guest_net_per_byte_cycles * message.size_bytes)
             yield vm.deliver_interrupt_exitless(extra_cycles=extra)
+            if self.tracer:
+                self.tracer.point(message.message_id, "guest_deliver",
+                                  vm=vm.name)
             port.deliver(message)
         fn.rearm()
 

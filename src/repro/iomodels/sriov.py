@@ -30,13 +30,24 @@ class OptimumModel:
 
     def __init__(self, env: Environment, costs: CostModel = DEFAULT_COSTS,
                  stats: Optional[IoEventStats] = None,
-                 mtu: int = STANDARD_MTU):
+                 mtu: int = STANDARD_MTU,
+                 tracer=None):
         self.env = env
         self.costs = costs
         self.stats = stats if stats is not None else IoEventStats("optimum")
         self.mtu = mtu
+        self.tracer = tracer  # optional repro.sim.trace.Tracer
         self._vf_of: Dict[Vm, NicFunction] = {}
         self._port_of: Dict[Vm, NetPort] = {}
+
+    def register_telemetry(self, namespace) -> None:
+        """Register this model's instruments into a metrics namespace.
+
+        SRIOV has no host datapath, so there is nothing beyond the VF
+        counters (registered with their NICs) and the VM population.
+        """
+        namespace.register_gauge("attached_vms",
+                                 lambda m=self: len(m._port_of))
 
     def attach_vm(self, vm: Vm, nic: Nic) -> NetPort:
         """Assign a fresh VF on ``nic`` to ``vm``; returns its net port."""

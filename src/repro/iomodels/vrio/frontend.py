@@ -140,6 +140,30 @@ class VrioModel:
         self.copied_chunks = Counter("copied_chunks")          # zero-copy misses
         self.zero_copy_chunks = Counter("zero_copy_chunks")
 
+    def register_telemetry(self, namespace) -> None:
+        """Register this model's instruments into a metrics namespace."""
+        namespace.register_gauge("attached_vms",
+                                 lambda m=self: len(m._clients))
+        namespace.register_counter("forwarded_to_guest",
+                                   self.forwarded_to_guest)
+        namespace.register_counter("forwarded_to_external",
+                                   self.forwarded_to_external)
+        namespace.register_counter("copied_chunks", self.copied_chunks)
+        namespace.register_counter("zero_copy_chunks", self.zero_copy_chunks)
+        pool_ns = namespace.namespace("pool")
+        pool_ns.register_counter("steered", self.pool.steered)
+        pool_ns.register_counter("contended", self.pool.contended)
+        pool_ns.register_counter("affinity_hits", self.pool.affinity_hits)
+        pool_ns.register_gauge("contention_fraction",
+                               self.pool.contention_fraction)
+        for client_id, client in self._clients.items():
+            ts = client.transport_stats
+            ns = namespace.namespace(f"transport.{client_id}")
+            for counter in ("chunks_sent", "chunks_received",
+                            "messages_sent", "messages_received",
+                            "bytes_sent", "bytes_received"):
+                ns.register_counter(counter, getattr(ts, counter))
+
     # -- wiring -----------------------------------------------------------------
 
     def add_interposer(self, interposer) -> None:
@@ -582,11 +606,17 @@ class VrioModel:
         # overlaps the media access — the DMA engines and the device work
         # in parallel, so a slow medium hides the pipeline (§5's SATA-SSD
         # observation).
+        span = None
+        if self.tracer:
+            span = self.tracer.begin(op.xmit_id << 20, "device_io",
+                                     device=device.name, op=request.op)
         pipeline = self.env.timeout(c.vrio_block_service_latency_ns)
         media = device.submit(BlockRequest(op=request.op,
                                            sector=request.sector,
                                            size_bytes=request.size_bytes))
         yield self.env.all_of([pipeline, media])
+        if span is not None:
+            self.tracer.end(span)
         resp_size = request.size_bytes if request.op == "read" else 64
         resp = BlockChannelResp(request_id=request.request_id,
                                 xmit_id=op.xmit_id,

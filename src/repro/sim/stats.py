@@ -100,6 +100,26 @@ class Histogram:
         data = sorted(self._samples)
         return {q: percentile(data, q) for q in qs}
 
+    def summary(self) -> Dict[str, Optional[float]]:
+        """Count/mean/p50/p95/p99/max digest of the samples.
+
+        Unlike the raising accessors above, an empty histogram summarizes
+        to ``count=0`` with ``None`` statistics instead of an error, so
+        reports over idle components stay renderable.
+        """
+        if not self._samples:
+            return {"count": 0, "mean": None, "p50": None, "p95": None,
+                    "p99": None, "max": None}
+        data = sorted(self._samples)
+        return {
+            "count": len(data),
+            "mean": sum(data) / len(data),
+            "p50": percentile(data, 50),
+            "p95": percentile(data, 95),
+            "p99": percentile(data, 99),
+            "max": float(data[-1]),
+        }
+
 
 class TimeWeighted:
     """Tracks the time-weighted average of a piecewise-constant value."""

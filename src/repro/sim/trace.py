@@ -8,13 +8,19 @@ append per event when on.
 
 Models accept a tracer via duck typing: anything exposing
 ``point(trace_id, name, **attrs)`` and ``begin/end`` works.
+
+Capacity is a hard bound enforced by eviction: the tracer keeps at most
+``capacity`` events and ``capacity`` spans, discarding the *oldest* record
+when a new one would overflow (flight-recorder semantics — the most
+recent history is always retained).  ``dropped`` counts evictions.
 """
 
 from __future__ import annotations
 
 import itertools
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Deque, Dict, List, Optional
 
 from .engine import Environment
 
@@ -55,20 +61,22 @@ class Tracer:
     """Collects spans and events, indexable by trace id."""
 
     def __init__(self, env: Environment, capacity: int = 100_000):
+        if capacity <= 0:
+            raise ValueError(f"tracer capacity must be positive: {capacity}")
         self.env = env
         self.capacity = capacity
-        self.events: List[TraceEvent] = []
-        self.spans: List[Span] = []
+        self.events: Deque[TraceEvent] = deque()
+        self.spans: Deque[Span] = deque()
         self._open: Dict[int, Span] = {}
         self.dropped = 0
 
     # -- recording -----------------------------------------------------------
 
     def point(self, trace_id: Any, name: str, **attrs) -> None:
-        """Record an instantaneous event."""
+        """Record an instantaneous event, evicting the oldest at capacity."""
         if len(self.events) >= self.capacity:
+            self.events.popleft()
             self.dropped += 1
-            return
         self.events.append(TraceEvent(trace_id, name, self.env.now, attrs))
 
     def begin(self, trace_id: Any, name: str, **attrs) -> int:
@@ -76,8 +84,9 @@ class Tracer:
         span = Span(next(_span_ids), trace_id, name, self.env.now,
                     attrs=attrs)
         if len(self.spans) >= self.capacity:
+            evicted = self.spans.popleft()
+            self._open.pop(evicted.span_id, None)
             self.dropped += 1
-            return span.span_id
         self.spans.append(span)
         self._open[span.span_id] = span
         return span.span_id
@@ -98,6 +107,15 @@ class Tracer:
         return sorted(items, key=lambda i: getattr(i, "at_ns",
                                                    getattr(i, "start_ns", 0)))
 
+    def trace_ids(self) -> List[Any]:
+        """Every distinct trace id, in first-seen order."""
+        seen: Dict[Any, None] = {}
+        for event in self.events:
+            seen.setdefault(event.trace_id)
+        for span in self.spans:
+            seen.setdefault(span.trace_id)
+        return list(seen)
+
     def span_durations(self, name: str) -> List[int]:
         """Durations (ns) of every completed span with this name."""
         return [s.duration_ns for s in self.spans
@@ -117,3 +135,49 @@ class Tracer:
                              f"[{item.name} {dur}]"
                              + (f" {item.attrs}" if item.attrs else ""))
         return "\n".join(lines)
+
+    # -- export -------------------------------------------------------------
+
+    def to_chrome_trace(self) -> dict:
+        """Export as a Chrome ``trace_event`` document (chrome://tracing).
+
+        Completed spans become complete events (``ph: "X"``), open spans
+        begin events (``ph: "B"``), and points instant events
+        (``ph: "i"``).  Timestamps are microseconds, as the format
+        requires; each distinct trace id maps to its own ``tid`` so one
+        request renders as one row, with the original id kept in ``args``.
+        """
+        tids: Dict[Any, int] = {}
+
+        def tid_of(trace_id: Any) -> int:
+            return tids.setdefault(trace_id, len(tids) + 1)
+
+        records: List[dict] = []
+        for span in self.spans:
+            record = {
+                "name": span.name,
+                "cat": "span",
+                "ts": span.start_ns / 1000.0,
+                "pid": 1,
+                "tid": tid_of(span.trace_id),
+                "args": dict(span.attrs, trace_id=str(span.trace_id)),
+            }
+            if span.end_ns is not None:
+                record["ph"] = "X"
+                record["dur"] = span.duration_ns / 1000.0
+            else:
+                record["ph"] = "B"
+            records.append(record)
+        for event in self.events:
+            records.append({
+                "name": event.name,
+                "cat": "point",
+                "ph": "i",
+                "s": "t",
+                "ts": event.at_ns / 1000.0,
+                "pid": 1,
+                "tid": tid_of(event.trace_id),
+                "args": dict(event.attrs, trace_id=str(event.trace_id)),
+            })
+        records.sort(key=lambda r: (r["ts"], r["tid"], r["name"]))
+        return {"displayTimeUnit": "ms", "traceEvents": records}

@@ -1,0 +1,58 @@
+"""Unified observability for the vRIO reproduction.
+
+The paper's claims are observability claims — events per request (Table
+3), latency/throughput/utilization across models (Fig. 5–9), per-sidecore
+scalability (Fig. 13, 15).  This package gives every run one way to see
+those numbers:
+
+* :mod:`.registry` — a namespaced :class:`MetricsRegistry` that components
+  register their existing counters/histograms/utilization trackers into;
+* :mod:`.instrument` — walks a testbed and registers everything;
+* :mod:`.stages` — per-request stage-latency breakdown from the Tracer;
+* :mod:`.exporters` — Chrome ``trace_event`` JSON, metrics JSON/CSV, and
+  a human-readable text report;
+* :mod:`.flight` — a bounded ring buffer of recent engine steps, dumped
+  when an invariant breaks;
+* :mod:`.session` — :class:`TelemetrySession`, a context manager that
+  instruments every testbed built inside it (the cluster builders call
+  :func:`bind_testbed`; it is free when no session is active).
+
+Driven from the command line by ``python -m repro observe <scenario>``.
+"""
+
+from .exporters import (
+    text_report,
+    to_chrome_trace_json,
+    to_metrics_csv,
+    to_metrics_json,
+    validate_chrome_trace,
+    validate_metrics,
+)
+from .flight import FlightEntry, FlightRecorder
+from .instrument import (
+    instrument_testbed,
+    register_core,
+    register_nic,
+    register_storage_device,
+    sample_utilization,
+)
+from .registry import MetricsNamespace, MetricsRegistry
+from .session import (
+    TelemetrySession,
+    TestbedTelemetry,
+    active_session,
+    bind_testbed,
+)
+from .stages import StageBreakdown, stage_breakdown, trace_markers
+
+__all__ = [
+    "MetricsRegistry", "MetricsNamespace",
+    "instrument_testbed", "register_core", "register_nic",
+    "register_storage_device", "sample_utilization",
+    "StageBreakdown", "stage_breakdown", "trace_markers",
+    "to_metrics_json", "to_metrics_csv", "to_chrome_trace_json",
+    "text_report", "validate_metrics", "validate_chrome_trace",
+    "FlightRecorder", "FlightEntry",
+    "TelemetrySession", "TestbedTelemetry", "bind_testbed",
+    "active_session",
+]

@@ -1,0 +1,120 @@
+"""Exporters: metrics and traces in machine- and human-readable forms.
+
+Three formats, all dependency-free:
+
+* ``to_metrics_json`` / ``to_metrics_csv`` — the flat registry snapshot,
+  for diffing runs or feeding plotting scripts;
+* ``to_chrome_trace_json`` — the Tracer's span/point stream as a Chrome
+  ``trace_event`` document, loadable in chrome://tracing or Perfetto;
+* ``text_report`` — a terminal report combining the stage-latency
+  breakdown with the registry's headline numbers.
+
+``validate_metrics`` and ``validate_chrome_trace`` are the schema checks
+behind ``repro verify --telemetry``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Dict, List
+
+from .stages import stage_breakdown
+
+__all__ = [
+    "to_metrics_json",
+    "to_metrics_csv",
+    "to_chrome_trace_json",
+    "text_report",
+    "validate_metrics",
+    "validate_chrome_trace",
+]
+
+# Every trace_event record must carry these keys to render.
+_CHROME_REQUIRED_KEYS = ("name", "ph", "ts", "pid", "tid")
+_CHROME_PHASES = ("X", "B", "E", "i")
+
+
+def to_metrics_json(snapshot: Dict[str, float], indent: int = 2) -> str:
+    """The metrics snapshot as sorted, stable JSON."""
+    return json.dumps(snapshot, indent=indent, sort_keys=True)
+
+
+def to_metrics_csv(snapshot: Dict[str, float]) -> str:
+    """The metrics snapshot as two-column ``metric,value`` CSV."""
+    lines = ["metric,value"]
+    for name in sorted(snapshot):
+        value = snapshot[name]
+        rendered = repr(value) if isinstance(value, float) else str(value)
+        lines.append(f"{name},{rendered}")
+    return "\n".join(lines) + "\n"
+
+
+def to_chrome_trace_json(tracer) -> str:
+    """The tracer's records as a Chrome ``trace_event`` JSON document."""
+    return json.dumps(tracer.to_chrome_trace(), indent=1)
+
+
+def text_report(telemetry, title: str = "") -> str:
+    """Human-readable run report: stages, models, sidecores, headline I/O."""
+    lines: List[str] = []
+    if title:
+        lines += [title, "=" * len(title), ""]
+    lines.append(stage_breakdown(telemetry.tracer).format())
+    snapshot = telemetry.registry.snapshot()
+    interesting = [name for name in sorted(snapshot)
+                   if name.startswith(("stats.", "sidecores.", "ports.",
+                                       "model", "storage."))
+                   and not name.endswith(("_ns",))]
+    if interesting:
+        lines += ["", "key metrics"]
+        for name in interesting:
+            value = snapshot[name]
+            if isinstance(value, float) and not value.is_integer():
+                lines.append(f"  {name:54s} {value:12.4f}")
+            else:
+                lines.append(f"  {name:54s} {int(value):12d}")
+    lines += ["", f"metrics registered: {len(snapshot)}   "
+                  f"trace events: {len(telemetry.tracer.events)}   "
+                  f"spans: {len(telemetry.tracer.spans)}   "
+                  f"flight entries: {telemetry.recorder.recorded}"]
+    return "\n".join(lines)
+
+
+def validate_metrics(snapshot: Dict[str, float]) -> None:
+    """Raise ``ValueError`` unless the snapshot is a non-empty, flat
+    mapping of dotted names to finite numbers."""
+    if not isinstance(snapshot, dict) or not snapshot:
+        raise ValueError("metrics snapshot is empty")
+    for name, value in snapshot.items():
+        if not isinstance(name, str) or not name:
+            raise ValueError(f"bad metric name: {name!r}")
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise ValueError(f"metric {name!r} has non-numeric value "
+                             f"{value!r}")
+        if isinstance(value, float) and not math.isfinite(value):
+            raise ValueError(f"metric {name!r} is not finite: {value!r}")
+
+
+def validate_chrome_trace(document: dict) -> None:
+    """Raise ``ValueError`` unless ``document`` is a loadable Chrome
+    ``trace_event`` object-format document."""
+    if not isinstance(document, dict):
+        raise ValueError("chrome trace must be a JSON object")
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError("chrome trace lacks a traceEvents list")
+    for record in events:
+        if not isinstance(record, dict):
+            raise ValueError(f"trace event is not an object: {record!r}")
+        missing = [key for key in _CHROME_REQUIRED_KEYS if key not in record]
+        if missing:
+            raise ValueError(f"trace event missing {missing}: {record!r}")
+        if record["ph"] not in _CHROME_PHASES:
+            raise ValueError(f"unknown phase {record['ph']!r}")
+        if record["ph"] == "X" and "dur" not in record:
+            raise ValueError(f"complete event lacks dur: {record!r}")
+        if not isinstance(record["ts"], (int, float)) or record["ts"] < 0:
+            raise ValueError(f"bad timestamp in {record!r}")
+    # The document must survive a JSON round trip.
+    json.loads(json.dumps(document))

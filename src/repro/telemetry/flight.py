@@ -1,0 +1,90 @@
+"""Flight recorder: a bounded ring buffer of recent engine activity.
+
+Attached as an :class:`~repro.sim.Environment` monitor, the recorder keeps
+the last ``capacity`` scheduler steps (plus any annotations components
+record explicitly) so that when something goes wrong — an invariant
+violation, a stuck workload — the moments leading up to it can be dumped
+for diagnosis.  Recording is passive: it never schedules events, so runs
+with and without a recorder are bit-identical.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional, Tuple
+
+__all__ = ["FlightRecorder", "FlightEntry"]
+
+# (seq, at_ns, source, detail)
+FlightEntry = Tuple[int, int, str, str]
+
+
+def _describe(item) -> Tuple[str, str]:
+    """Classify one scheduler item into a (source, detail) pair."""
+    name = getattr(item, "name", None)
+    if name is not None and hasattr(item, "generator"):
+        return "process", str(name)
+    if hasattr(item, "callbacks"):
+        return "event", type(item).__name__
+    return "callback", getattr(item, "__name__", "<callable>")
+
+
+class FlightRecorder:
+    """Remembers the last N scheduler steps and explicit annotations."""
+
+    def __init__(self, capacity: int = 256):
+        if capacity <= 0:
+            raise ValueError(f"recorder capacity must be positive: {capacity}")
+        self.capacity = capacity
+        self._entries: Deque[FlightEntry] = deque(maxlen=capacity)
+        self._seq = 0
+        self._env = None
+
+    # -- engine monitor interface ------------------------------------------
+
+    def attach(self, env) -> "FlightRecorder":
+        env.add_monitor(self)
+        self._env = env
+        return self
+
+    def detach(self) -> None:
+        if self._env is not None:
+            self._env.remove_monitor(self)
+            self._env = None
+
+    def on_step(self, now: int, item) -> None:
+        source, detail = _describe(item)
+        self._seq += 1
+        self._entries.append((self._seq, now, source, detail))
+
+    # -- explicit annotations ----------------------------------------------
+
+    def note(self, at_ns: int, source: str, detail: str = "") -> None:
+        """Record a component-level annotation alongside engine steps."""
+        self._seq += 1
+        self._entries.append((self._seq, at_ns, str(source), str(detail)))
+
+    # -- inspection --------------------------------------------------------
+
+    @property
+    def recorded(self) -> int:
+        """Total entries ever recorded (>= len(entries) once wrapped)."""
+        return self._seq
+
+    def entries(self, last: Optional[int] = None) -> List[FlightEntry]:
+        items = list(self._entries)
+        if last is not None:
+            items = items[-last:]
+        return items
+
+    def dump(self, last: Optional[int] = None) -> str:
+        """Render the most recent entries, oldest first."""
+        items = self.entries(last)
+        if not items:
+            return "flight recorder: empty"
+        lines = [f"flight recorder: last {len(items)} of "
+                 f"{self.recorded} entries"]
+        for seq, at_ns, source, detail in items:
+            lines.append(f"  #{seq:<8d} {at_ns / 1000.0:12.3f}us  "
+                         f"{source:9s} {detail}")
+        return "\n".join(lines)

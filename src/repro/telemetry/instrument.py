@@ -1,0 +1,143 @@
+"""Shared instrumentation: wire a testbed's components into a registry.
+
+:func:`instrument_testbed` walks one assembled
+:class:`~repro.cluster.Testbed` and registers every component's existing
+measurement objects — engine clock, Table-3 event stats, cores (VM, service
+and client), ports, external endpoints, NIC/link hardware — plus whatever
+each I/O model exposes through its ``register_telemetry(namespace)`` hook.
+Everything is read lazily at snapshot time, so instrumenting a run does
+not change it.
+
+Storage devices are created after the testbed is built (workloads call
+``attach_ramdisk`` mid-experiment), so they register through
+:func:`register_storage_device`, which the testbed calls as devices
+appear.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from ..sim import Environment, TimeSeries
+from .registry import MetricsRegistry
+
+__all__ = [
+    "instrument_testbed",
+    "register_core",
+    "register_nic",
+    "register_storage_device",
+    "sample_utilization",
+]
+
+
+def register_core(registry: MetricsRegistry, prefix: str, core) -> None:
+    """One core's utilization, cycle ledger, and queue depth."""
+    ns = registry.namespace(prefix)
+    ns.register_utilization("util", core.util)
+    ns.register_gauge("total_cycles", lambda c=core: c.total_cycles)
+    ns.register_gauge("queue_length", lambda c=core: c.queue_length)
+    ns.register_gauge("energy_joules", lambda c=core: c.energy_joules())
+
+
+def register_nic(registry: MetricsRegistry, prefix: str, nic) -> None:
+    """One NIC port: per-port aggregates over its PF/VF functions, plus
+    the attached link endpoint's frame counters."""
+    ns = registry.namespace(prefix)
+    ns.register_counter("unknown_dst", nic.unknown_dst)
+    for counter in ("rx_frames", "rx_dropped", "tx_frames",
+                    "notifications", "coalesced"):
+        ns.register_gauge(counter, lambda n=nic, c=counter: sum(
+            getattr(fn, c).value for fn in n.functions))
+    endpoint = nic.endpoint
+    if endpoint is not None:
+        ns.register_gauge("link_tx_frames", lambda e=endpoint: e.tx_frames)
+        ns.register_gauge("link_tx_bytes", lambda e=endpoint: e.tx_bytes)
+        ns.register_gauge("link_tx_dropped", lambda e=endpoint: e.tx_dropped)
+
+
+def register_storage_device(registry: MetricsRegistry, device) -> None:
+    """One block device's operation and byte counters."""
+    ns = registry.namespace(f"storage.{device.name}")
+    for counter in ("reads", "writes", "bytes_read", "bytes_written"):
+        ns.register_counter(counter, getattr(device, counter))
+
+
+def _unique_cores(cores: Iterable) -> List:
+    seen = set()
+    out = []
+    for core in cores:
+        if id(core) not in seen:
+            seen.add(id(core))
+            out.append(core)
+    return out
+
+
+def instrument_testbed(testbed, registry: MetricsRegistry) -> MetricsRegistry:
+    """Register every component of ``testbed`` into ``registry``."""
+    env = testbed.env
+    registry.register_gauge("sim.now_ns", lambda e=env: e.now)
+
+    stats_ns = registry.namespace("stats")
+    for column in testbed.stats.COLUMNS:
+        stats_ns.register_counter(column, getattr(testbed.stats, column))
+    stats_ns.register_gauge("total", testbed.stats.total)
+
+    for vm in testbed.vms:
+        ns = registry.namespace(f"vm.{vm.name}")
+        ns.register_counter("interrupts", vm.interrupts_received)
+        register_core(registry, f"vm.{vm.name}.vcpu", vm.vcpu)
+
+    # The paper's sidecores / I/O cores / vRIO workers, by position: the
+    # scalability and consolidation analyses key on these indices.
+    for index, core in enumerate(testbed.service_cores):
+        register_core(registry, f"sidecores.{index}", core)
+
+    for index, port in enumerate(testbed.ports):
+        ns = registry.namespace(f"ports.{index}")
+        for counter in ("tx_messages", "rx_messages", "tx_bytes", "rx_bytes"):
+            ns.register_counter(counter, getattr(port, counter))
+
+    for index, client in enumerate(testbed.clients):
+        ns = registry.namespace(f"clients.{index}")
+        ns.register_counter("tx_messages", client.tx_messages)
+        ns.register_counter("rx_messages", client.rx_messages)
+        register_core(registry, f"clients.{index}.core", client.core)
+
+    hosts = list(testbed.vmhosts)
+    if testbed.iohost is not None:
+        hosts.append(testbed.iohost)
+    for host in hosts:
+        for nic in host.nics:
+            register_nic(registry, f"nic.{nic.name}", nic)
+
+    for index, model in enumerate(testbed.models):
+        hook = getattr(model, "register_telemetry", None)
+        if hook is not None:
+            hook(registry.namespace(f"model{index}.{model.name}"))
+    return registry
+
+
+def sample_utilization(env: Environment, cores, interval_ns: int,
+                       process_name: str = "utilization-sampler"
+                       ) -> List[TimeSeries]:
+    """Periodically sample each core's useful-cycle utilization (%).
+
+    Starts a sampler process recording, every ``interval_ns``, the
+    fraction of the interval each core spent on useful work — the Figure
+    15 measurement.  Returns one :class:`TimeSeries` per core, filled in
+    as the simulation runs.
+    """
+    series = [TimeSeries(core.name) for core in cores]
+    last = [0] * len(cores)
+
+    def sampler():
+        while True:
+            yield env.timeout(interval_ns)
+            for idx, core in enumerate(cores):
+                useful = core.util.useful_ns
+                fraction = (useful - last[idx]) / interval_ns
+                last[idx] = useful
+                series[idx].record(env.now, fraction * 100.0)
+
+    env.process(sampler(), name=process_name)
+    return series

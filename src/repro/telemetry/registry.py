@@ -1,0 +1,177 @@
+"""The central metrics registry.
+
+A :class:`MetricsRegistry` maps dot-namespaced metric names onto the
+measurement primitives the simulator already keeps —
+:class:`~repro.sim.Counter`, :class:`~repro.sim.Histogram`,
+:class:`~repro.sim.UtilizationTracker`, :class:`~repro.sim.TimeWeighted` —
+plus lazy *gauges* (zero-argument callables read at snapshot time).
+
+Registration stores a **reference**, not a copy: components keep updating
+their own counters on the hot path exactly as before, and the registry
+only reads them when :meth:`MetricsRegistry.snapshot` flattens everything
+into one ``{name: number}`` dict.  Instrumentation therefore never
+perturbs event order, which keeps golden fingerprints and bit-determinism
+intact.
+
+Names are unique; registering the same name twice raises.  Use
+:meth:`MetricsRegistry.namespace` to hand a component a prefixed view so
+it can register its own metrics without knowing where it sits in the
+hierarchy.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..sim import Counter, Histogram, TimeWeighted, UtilizationTracker
+
+__all__ = ["MetricsRegistry", "MetricsNamespace"]
+
+_KINDS = ("counter", "gauge", "histogram", "utilization", "time_weighted")
+
+
+def _check_name(name: str) -> str:
+    if not name or not isinstance(name, str):
+        raise ValueError(f"metric name must be a non-empty string: {name!r}")
+    if any(ch.isspace() for ch in name):
+        raise ValueError(f"metric name may not contain whitespace: {name!r}")
+    if name.startswith(".") or name.endswith(".") or ".." in name:
+        raise ValueError(f"malformed metric namespace in {name!r}")
+    return name
+
+
+class MetricsRegistry:
+    """Namespaced registry of measurement instruments."""
+
+    def __init__(self):
+        self._instruments: Dict[str, Tuple[str, object]] = {}
+
+    # -- registration ------------------------------------------------------
+
+    def _register(self, name: str, kind: str, instrument: object):
+        _check_name(name)
+        assert kind in _KINDS
+        if name in self._instruments:
+            raise ValueError(f"metric {name!r} already registered")
+        self._instruments[name] = (kind, instrument)
+        return instrument
+
+    def register_counter(self, name: str,
+                         counter: Optional[Counter] = None) -> Counter:
+        """Register an existing counter, or create one if none is given."""
+        if counter is None:
+            counter = Counter(name)
+        return self._register(name, "counter", counter)
+
+    def register_gauge(self, name: str, read: Callable[[], float]) -> None:
+        """Register a lazy gauge: ``read()`` is called at snapshot time."""
+        if not callable(read):
+            raise TypeError(f"gauge {name!r} needs a callable, got {read!r}")
+        self._register(name, "gauge", read)
+
+    def register_histogram(self, name: str,
+                           histogram: Optional[Histogram] = None) -> Histogram:
+        if histogram is None:
+            histogram = Histogram(name)
+        return self._register(name, "histogram", histogram)
+
+    def register_utilization(self, name: str,
+                             tracker: UtilizationTracker) -> UtilizationTracker:
+        return self._register(name, "utilization", tracker)
+
+    def register_time_weighted(self, name: str,
+                               value: TimeWeighted) -> TimeWeighted:
+        return self._register(name, "time_weighted", value)
+
+    def namespace(self, prefix: str) -> "MetricsNamespace":
+        """A view that prepends ``prefix.`` to every registered name."""
+        _check_name(prefix)
+        return MetricsNamespace(self, prefix)
+
+    # -- introspection -----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def names(self) -> List[str]:
+        return sorted(self._instruments)
+
+    def kind_of(self, name: str) -> str:
+        return self._instruments[name][0]
+
+    def get(self, name: str) -> object:
+        """The registered instrument object (or gauge callable)."""
+        return self._instruments[name][1]
+
+    # -- reading -----------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, float]:
+        """Flatten every instrument into one ``{name: number}`` dict.
+
+        Counters and gauges contribute one entry.  Utilization trackers
+        expand into ``.busy_ns`` / ``.useful_ns`` / ``.busy_fraction`` /
+        ``.useful_fraction``; histograms into ``.count`` plus (when
+        non-empty) ``.mean`` / ``.p50`` / ``.p95`` / ``.p99`` / ``.max``,
+        so every value is a plain finite number fit for golden files.
+        """
+        out: Dict[str, float] = {}
+        for name in sorted(self._instruments):
+            kind, instrument = self._instruments[name]
+            if kind == "counter":
+                out[name] = instrument.value
+            elif kind == "gauge":
+                out[name] = instrument()
+            elif kind == "time_weighted":
+                out[f"{name}.average"] = instrument.average()
+            elif kind == "utilization":
+                out[f"{name}.busy_ns"] = instrument.busy_ns
+                out[f"{name}.useful_ns"] = instrument.useful_ns
+                out[f"{name}.busy_fraction"] = instrument.busy_fraction()
+                out[f"{name}.useful_fraction"] = instrument.useful_fraction()
+            else:  # histogram
+                digest = instrument.summary()
+                out[f"{name}.count"] = digest["count"]
+                for stat in ("mean", "p50", "p95", "p99", "max"):
+                    if digest[stat] is not None:
+                        out[f"{name}.{stat}"] = digest[stat]
+        return out
+
+
+class MetricsNamespace:
+    """A prefix-bound view of a :class:`MetricsRegistry`.
+
+    Mirrors the registry's ``register_*`` methods with the prefix applied,
+    so a component can instrument itself without global-name knowledge.
+    """
+
+    def __init__(self, registry: MetricsRegistry, prefix: str):
+        self.registry = registry
+        self.prefix = prefix
+
+    def _name(self, name: str) -> str:
+        return f"{self.prefix}.{name}"
+
+    def register_counter(self, name: str,
+                         counter: Optional[Counter] = None) -> Counter:
+        return self.registry.register_counter(self._name(name), counter)
+
+    def register_gauge(self, name: str, read: Callable[[], float]) -> None:
+        self.registry.register_gauge(self._name(name), read)
+
+    def register_histogram(self, name: str,
+                           histogram: Optional[Histogram] = None) -> Histogram:
+        return self.registry.register_histogram(self._name(name), histogram)
+
+    def register_utilization(self, name: str,
+                             tracker: UtilizationTracker) -> UtilizationTracker:
+        return self.registry.register_utilization(self._name(name), tracker)
+
+    def register_time_weighted(self, name: str,
+                               value: TimeWeighted) -> TimeWeighted:
+        return self.registry.register_time_weighted(self._name(name), value)
+
+    def namespace(self, prefix: str) -> "MetricsNamespace":
+        return MetricsNamespace(self.registry, self._name(prefix))

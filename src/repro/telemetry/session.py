@@ -1,0 +1,107 @@
+"""Telemetry sessions: turn observation on for everything built inside.
+
+The cluster builders call :func:`bind_testbed` on every testbed they
+assemble.  Without an active session that call is a no-op — production
+runs, experiments, and the golden suite pay nothing.  Inside a
+``with TelemetrySession() as session:`` block, each built testbed gets its
+own :class:`TestbedTelemetry`: a private metrics registry (so metric
+names never collide across testbeds), a request tracer installed into the
+I/O models, and a flight recorder watching the engine.
+
+    with TelemetrySession() as session:
+        result = run_scenario("rr_vrio")
+    telemetry = session.for_testbed(result.testbed)
+    print(telemetry.report())
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..sim import Tracer
+from .exporters import text_report
+from .flight import FlightRecorder
+from .instrument import instrument_testbed
+from .registry import MetricsRegistry
+from .stages import StageBreakdown, stage_breakdown
+
+__all__ = ["TelemetrySession", "TestbedTelemetry", "bind_testbed",
+           "active_session"]
+
+
+class TestbedTelemetry:
+    """One testbed's registry + tracer + flight recorder bundle."""
+
+    def __init__(self, testbed, tracer_capacity: int = 100_000,
+                 flight_capacity: int = 256):
+        self.testbed = testbed
+        self.registry = MetricsRegistry()
+        self.tracer = Tracer(testbed.env, capacity=tracer_capacity)
+        self.recorder = FlightRecorder(capacity=flight_capacity)
+        self.recorder.attach(testbed.env)
+        instrument_testbed(testbed, self.registry)
+        for model in testbed.models:
+            if hasattr(model, "tracer") and model.tracer is None:
+                model.tracer = self.tracer
+        testbed.telemetry = self
+
+    def snapshot(self) -> dict:
+        return self.registry.snapshot()
+
+    def stages(self) -> StageBreakdown:
+        return stage_breakdown(self.tracer)
+
+    def chrome_trace(self) -> dict:
+        return self.tracer.to_chrome_trace()
+
+    def report(self, title: str = "") -> str:
+        return text_report(self, title=title)
+
+
+_active: List["TelemetrySession"] = []
+
+
+class TelemetrySession:
+    """Context manager scoping telemetry onto every testbed built within."""
+
+    def __init__(self, tracer_capacity: int = 100_000,
+                 flight_capacity: int = 256):
+        self.tracer_capacity = tracer_capacity
+        self.flight_capacity = flight_capacity
+        self.bound: List[TestbedTelemetry] = []
+
+    def __enter__(self) -> "TelemetrySession":
+        _active.append(self)
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        _active.remove(self)
+
+    def bind(self, testbed) -> TestbedTelemetry:
+        telemetry = TestbedTelemetry(testbed,
+                                     tracer_capacity=self.tracer_capacity,
+                                     flight_capacity=self.flight_capacity)
+        self.bound.append(telemetry)
+        return telemetry
+
+    def for_testbed(self, testbed) -> Optional[TestbedTelemetry]:
+        for telemetry in self.bound:
+            if telemetry.testbed is testbed:
+                return telemetry
+        return None
+
+
+def active_session() -> Optional[TelemetrySession]:
+    """The innermost active session, or None."""
+    return _active[-1] if _active else None
+
+
+def bind_testbed(testbed) -> Optional[TestbedTelemetry]:
+    """Instrument ``testbed`` under the active session (no-op without one).
+
+    Called by every cluster builder just before it returns.
+    """
+    session = active_session()
+    if session is None:
+        return None
+    return session.bind(testbed)

@@ -215,14 +215,23 @@ def _testbed_cores(testbed) -> Iterable[Core]:
             yield client.core
 
 
+# How many flight-recorder entries a failing audit dumps.
+_FLIGHT_DUMP_ENTRIES = 48
+
+
 def verify_testbed(testbed,
-                   monitor: Optional[EngineMonitor] = None
+                   monitor: Optional[EngineMonitor] = None,
+                   recorder=None
                    ) -> List[InvariantViolation]:
     """Audit every invariant on a finished testbed run.
 
     Returns all violations found (empty list = clean).  Pass the
     :class:`EngineMonitor` that watched the run to include its stream
-    findings.
+    findings.  Pass a :class:`~repro.telemetry.FlightRecorder` (or leave
+    ``recorder=None`` to use the testbed's bound telemetry, if any) and a
+    failing audit appends one extra violation carrying the recorder's
+    last entries — the context needed to debug what the run was doing
+    when the laws broke.
     """
     now = testbed.env.now
     out: List[InvariantViolation] = []
@@ -236,6 +245,14 @@ def verify_testbed(testbed,
         out.extend(check_endpoint(client))
     out.extend(check_event_stats(testbed.stats))
     out.extend(check_conservation(testbed))
+    if out:
+        if recorder is None:
+            telemetry = getattr(testbed, "telemetry", None)
+            recorder = getattr(telemetry, "recorder", None)
+        if recorder is not None:
+            out.append(InvariantViolation(
+                "flight-recorder", "recent-events",
+                recorder.dump(last=_FLIGHT_DUMP_ENTRIES)))
     return out
 
 

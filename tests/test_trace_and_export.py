@@ -57,6 +57,66 @@ def test_tracer_capacity_drops_counted():
     assert tracer.dropped == 3
 
 
+def test_tracer_capacity_keeps_most_recent():
+    """Eviction is oldest-first: the newest history always survives."""
+    env = Environment()
+    tracer = Tracer(env, capacity=3)
+    for i in range(7):
+        tracer.point("t", f"e{i}")
+    assert [e.name for e in tracer.events] == ["e4", "e5", "e6"]
+    assert tracer.dropped == 4
+
+
+def test_tracer_span_eviction_forgets_open_handle():
+    env = Environment()
+    tracer = Tracer(env, capacity=1)
+    first = tracer.begin("a", "one")
+    tracer.begin("b", "two")  # evicts "one"
+    assert tracer.dropped == 1
+    tracer.end(first)  # stale handle: must be a no-op, not a resurrection
+    assert len(tracer.spans) == 1
+    assert tracer.spans[0].name == "two"
+
+
+def test_tracer_rejects_non_positive_capacity():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Tracer(env, capacity=0)
+
+
+def test_chrome_trace_round_trips_through_json():
+    env = Environment()
+    tracer = Tracer(env)
+
+    def proc(env):
+        tracer.point("req", "submitted", size=4096)
+        span = tracer.begin("req", "service", worker="w0")
+        yield env.timeout(1500)
+        tracer.end(span)
+        tracer.begin("req", "dangling")  # stays open
+
+    env.process(proc(env))
+    env.run()
+    doc = json.loads(json.dumps(tracer.to_chrome_trace()))
+    assert doc["displayTimeUnit"] == "ms"
+    events = doc["traceEvents"]
+    assert len(events) == 3
+    by_name = {e["name"]: e for e in events}
+    complete = by_name["service"]
+    assert complete["ph"] == "X"
+    assert complete["dur"] == pytest.approx(1.5)  # 1500 ns in us
+    assert complete["args"]["trace_id"] == "req"
+    assert by_name["dangling"]["ph"] == "B"
+    instant = by_name["submitted"]
+    assert instant["ph"] == "i" and instant["s"] == "t"
+    assert instant["args"]["size"] == 4096
+    for record in events:
+        for key in ("name", "ph", "ts", "pid", "tid"):
+            assert key in record
+    # One trace id -> one tid row.
+    assert len({e["tid"] for e in events}) == 1
+
+
 def test_tracer_format_trace():
     env = Environment()
     tracer = Tracer(env)
