@@ -4,35 +4,44 @@ Commands
 --------
 list
     Show every reproducible artifact and its description.
-run ARTIFACT [--quick] [--chart]
-    Regenerate one artifact (e.g. ``fig7``, ``tab3``, ``energy``) and
-    print the reproduced rows; ``--chart`` adds an ASCII chart for the
-    series-valued figures.
+run ARTIFACT [--quick] [--chart] [--jobs N] [--no-cache] [--cache-dir D]
+    Regenerate one artifact (e.g. ``fig7``, ``tab3``, ``energy``) — or
+    ``all`` of them — and print the reproduced rows; ``--chart`` adds an
+    ASCII chart for the series-valued figures.  ``--jobs`` fans sweep
+    points out over worker processes; results are byte-identical at any
+    job count.  Unchanged sweep points replay from the persistent result
+    cache (disable with ``--no-cache``).
 models
     Describe the five I/O model configurations.
 costs
     Dump the calibrated cost-model constants.
 verify [--scenario NAME] [--update-goldens] [--list] [--telemetry]
+       [--jobs N] [--no-cache] [--cache-dir D]
     Run the verification harness: every canonical scenario is executed,
     audited against the simulation invariants, re-run to prove bit
     determinism, and compared to its committed golden fingerprint.
     ``--telemetry`` adds a pass validating each scenario's metrics and
-    Chrome-trace exports.
+    Chrome-trace exports.  Scenarios fan out over ``--jobs`` processes
+    and replay from the result cache when the code is unchanged.
 observe SCENARIO [--seed N] [--trace PATH] [--json FILE] [--csv FILE]
     Run one scenario under full telemetry: print the per-stage latency
     breakdown and key metrics, and write a Chrome ``trace_event`` JSON
     file viewable in chrome://tracing or Perfetto.
+bench [ARTIFACT ...] [--quick] [--jobs N] [--out PATH]
+    Time each artifact's regeneration three ways — serial cold, parallel
+    cold, and warm-cache — and write the timings to ``BENCH_sweep.json``.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple, Union
 
 from . import experiments as ex
 from .analysis import series_by_model
 from .analysis.charts import ascii_chart
+from .experiments import SweepCache, sweep
 from .iomodels.costs import DEFAULT_COSTS
 from .sim import ms
 
@@ -43,81 +52,119 @@ def _quick_ns(quick: bool) -> int:
     return ms(15) if quick else ms(30)
 
 
-def _fig05(quick):
+def _fig05(quick, **kw):
     points = ex.run_fig05(vm_counts=(1, 4, 7) if quick else range(1, 8),
-                          run_ns=_quick_ns(quick))
+                          run_ns=_quick_ns(quick), **kw)
     return ex.format_fig05(points), points
 
 
-def _fig07(quick):
+def _fig07(quick, **kw):
     points = ex.run_fig07(vm_counts=(1, 4, 7) if quick else range(1, 8),
-                          run_ns=_quick_ns(quick))
+                          run_ns=_quick_ns(quick), **kw)
     return ex.format_fig07(points), points
 
 
-def _fig09(quick):
+def _fig09(quick, **kw):
     points = ex.run_fig09(vm_counts=(1, 4, 7) if quick else range(1, 8),
-                          run_ns=_quick_ns(quick))
+                          run_ns=_quick_ns(quick), **kw)
     return ex.format_fig09(points), points
 
 
-def _fig13(quick):
+def _fig13(quick, **kw):
     vms = (4, 12, 28) if quick else (4, 8, 12, 16, 20, 24, 28)
     text = ex.format_fig13(ex.run_fig13a(total_vms=vms,
-                                         run_ns=_quick_ns(quick)),
+                                         run_ns=_quick_ns(quick), **kw),
                            ex.run_fig13b(total_vms=vms,
-                                         run_ns=_quick_ns(quick)))
+                                         run_ns=_quick_ns(quick), **kw))
     return text, None
 
 
-# artifact -> (description, runner(quick) -> (text, chartable_points))
+# artifact -> (description, runner(quick, jobs=, cache=) -> (text, points))
 ARTIFACTS: Dict[str, Tuple[str, Callable]] = {
     "fig1": ("CPU vs NIC upgrade price ratios",
-             lambda q: (ex.format_fig01(ex.run_fig01()), None)),
+             lambda q, **kw: (ex.format_fig01(ex.run_fig01(**kw)), None)),
     "tab1": ("Dell R930 server configurations",
-             lambda q: (ex.format_tab01(ex.run_tab01()), None)),
+             lambda q, **kw: (ex.format_tab01(ex.run_tab01(**kw)), None)),
     "tab2": ("Elvis vs vRIO rack prices",
-             lambda q: (ex.format_tab02(ex.run_tab02()), None)),
+             lambda q, **kw: (ex.format_tab02(ex.run_tab02(**kw)), None)),
     "fig3": ("SSD consolidation price ratios",
-             lambda q: (ex.format_fig03(ex.run_fig03()), None)),
+             lambda q, **kw: (ex.format_fig03(ex.run_fig03(**kw)), None)),
     "tab3": ("per request-response virtualization events",
-             lambda q: (ex.format_tab03(ex.run_tab03()), None)),
+             lambda q, **kw: (ex.format_tab03(ex.run_tab03(**kw)), None)),
     "fig5": ("ApacheBench throughput, all five models", _fig05),
     "fig7": ("netperf RR latency vs number of VMs", _fig07),
     "fig8": ("vRIO latency gap and IOhost contention",
-             lambda q: (ex.format_fig08(ex.run_fig08(
+             lambda q, **kw: (ex.format_fig08(ex.run_fig08(
                  vm_counts=(1, 4, 7) if q else range(1, 8),
-                 run_ns=_quick_ns(q))), None)),
+                 run_ns=_quick_ns(q), **kw)), None)),
     "tab4": ("tail latency percentiles",
-             lambda q: (ex.format_tab04(ex.run_tab04(
-                 run_ns=ms(150) if q else ms(400))), None)),
+             lambda q, **kw: (ex.format_tab04(ex.run_tab04(
+                 run_ns=ms(150) if q else ms(400), **kw)), None)),
     "fig9": ("netperf 64B stream throughput", _fig09),
     "fig10": ("per-packet processing cycles",
-              lambda q: (ex.format_fig10(ex.run_fig10(_quick_ns(q))), None)),
+              lambda q, **kw: (ex.format_fig10(
+                  ex.run_fig10(_quick_ns(q), **kw)), None)),
     "fig11": ("equal-core throughput comparison",
-              lambda q: (ex.format_fig11(ex.run_fig11(_quick_ns(q))), None)),
+              lambda q, **kw: (ex.format_fig11(
+                  ex.run_fig11(_quick_ns(q), **kw)), None)),
     "fig12": ("memcached + Apache macrobenchmarks",
-              lambda q: (ex.format_fig12(ex.run_fig12(
+              lambda q, **kw: (ex.format_fig12(ex.run_fig12(
                   vm_counts=(1, 4, 7) if q else range(1, 8),
-                  run_ns=_quick_ns(q))), None)),
+                  run_ns=_quick_ns(q), **kw)), None)),
     "fig13": ("IOhost scalability (4 VMhosts)", _fig13),
     "fig14": ("filebench on a remote ramdisk",
-              lambda q: (ex.format_fig14(ex.run_fig14(
+              lambda q, **kw: (ex.format_fig14(ex.run_fig14(
                   vm_counts=(1, 4, 7) if q else range(1, 8),
-                  run_ns=_quick_ns(q))), None)),
+                  run_ns=_quick_ns(q), **kw)), None)),
     "fig14ssd": ("the SATA-SSD variant of fig14",
-                 lambda q: (ex.format_fig14_ssd(ex.run_fig14_ssd(
-                     vm_counts=(1, 4), run_ns=ms(50))), None)),
+                 lambda q, **kw: (ex.format_fig14_ssd(ex.run_fig14_ssd(
+                     vm_counts=(1, 4), run_ns=ms(50), **kw)), None)),
     "fig15": ("sidecore utilization under consolidation",
-              lambda q: (ex.format_fig15(ex.run_fig15(ms(50))), None)),
+              lambda q, **kw: (ex.format_fig15(
+                  ex.run_fig15(ms(50), **kw)), None)),
     "fig16a": ("consolidation tradeoff 2=>1",
-               lambda q: (ex.format_fig16a(ex.run_fig16a(ms(40))), None)),
+               lambda q, **kw: (ex.format_fig16a(
+                   ex.run_fig16a(ms(40), **kw)), None)),
     "fig16b": ("load imbalance 2=>2 with AES",
-               lambda q: (ex.format_fig16b(ex.run_fig16b(ms(40))), None)),
+               lambda q, **kw: (ex.format_fig16b(
+                   ex.run_fig16b(ms(40), **kw)), None)),
     "energy": ("mwait vs polling sidecores (extension)",
-               lambda q: (ex.format_energy(ex.run_energy(
-                   vm_counts=(1, 4, 7), run_ns=_quick_ns(q))), None)),
+               lambda q, **kw: (ex.format_energy(ex.run_energy(
+                   vm_counts=(1, 4, 7), run_ns=_quick_ns(q), **kw)), None)),
 }
+
+
+def _jobs_arg(value: str) -> Union[int, str]:
+    """``--jobs`` accepts a positive integer or ``auto`` (= all cores)."""
+    if value == "auto":
+        return "auto"
+    try:
+        count = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"jobs must be a positive integer or 'auto': {value!r}")
+    if count < 1:
+        raise argparse.ArgumentTypeError(f"jobs must be >= 1: {value!r}")
+    return count
+
+
+def _add_sweep_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--jobs", type=_jobs_arg, default=1, metavar="N",
+                        help="worker processes for sweep points (an "
+                             "integer or 'auto' for all cores; results "
+                             "are identical at any value)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="recompute every sweep point instead of "
+                             "replaying unchanged ones from the cache")
+    parser.add_argument("--cache-dir", metavar="DIR", default=None,
+                        help="result cache location (default: "
+                             "$REPRO_CACHE_DIR or ./.repro_cache)")
+
+
+def _make_cache(args) -> Optional[SweepCache]:
+    if args.no_cache:
+        return None
+    return SweepCache(args.cache_dir)
 
 def _trace_one_request() -> None:
     """Run one request-response through vRIO with tracing and print the
@@ -172,17 +219,42 @@ def _telemetry_smoke(name: str, seed: int) -> Optional[str]:
     return None
 
 
+def _verify_point(params: dict) -> dict:
+    """Run one scenario's determinism + invariant audit (sweep-safe).
+
+    Returns a JSON-serializable digest: the determinism verdict, the
+    invariant violations as strings, the metrics dict for golden
+    comparison in the parent, and the optional telemetry verdict.
+    """
+    from .testing import check_deterministic, run_scenario, verify_testbed
+
+    name, seed = params["scenario"], params["seed"]
+    out: dict = {"det": "ok", "det_problems": []}
+    try:
+        results = check_deterministic(name, seed=seed)
+    except AssertionError as exc:
+        # Still audit the single run we can get.
+        results = [run_scenario(name, seed=seed)]
+        out["det"] = "DIVERGED"
+        out["det_problems"].append(str(exc))
+    result = results[0]
+    out["violations"] = [
+        str(v) for v in verify_testbed(result.testbed, result.monitor)]
+    out["metrics"] = result.metrics
+    if params["telemetry"]:
+        out["telemetry_issue"] = _telemetry_smoke(name, seed=seed)
+    return out
+
+
 def _verify_command(args) -> int:
     """Run scenarios through invariants, determinism, and golden checks."""
     from .testing import (
         GoldenMismatch,
         SCENARIOS,
         assert_matches_golden,
-        check_deterministic,
         golden_path,
         save_golden,
         scenario_names,
-        verify_testbed,
     )
 
     names = args.scenario or scenario_names()
@@ -196,42 +268,38 @@ def _verify_command(args) -> int:
             print(f"{name:24s} {SCENARIOS[name].description}")
         return 0
 
+    points = [{"scenario": name, "seed": args.seed,
+               "telemetry": bool(args.telemetry)} for name in names]
+    outcomes = sweep(points, _verify_point, jobs=args.jobs,
+                     artifact="verify", cache=_make_cache(args))
+
     failures = 0
     header = (f"{'scenario':24s} {'invariants':>10s} {'determinism':>11s} "
               f"{'golden':>8s}")
     if args.telemetry:
         header += f" {'telemetry':>9s}"
     print(header)
-    for name in names:
-        problems = []
-        try:
-            results = check_deterministic(name, seed=args.seed)
-            det = "ok"
-        except AssertionError as exc:
-            # Still audit the single run we can get.
-            from .testing import run_scenario
-            results = [run_scenario(name, seed=args.seed)]
-            det = "DIVERGED"
-            problems.append(str(exc))
-        result = results[0]
-        violations = verify_testbed(result.testbed, result.monitor)
+    for name, outcome in zip(names, outcomes):
+        problems = list(outcome["det_problems"])
+        violations = outcome["violations"]
         inv = "ok" if not violations else f"{len(violations)} broken"
-        problems.extend(str(v) for v in violations)
+        problems.extend(violations)
+        metrics = outcome["metrics"]
         if args.update_goldens:
-            save_golden(name, result.metrics)
+            save_golden(name, metrics)
             golden = "updated"
         elif not golden_path(name).exists():
             golden = "missing"
         else:
             try:
-                assert_matches_golden(name, result.metrics)
+                assert_matches_golden(name, metrics)
                 golden = "ok"
             except GoldenMismatch as exc:
                 golden = "MISMATCH"
                 problems.append(str(exc))
-        line = f"{name:24s} {inv:>10s} {det:>11s} {golden:>8s}"
+        line = f"{name:24s} {inv:>10s} {outcome['det']:>11s} {golden:>8s}"
         if args.telemetry:
-            issue = _telemetry_smoke(name, seed=args.seed)
+            issue = outcome.get("telemetry_issue")
             if issue is None:
                 line += f" {'ok':>9s}"
             else:
@@ -247,6 +315,69 @@ def _verify_command(args) -> int:
         print(f"\n{failures} of {len(names)} scenario(s) FAILED")
         return 1
     print(f"\nall {len(names)} scenario(s) verified")
+    return 0
+
+
+def _bench_command(args) -> int:
+    """Time artifact regeneration: serial cold, parallel cold, warm cache.
+
+    Writes ``BENCH_sweep.json`` (or ``--out``) with per-artifact wall
+    times and speedups — the repo's performance trajectory record.
+    """
+    import json
+    import os
+    import tempfile
+    import time
+
+    names = args.artifacts or sorted(ARTIFACTS)
+    unknown = [n for n in names if n not in ARTIFACTS]
+    if unknown:
+        print(f"unknown artifact(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"valid artifacts: {', '.join(sorted(ARTIFACTS))}",
+              file=sys.stderr)
+        return 2
+
+    results = []
+    for name in names:
+        runner = ARTIFACTS[name][1]
+        with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
+            cold_cache = SweepCache(tmp)
+            t0 = time.perf_counter()
+            runner(args.quick, jobs=1, cache=cold_cache)
+            serial_s = time.perf_counter() - t0
+
+            t0 = time.perf_counter()
+            runner(args.quick, jobs=args.jobs, cache=None)
+            parallel_s = time.perf_counter() - t0
+
+            t0 = time.perf_counter()
+            runner(args.quick, jobs=1, cache=cold_cache)
+            warm_s = time.perf_counter() - t0
+        row = {
+            "artifact": name,
+            "serial_s": round(serial_s, 4),
+            "parallel_s": round(parallel_s, 4),
+            "warm_cache_s": round(warm_s, 4),
+            "speedup_parallel": round(serial_s / parallel_s, 2),
+            "speedup_warm_cache": round(serial_s / warm_s, 2),
+        }
+        results.append(row)
+        print(f"{name:10s} serial {serial_s:7.2f}s  "
+              f"parallel({args.jobs}) {parallel_s:7.2f}s  "
+              f"warm cache {warm_s:7.3f}s  "
+              f"({row['speedup_warm_cache']:.0f}x)")
+
+    payload = {
+        "benchmark": "sweep-executor",
+        "quick": bool(args.quick),
+        "jobs": args.jobs,
+        "cpu_count": os.cpu_count(),
+        "results": results,
+    }
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"\ntimings written to {args.out}")
     return 0
 
 
@@ -318,15 +449,20 @@ def _main(argv: Optional[list] = None) -> int:
     sub.add_parser("models", help="describe the five I/O models")
     sub.add_parser("costs", help="dump the calibrated cost constants")
     sub.add_parser("trace", help="trace one request-response through vRIO")
-    run_parser = sub.add_parser("run", help="regenerate one artifact")
-    run_parser.add_argument("artifact", choices=sorted(ARTIFACTS))
+    run_parser = sub.add_parser(
+        "run", help="regenerate one artifact (or 'all')")
+    run_parser.add_argument("artifact", metavar="ARTIFACT",
+                            help="artifact id (see 'repro list'), or "
+                                 "'all' for every artifact")
     run_parser.add_argument("--quick", action="store_true",
                             help="coarser sweep, shorter runs")
     run_parser.add_argument("--chart", action="store_true",
                             help="also render an ASCII chart (series "
                                  "figures only)")
+    _add_sweep_flags(run_parser)
     verify_parser = sub.add_parser(
         "verify", help="run the verification harness")
+    _add_sweep_flags(verify_parser)
     verify_parser.add_argument("--scenario", action="append", default=None,
                                metavar="NAME",
                                help="verify only this scenario (repeatable)")
@@ -354,6 +490,20 @@ def _main(argv: Optional[list] = None) -> int:
                                 help="also dump the metrics snapshot as JSON")
     observe_parser.add_argument("--csv", metavar="FILE", default=None,
                                 help="also dump the metrics snapshot as CSV")
+    bench_parser = sub.add_parser(
+        "bench", help="time artifact regeneration (serial/parallel/cached)")
+    bench_parser.add_argument("artifacts", metavar="ARTIFACT", nargs="*",
+                              help="artifacts to time (default: all)")
+    bench_parser.add_argument("--quick", action="store_true",
+                              help="coarser sweeps, shorter runs")
+    bench_parser.add_argument("--jobs", type=_jobs_arg, default="auto",
+                              metavar="N",
+                              help="worker processes for the parallel pass "
+                                   "(default: auto)")
+    bench_parser.add_argument("--out", metavar="PATH",
+                              default="BENCH_sweep.json",
+                              help="output JSON path "
+                                   "(default: BENCH_sweep.json)")
     args = parser.parse_args(argv)
 
     if args.command == "list":
@@ -375,18 +525,33 @@ def _main(argv: Optional[list] = None) -> int:
         return _verify_command(args)
     if args.command == "observe":
         return _observe_command(args)
+    if args.command == "bench":
+        return _bench_command(args)
     if args.command == "run":
-        _description, runner = ARTIFACTS[args.artifact]
-        text, points = runner(args.quick)
-        print(text)
-        if args.chart:
-            if points is None:
-                print("\n(no chartable series for this artifact)")
-            else:
-                series = {name: [(float(n), v) for n, v in values]
-                          for name, values in series_by_model(points).items()}
-                print()
-                print(ascii_chart(series, title=args.artifact))
+        if args.artifact != "all" and args.artifact not in ARTIFACTS:
+            print(f"unknown artifact: {args.artifact}", file=sys.stderr)
+            print(f"valid artifacts: all, {', '.join(sorted(ARTIFACTS))}",
+                  file=sys.stderr)
+            return 2
+        kw = {"jobs": args.jobs, "cache": _make_cache(args)}
+        names = sorted(ARTIFACTS) if args.artifact == "all" \
+            else [args.artifact]
+        for i, name in enumerate(names):
+            _description, runner = ARTIFACTS[name]
+            text, points = runner(args.quick, **kw)
+            if args.artifact == "all":
+                if i:
+                    print()
+                print(f"== {name} ==")
+            print(text)
+            if args.chart:
+                if points is None:
+                    print("\n(no chartable series for this artifact)")
+                else:
+                    series = {s: [(float(n), v) for n, v in values]
+                              for s, values in series_by_model(points).items()}
+                    print()
+                    print(ascii_chart(series, title=name))
         return 0
     parser.print_help()
     return 1

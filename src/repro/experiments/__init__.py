@@ -34,6 +34,16 @@ from .latency_experiments import (
     run_fig08,
     run_tab04,
 )
+from .executor import (
+    CacheStats,
+    SweepCache,
+    canonical_json,
+    code_version,
+    cost_fingerprint,
+    default_cache_dir,
+    resolve_jobs,
+    sweep,
+)
 from .runner import SeriesPoint, macro_run, rr_run, stream_run
 from .scalability_experiments import (
     format_fig13,
@@ -58,6 +68,9 @@ from .throughput_experiments import (
 
 __all__ = [
     "SeriesPoint", "rr_run", "stream_run", "macro_run",
+    "sweep", "SweepCache", "CacheStats", "resolve_jobs",
+    "default_cache_dir", "canonical_json", "cost_fingerprint",
+    "code_version",
     "run_fig01", "run_tab01", "run_tab02", "run_fig03",
     "format_fig01", "format_tab01", "format_tab02", "format_fig03",
     "run_tab03", "format_tab03", "PAPER_TAB03",

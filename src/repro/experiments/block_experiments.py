@@ -14,12 +14,13 @@ to us, the reader's baseline and vRIO throughput become 75%–95% and
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from ..cluster import build_simple_setup
 from ..hw.storage import make_sata_ssd
 from ..sim import ms
 from ..workloads import FilebenchRandomIO
+from .runner import SweepCache, sweep
 
 __all__ = ["run_fig14", "format_fig14", "FIG14_MIXES",
            "run_fig14_ssd", "format_fig14_ssd"]
@@ -32,65 +33,86 @@ FIG14_MIXES = {
 }
 
 
+def _fig14_point(params: dict) -> dict:
+    """One (mix, model, N) filebench/ramdisk cell."""
+    model_name, n = params["model"], params["n_vms"]
+    readers, writers = params["readers"], params["writers"]
+    tb = build_simple_setup(model_name, n, with_clients=False)
+    workloads = []
+    for i, vm in enumerate(tb.vms):
+        handle = tb.attach_ramdisk(vm)
+        rng = tb.rng.stream(f"filebench-{i}")
+        workloads.append(FilebenchRandomIO(
+            tb.env, vm, handle, rng, tb.costs,
+            readers=readers, writers=writers,
+            warmup_ns=ms(2),
+            app_dilation=tb.ports[i].app_dilation))
+    tb.env.run(until=params["run_ns"])
+    total_ops = sum(w.ops_per_sec() for w in workloads)
+    switches = sum(w.scheduler.involuntary_switches.value
+                   for w in workloads)
+    return {"model": model_name, "n_vms": n,
+            "ops_per_sec": total_ops,
+            "involuntary_switches": switches}
+
+
 def run_fig14(vm_counts: Sequence[int] = range(1, 8),
-              run_ns: int = ms(40)) -> Dict[str, List[dict]]:
+              run_ns: int = ms(40),
+              jobs: int = 1,
+              cache: Optional[SweepCache] = None) -> Dict[str, List[dict]]:
     """Aggregate filebench ops/sec per mix, model, and VM count."""
-    result: Dict[str, List[dict]] = {}
-    for mix_name, (readers, writers) in FIG14_MIXES.items():
-        rows = []
-        for model_name in FIG14_MODELS:
-            for n in vm_counts:
-                tb = build_simple_setup(model_name, n, with_clients=False)
-                workloads = []
-                for i, vm in enumerate(tb.vms):
-                    handle = tb.attach_ramdisk(vm)
-                    rng = tb.rng.stream(f"filebench-{i}")
-                    workloads.append(FilebenchRandomIO(
-                        tb.env, vm, handle, rng, tb.costs,
-                        readers=readers, writers=writers,
-                        warmup_ns=ms(2),
-                        app_dilation=tb.ports[i].app_dilation))
-                tb.env.run(until=run_ns)
-                total_ops = sum(w.ops_per_sec() for w in workloads)
-                switches = sum(w.scheduler.involuntary_switches.value
-                               for w in workloads)
-                rows.append({"model": model_name, "n_vms": n,
-                             "ops_per_sec": total_ops,
-                             "involuntary_switches": switches})
-        result[mix_name] = rows
+    points = [{"mix": mix_name, "readers": readers, "writers": writers,
+               "model": model_name, "n_vms": int(n), "run_ns": run_ns}
+              for mix_name, (readers, writers) in FIG14_MIXES.items()
+              for model_name in FIG14_MODELS for n in vm_counts]
+    rows = sweep(points, _fig14_point, jobs=jobs,
+                 artifact="fig14", cache=cache)
+    result: Dict[str, List[dict]] = {mix: [] for mix in FIG14_MIXES}
+    for p, row in zip(points, rows):
+        result[p["mix"]].append(row)
     return result
 
 
+def _fig14_ssd_point(params: dict) -> float:
+    """One (model, N) SATA-SSD cell: aggregate single-reader ops/sec."""
+    model_name, n = params["model"], params["n_vms"]
+    tb = build_simple_setup(model_name, n, with_clients=False)
+    workloads = []
+    for i, vm in enumerate(tb.vms):
+        device = make_sata_ssd(tb.env, name=f"ssd-{vm.name}")
+        handle = tb.attach_block_device(vm, device)
+        rng = tb.rng.stream(f"ssd-{i}")
+        workloads.append(FilebenchRandomIO(
+            tb.env, vm, handle, rng, tb.costs,
+            readers=1, writers=0, disk_bytes=device.capacity_bytes,
+            warmup_ns=ms(4),
+            app_dilation=tb.ports[i].app_dilation))
+    tb.env.run(until=params["run_ns"])
+    return sum(w.ops_per_sec() for w in workloads)
+
+
 def run_fig14_ssd(vm_counts: Sequence[int] = (1, 4, 7),
-                  run_ns: int = ms(60)) -> List[dict]:
+                  run_ns: int = ms(60),
+                  jobs: int = 1,
+                  cache: Optional[SweepCache] = None) -> List[dict]:
     """The §5 SATA-SSD remark: single-reader throughput relative to Elvis.
 
     A slow medium dominates the service time, so the remote hop matters
     far less than on a ramdisk: baseline and vRIO land within 75–95% of
     Elvis instead of ~40%.
     """
+    points = [{"model": model_name, "n_vms": int(n), "run_ns": run_ns}
+              for n in vm_counts for model_name in FIG14_MODELS]
+    values = sweep(points, _fig14_ssd_point, jobs=jobs,
+                   artifact="fig14ssd", cache=cache)
+    ops = {(p["model"], p["n_vms"]): v for p, v in zip(points, values)}
     rows = []
     for n in vm_counts:
-        per_model = {}
-        for model_name in FIG14_MODELS:
-            tb = build_simple_setup(model_name, n, with_clients=False)
-            workloads = []
-            for i, vm in enumerate(tb.vms):
-                device = make_sata_ssd(tb.env, name=f"ssd-{vm.name}")
-                handle = tb.attach_block_device(vm, device)
-                rng = tb.rng.stream(f"ssd-{i}")
-                workloads.append(FilebenchRandomIO(
-                    tb.env, vm, handle, rng, tb.costs,
-                    readers=1, writers=0, disk_bytes=device.capacity_bytes,
-                    warmup_ns=ms(4),
-                    app_dilation=tb.ports[i].app_dilation))
-            tb.env.run(until=run_ns)
-            per_model[model_name] = sum(w.ops_per_sec() for w in workloads)
         rows.append({
-            "n_vms": n,
-            "elvis_ops": per_model["elvis"],
-            "vrio_rel": per_model["vrio"] / per_model["elvis"],
-            "baseline_rel": per_model["baseline"] / per_model["elvis"],
+            "n_vms": int(n),
+            "elvis_ops": ops[("elvis", n)],
+            "vrio_rel": ops[("vrio", n)] / ops[("elvis", n)],
+            "baseline_rel": ops[("baseline", n)] / ops[("elvis", n)],
         })
     return rows
 

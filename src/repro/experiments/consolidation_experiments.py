@@ -17,13 +17,14 @@ the IOhost for vRIO).
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from ..cluster import Testbed, build_consolidation_setup
 from ..interpose import AesEncryption
 from ..sim import TimeSeries, ms
 from ..telemetry import sample_utilization
 from ..workloads import WebserverPersonality
+from .runner import SweepCache, sweep
 
 __all__ = [
     "run_fig15", "format_fig15",
@@ -50,22 +51,46 @@ def _sample_utilization(tb: Testbed, interval_ns: int) -> List[TimeSeries]:
     return sample_utilization(tb.env, tb.service_cores, interval_ns)
 
 
-def run_fig15(run_ns: int = ms(60), interval_ns: int = ms(2)) -> Dict[str, dict]:
+def _fig15_point(params: dict) -> dict:
+    """One model of Fig. 15: utilization traces of every sidecore."""
+    tb = build_consolidation_setup(params["model"], n_vmhosts=2,
+                                   vms_per_host=5,
+                                   sidecores_per_host=1,
+                                   vrio_workers=params["workers"])
+    run_ns = params["run_ns"]
+    _start_webservers(tb, range(len(tb.vms)), run_ns, warmup_ns=ms(2))
+    series = _sample_utilization(tb, params["interval_ns"])
+    tb.env.run(until=run_ns)
+    return {
+        "cores": [ts.name for ts in series],
+        "series": [{"name": ts.name, "times": ts.times,
+                    "values": ts.values} for ts in series],
+        "averages": [ts.mean() for ts in series],
+    }
+
+
+def run_fig15(run_ns: int = ms(60), interval_ns: int = ms(2),
+              jobs: int = 1,
+              cache: Optional[SweepCache] = None) -> Dict[str, dict]:
     """Fig. 15: sidecore utilization traces for Elvis (2 local) vs vRIO
     (1 consolidated)."""
+    points = [{"model": model_name, "workers": workers,
+               "run_ns": run_ns, "interval_ns": interval_ns}
+              for model_name, workers in (("elvis", 1), ("vrio", 1))]
+    rows = sweep(points, _fig15_point, jobs=jobs,
+                 artifact="fig15", cache=cache)
     result = {}
-    for model_name, workers in (("elvis", 1), ("vrio", 1)):
-        tb = build_consolidation_setup(model_name, n_vmhosts=2,
-                                       vms_per_host=5,
-                                       sidecores_per_host=1,
-                                       vrio_workers=workers)
-        _start_webservers(tb, range(len(tb.vms)), run_ns, warmup_ns=ms(2))
-        series = _sample_utilization(tb, interval_ns)
-        tb.env.run(until=run_ns)
-        result[model_name] = {
-            "cores": [ts.name for ts in series],
+    for p, row in zip(points, rows):
+        series = []
+        for data in row["series"]:
+            ts = TimeSeries(data["name"])
+            for t, v in zip(data["times"], data["values"]):
+                ts.record(t, v)
+            series.append(ts)
+        result[p["model"]] = {
+            "cores": row["cores"],
             "series": series,
-            "averages": [ts.mean() for ts in series],
+            "averages": row["averages"],
         }
     return result
 
@@ -78,25 +103,32 @@ def format_fig15(result: Dict[str, dict]) -> str:
     return "\n".join(lines)
 
 
-def run_fig16a(run_ns: int = ms(60)) -> List[dict]:
+def _fig16a_point(params: dict) -> float:
+    """One model of Fig. 16a: aggregate webserver Mbps."""
+    kwargs = {"elvis": {"sidecores_per_host": 1},
+              "vrio": {"vrio_workers": 1},
+              "baseline": {}}[params["model"]]
+    tb = build_consolidation_setup(params["model"], n_vmhosts=2,
+                                   vms_per_host=5, **kwargs)
+    run_ns = params["run_ns"]
+    workloads = _start_webservers(tb, range(len(tb.vms)), run_ns,
+                                  warmup_ns=ms(2))
+    tb.env.run(until=run_ns)
+    return sum(w.throughput_mbps() for w in workloads)
+
+
+def run_fig16a(run_ns: int = ms(60),
+               jobs: int = 1,
+               cache: Optional[SweepCache] = None) -> List[dict]:
     """Fig. 16a: the 2=>1 consolidation tradeoff (webserver throughput)."""
-    rows = []
-    reference = None
-    for model_name, kwargs in (
-            ("elvis", {"sidecores_per_host": 1}),
-            ("vrio", {"vrio_workers": 1}),
-            ("baseline", {})):
-        tb = build_consolidation_setup(model_name, n_vmhosts=2,
-                                       vms_per_host=5, **kwargs)
-        workloads = _start_webservers(tb, range(len(tb.vms)), run_ns,
-                                      warmup_ns=ms(2))
-        tb.env.run(until=run_ns)
-        total = sum(w.throughput_mbps() for w in workloads)
-        if reference is None:
-            reference = total
-        rows.append({"model": model_name, "throughput_mbps": total,
-                     "relative": total / reference - 1.0})
-    return rows
+    points = [{"model": model_name, "run_ns": run_ns}
+              for model_name in ("elvis", "vrio", "baseline")]
+    totals = sweep(points, _fig16a_point, jobs=jobs,
+                   artifact="fig16a", cache=cache)
+    reference = totals[0]
+    return [{"model": p["model"], "throughput_mbps": total,
+             "relative": total / reference - 1.0}
+            for p, total in zip(points, totals)]
 
 
 def format_fig16a(rows: List[dict]) -> str:
@@ -108,31 +140,38 @@ def format_fig16a(rows: List[dict]) -> str:
     return "\n".join(lines)
 
 
-def run_fig16b(run_ns: int = ms(60)) -> List[dict]:
+def _fig16b_point(params: dict) -> float:
+    """One model of Fig. 16b: aggregate Mbps with AES interposition."""
+    kwargs = {"elvis": {"sidecores_per_host": 1},
+              "vrio": {"vrio_workers": 2}}[params["model"]]
+    tb = build_consolidation_setup(params["model"], n_vmhosts=2,
+                                   vms_per_host=5, **kwargs)
+    for model in tb.models:
+        model.add_interposer(AesEncryption())
+    run_ns = params["run_ns"]
+    active = range(5)  # VMhost 0's VMs only; VMhost 1 idles
+    workloads = _start_webservers(tb, active, run_ns, warmup_ns=ms(2))
+    tb.env.run(until=run_ns)
+    return sum(w.throughput_mbps() for w in workloads)
+
+
+def run_fig16b(run_ns: int = ms(60),
+               jobs: int = 1,
+               cache: Optional[SweepCache] = None) -> List[dict]:
     """Fig. 16b: load imbalance (2=>2) with AES-256 interposition.
 
     Two-sidecore budget; only VMhost 0 is active.  Elvis's second sidecore
     (on the idle host) is stranded; vRIO's two consolidated workers both
     serve the active host.
     """
-    rows = []
-    reference = None
-    for model_name, kwargs in (
-            ("elvis", {"sidecores_per_host": 1}),
-            ("vrio", {"vrio_workers": 2})):
-        tb = build_consolidation_setup(model_name, n_vmhosts=2,
-                                       vms_per_host=5, **kwargs)
-        for model in tb.models:
-            model.add_interposer(AesEncryption())
-        active = range(5)  # VMhost 0's VMs only; VMhost 1 idles
-        workloads = _start_webservers(tb, active, run_ns, warmup_ns=ms(2))
-        tb.env.run(until=run_ns)
-        total = sum(w.throughput_mbps() for w in workloads)
-        if reference is None:
-            reference = total
-        rows.append({"model": model_name, "throughput_mbps": total,
-                     "relative": total / reference - 1.0})
-    return rows
+    points = [{"model": model_name, "run_ns": run_ns}
+              for model_name in ("elvis", "vrio")]
+    totals = sweep(points, _fig16b_point, jobs=jobs,
+                   artifact="fig16b", cache=cache)
+    reference = totals[0]
+    return [{"model": p["model"], "throughput_mbps": total,
+             "relative": total / reference - 1.0}
+            for p, total in zip(points, totals)]
 
 
 def format_fig16b(rows: List[dict]) -> str:

@@ -1,8 +1,13 @@
-"""§3 experiments: Figure 1, Table 1, Table 2, Figure 3 (pure cost model)."""
+"""§3 experiments: Figure 1, Table 1, Table 2, Figure 3 (pure cost model).
+
+These are analytic (no simulation) and cheap, but they still route
+through :func:`~repro.experiments.executor.sweep` so ``run all`` treats
+every artifact uniformly and caching covers the whole registry.
+"""
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from ..costmodel import (
     rack_price_comparison,
@@ -10,29 +15,57 @@ from ..costmodel import (
     ssd_consolidation_sweep,
     upgrade_points,
 )
+from .runner import SweepCache, sweep
 
 __all__ = ["run_fig01", "run_tab01", "run_tab02", "run_fig03",
            "format_fig01", "format_tab01", "format_tab02", "format_fig03"]
 
 
-def run_fig01() -> Dict[str, List[tuple]]:
+def _fig01_point(params: dict) -> List[list]:
+    return [list(point) for point in upgrade_points(params["kind"])]
+
+
+def run_fig01(jobs: int = 1,
+              cache: Optional[SweepCache] = None) -> Dict[str, List[list]]:
     """Fig. 1: CPU vs NIC upgrade (cost ratio, hardware ratio) points."""
-    return {"cpu": upgrade_points("cpu"), "nic": upgrade_points("nic")}
+    kinds = ("cpu", "nic")
+    points = [{"kind": kind} for kind in kinds]
+    values = sweep(points, _fig01_point, jobs=jobs,
+                   artifact="fig1", cache=cache)
+    return dict(zip(kinds, values))
 
 
-def run_tab01() -> List[dict]:
-    """Table 1: R930 per-server price, components, throughput."""
+def _tab01_point(params: dict) -> List[dict]:
     return server_table()
 
 
-def run_tab02() -> List[dict]:
-    """Table 2: overall Elvis vs vRIO rack prices."""
+def run_tab01(jobs: int = 1,
+              cache: Optional[SweepCache] = None) -> List[dict]:
+    """Table 1: R930 per-server price, components, throughput."""
+    return sweep([{}], _tab01_point, jobs=jobs,
+                 artifact="tab1", cache=cache)[0]
+
+
+def _tab02_point(params: dict) -> List[dict]:
     return rack_price_comparison()
 
 
-def run_fig03() -> List[dict]:
-    """Fig. 3: vRIO price relative to Elvis per SSD consolidation ratio."""
+def run_tab02(jobs: int = 1,
+              cache: Optional[SweepCache] = None) -> List[dict]:
+    """Table 2: overall Elvis vs vRIO rack prices."""
+    return sweep([{}], _tab02_point, jobs=jobs,
+                 artifact="tab2", cache=cache)[0]
+
+
+def _fig03_point(params: dict) -> List[dict]:
     return ssd_consolidation_sweep()
+
+
+def run_fig03(jobs: int = 1,
+              cache: Optional[SweepCache] = None) -> List[dict]:
+    """Fig. 3: vRIO price relative to Elvis per SSD consolidation ratio."""
+    return sweep([{}], _fig03_point, jobs=jobs,
+                 artifact="fig3", cache=cache)[0]
 
 
 def format_fig01(result: Dict[str, List[tuple]]) -> str:

@@ -15,36 +15,44 @@ as the sidecore saturates.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from ..cluster import build_simple_setup
 from ..sim import ms
 from ..workloads import NetperfRR
+from .runner import SweepCache, sweep
 
 __all__ = ["run_energy", "format_energy"]
 
 
+def _energy_point(params: dict) -> dict:
+    """One (policy, N) cell: RR latency + sidecore energy."""
+    policy, n = params["policy"], params["n_vms"]
+    tb = build_simple_setup("vrio", n, worker_idle_policy=policy)
+    workloads = [NetperfRR(tb.env, tb.clients[i], tb.ports[i],
+                           tb.costs, warmup_ns=ms(2))
+                 for i in range(n)]
+    tb.env.run(until=params["run_ns"])
+    latency = sum(w.mean_latency_us() for w in workloads) / n
+    worker = tb.service_cores[0]
+    return {
+        "policy": policy,
+        "n_vms": n,
+        "latency_us": latency,
+        "sidecore_joules": worker.energy_joules(),
+        "sidecore_useful_pct": worker.util.useful_fraction() * 100,
+    }
+
+
 def run_energy(vm_counts: Sequence[int] = (1, 4, 7),
-               run_ns: int = ms(30)) -> List[dict]:
+               run_ns: int = ms(30),
+               jobs: int = 1,
+               cache: Optional[SweepCache] = None) -> List[dict]:
     """RR latency + IOhost sidecore energy for polling vs mwait workers."""
-    rows = []
-    for policy in ("poll", "mwait"):
-        for n in vm_counts:
-            tb = build_simple_setup("vrio", n, worker_idle_policy=policy)
-            workloads = [NetperfRR(tb.env, tb.clients[i], tb.ports[i],
-                                   tb.costs, warmup_ns=ms(2))
-                         for i in range(n)]
-            tb.env.run(until=run_ns)
-            latency = sum(w.mean_latency_us() for w in workloads) / n
-            worker = tb.service_cores[0]
-            rows.append({
-                "policy": policy,
-                "n_vms": n,
-                "latency_us": latency,
-                "sidecore_joules": worker.energy_joules(),
-                "sidecore_useful_pct": worker.util.useful_fraction() * 100,
-            })
-    return rows
+    points = [{"policy": policy, "n_vms": int(n), "run_ns": run_ns}
+              for policy in ("poll", "mwait") for n in vm_counts]
+    return sweep(points, _energy_point, jobs=jobs,
+                 artifact="energy", cache=cache)
 
 
 def format_energy(rows: List[dict]) -> str:

@@ -1,12 +1,17 @@
 """Latency experiments: Figure 7 (RR latency), Figure 8 (vRIO gap and
-IOhost contention), Table 4 (tail latency)."""
+IOhost contention), Table 4 (tail latency).
+
+Each figure is expressed as independent sweep points evaluated through
+:func:`~repro.experiments.executor.sweep`, so regeneration parallelizes
+across processes and replays from the persistent result cache.
+"""
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from ..sim import ms
-from .runner import DEFAULT_RUN_NS, SeriesPoint, rr_run
+from .runner import DEFAULT_RUN_NS, SeriesPoint, SweepCache, rr_run, sweep
 
 __all__ = [
     "run_fig07", "format_fig07",
@@ -17,16 +22,24 @@ __all__ = [
 FIG7_MODELS = ("baseline", "vrio", "elvis", "optimum")
 
 
+def _fig07_point(params: dict) -> float:
+    """One (model, N) cell of Fig. 7: mean RR latency in microseconds."""
+    n = params["n_vms"]
+    _tb, workloads = rr_run(params["model"], n, run_ns=params["run_ns"])
+    return sum(w.mean_latency_us() for w in workloads) / n
+
+
 def run_fig07(vm_counts: Sequence[int] = range(1, 8),
-              run_ns: int = DEFAULT_RUN_NS) -> List[SeriesPoint]:
+              run_ns: int = DEFAULT_RUN_NS,
+              jobs: int = 1,
+              cache: Optional[SweepCache] = None) -> List[SeriesPoint]:
     """Fig. 7: netperf RR mean latency (us) vs number of VMs, 4 models."""
-    points = []
-    for model_name in FIG7_MODELS:
-        for n in vm_counts:
-            _tb, workloads = rr_run(model_name, n, run_ns=run_ns)
-            mean_us = sum(w.mean_latency_us() for w in workloads) / n
-            points.append(SeriesPoint(model_name, n, mean_us))
-    return points
+    points = [{"model": model_name, "n_vms": int(n), "run_ns": run_ns}
+              for model_name in FIG7_MODELS for n in vm_counts]
+    values = sweep(points, _fig07_point, jobs=jobs,
+                   artifact="fig7", cache=cache)
+    return [SeriesPoint(p["model"], p["n_vms"], v)
+            for p, v in zip(points, values)]
 
 
 def format_fig07(points: List[SeriesPoint]) -> str:
@@ -40,19 +53,26 @@ def format_fig07(points: List[SeriesPoint]) -> str:
     return "\n".join(lines)
 
 
+def _fig08_point(params: dict) -> dict:
+    """One N of Fig. 8: optimum + vRIO runs, gap and contention."""
+    n, run_ns = params["n_vms"], params["run_ns"]
+    _opt_tb, opt = rr_run("optimum", n, run_ns=run_ns)
+    vrio_tb, vrio = rr_run("vrio", n, run_ns=run_ns)
+    gap = (sum(w.mean_latency_us() for w in vrio) / n
+           - sum(w.mean_latency_us() for w in opt) / n)
+    contention = vrio_tb.model.pool.contention_fraction()
+    return {"n_vms": n, "latency_gap_us": gap,
+            "contention_pct": contention * 100.0}
+
+
 def run_fig08(vm_counts: Sequence[int] = range(1, 8),
-              run_ns: int = DEFAULT_RUN_NS) -> List[dict]:
+              run_ns: int = DEFAULT_RUN_NS,
+              jobs: int = 1,
+              cache: Optional[SweepCache] = None) -> List[dict]:
     """Fig. 8: vRIO-vs-optimum latency gap and IOhost worker contention."""
-    rows = []
-    for n in vm_counts:
-        _opt_tb, opt = rr_run("optimum", n, run_ns=run_ns)
-        vrio_tb, vrio = rr_run("vrio", n, run_ns=run_ns)
-        gap = (sum(w.mean_latency_us() for w in vrio) / n
-               - sum(w.mean_latency_us() for w in opt) / n)
-        contention = vrio_tb.model.pool.contention_fraction()
-        rows.append({"n_vms": n, "latency_gap_us": gap,
-                     "contention_pct": contention * 100.0})
-    return rows
+    points = [{"n_vms": int(n), "run_ns": run_ns} for n in vm_counts]
+    return sweep(points, _fig08_point, jobs=jobs,
+                 artifact="fig8", cache=cache)
 
 
 def format_fig08(rows: List[dict]) -> str:
@@ -68,7 +88,18 @@ TAB4_MODELS = ("optimum", "elvis", "vrio")
 TAB4_PERCENTILES = (99.9, 99.99, 99.999, 100.0)
 
 
-def run_tab04(run_ns: int = ms(400)) -> Dict[str, Dict[float, float]]:
+def _tab04_point(params: dict) -> List[list]:
+    """One model of Table 4: ``[percentile, latency_us]`` pairs."""
+    _tb, workloads = rr_run(params["model"], 1, run_ns=params["run_ns"],
+                            noise=True)
+    hist = workloads[0].latency_ns
+    return [[q, hist.percentile(q) / 1000.0] for q in TAB4_PERCENTILES]
+
+
+def run_tab04(run_ns: int = ms(400),
+              jobs: int = 1,
+              cache: Optional[SweepCache] = None
+              ) -> Dict[str, Dict[float, float]]:
     """Table 4: tail latency (us) for one VM.
 
     Runs with host background noise installed (timer ticks + rare long
@@ -77,13 +108,12 @@ def run_tab04(run_ns: int = ms(400)) -> Dict[str, Dict[float, float]]:
     the cores its path crosses.  Longer run than other experiments so the
     high percentiles are populated.
     """
-    rows: Dict[str, Dict[float, float]] = {}
-    for model_name in TAB4_MODELS:
-        _tb, workloads = rr_run(model_name, 1, run_ns=run_ns, noise=True)
-        hist = workloads[0].latency_ns
-        rows[model_name] = {q: hist.percentile(q) / 1000.0
-                            for q in TAB4_PERCENTILES}
-    return rows
+    points = [{"model": model_name, "run_ns": run_ns}
+              for model_name in TAB4_MODELS]
+    pairs = sweep(points, _tab04_point, jobs=jobs,
+                  artifact="tab4", cache=cache)
+    return {p["model"]: {float(q): v for q, v in per_model}
+            for p, per_model in zip(points, pairs)}
 
 
 def format_tab04(rows: Dict[str, Dict[float, float]]) -> str:

@@ -4,6 +4,11 @@ Experiments default to simulating tens of milliseconds — long enough for
 thousands of transactions per VM (runs are deterministic, so the paper's
 5-repetition averaging is unnecessary), short enough that a full sweep
 regenerates in seconds.
+
+Every experiment module decomposes its figure into independent sweep
+points and evaluates them through :func:`sweep` (see
+:mod:`repro.experiments.executor`), which fans points out over worker
+processes and replays unchanged points from a persistent result cache.
 """
 
 from __future__ import annotations
@@ -15,6 +20,16 @@ from ..cluster import Testbed, build_simple_setup
 from ..iomodels.costs import CostModel
 from ..sim import ms
 from ..workloads import ApacheBench, Memslap, NetperfRR, NetperfStream
+from .executor import (
+    CacheStats,
+    SweepCache,
+    canonical_json,
+    code_version,
+    cost_fingerprint,
+    default_cache_dir,
+    resolve_jobs,
+    sweep,
+)
 
 __all__ = [
     "DEFAULT_RUN_NS",
@@ -23,6 +38,14 @@ __all__ = [
     "stream_run",
     "macro_run",
     "SeriesPoint",
+    "sweep",
+    "SweepCache",
+    "CacheStats",
+    "resolve_jobs",
+    "default_cache_dir",
+    "canonical_json",
+    "cost_fingerprint",
+    "code_version",
 ]
 
 DEFAULT_RUN_NS = ms(40)

@@ -9,11 +9,12 @@ scalability number.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from ..cluster import build_scalability_setup
 from ..sim import ms
 from ..workloads import NetperfRR, NetperfStream
+from .runner import SweepCache, sweep
 
 __all__ = ["run_fig13a", "run_fig13b", "format_fig13",
            "run_fig13_util", "format_fig13_util"]
@@ -21,44 +22,62 @@ __all__ = ["run_fig13a", "run_fig13b", "format_fig13",
 WORKER_COUNTS = (1, 2, 4)
 
 
-def run_fig13a(total_vms: Sequence[int] = (4, 8, 12, 16, 20, 24, 28),
-               run_ns: int = ms(40), model_numa: bool = True) -> List[dict]:
-    """Fig. 13a: RR latency vs total VMs for 1/2/4 IOhost sidecores."""
-    rows = []
+def _fig13_points(total_vms: Sequence[int], run_ns: int) -> List[dict]:
+    points = []
     for workers in WORKER_COUNTS:
         for n in total_vms:
             if n % 4:
                 raise ValueError("total VM count must be a multiple of 4")
-            tb = build_scalability_setup(n_vmhosts=4, vms_per_host=n // 4,
-                                         workers=workers,
-                                         model_numa=model_numa)
-            rrs = [NetperfRR(tb.env, tb.clients[i], tb.ports[i], tb.costs,
-                             warmup_ns=ms(2)) for i in range(n)]
-            tb.env.run(until=run_ns)
-            mean_us = sum(r.mean_latency_us() for r in rrs) / n
-            rows.append({"workers": workers, "n_vms": n,
-                         "latency_us": mean_us})
-    return rows
+            points.append({"workers": workers, "n_vms": int(n),
+                           "run_ns": run_ns})
+    return points
+
+
+def _fig13a_point(params: dict) -> dict:
+    """One (workers, N) cell of Fig. 13a: mean RR latency."""
+    workers, n = params["workers"], params["n_vms"]
+    tb = build_scalability_setup(n_vmhosts=4, vms_per_host=n // 4,
+                                 workers=workers,
+                                 model_numa=params["model_numa"])
+    rrs = [NetperfRR(tb.env, tb.clients[i], tb.ports[i], tb.costs,
+                     warmup_ns=ms(2)) for i in range(n)]
+    tb.env.run(until=params["run_ns"])
+    mean_us = sum(r.mean_latency_us() for r in rrs) / n
+    return {"workers": workers, "n_vms": n, "latency_us": mean_us}
+
+
+def run_fig13a(total_vms: Sequence[int] = (4, 8, 12, 16, 20, 24, 28),
+               run_ns: int = ms(40), model_numa: bool = True,
+               jobs: int = 1,
+               cache: Optional[SweepCache] = None) -> List[dict]:
+    """Fig. 13a: RR latency vs total VMs for 1/2/4 IOhost sidecores."""
+    points = _fig13_points(total_vms, run_ns)
+    for p in points:
+        p["model_numa"] = model_numa
+    return sweep(points, _fig13a_point, jobs=jobs,
+                 artifact="fig13a", cache=cache)
+
+
+def _fig13b_point(params: dict) -> dict:
+    """One (workers, N) cell of Fig. 13b: aggregate stream Gbps."""
+    workers, n = params["workers"], params["n_vms"]
+    tb = build_scalability_setup(n_vmhosts=4, vms_per_host=n // 4,
+                                 workers=workers, model_numa=False)
+    streams = [NetperfStream(tb.env, tb.ports[i], tb.clients[i],
+                             tb.costs, warmup_ns=ms(3))
+               for i in range(n)]
+    tb.env.run(until=params["run_ns"])
+    total = sum(s.throughput_gbps() for s in streams)
+    return {"workers": workers, "n_vms": n, "throughput_gbps": total}
 
 
 def run_fig13b(total_vms: Sequence[int] = (4, 8, 12, 16, 20, 24, 28),
-               run_ns: int = ms(40)) -> List[dict]:
+               run_ns: int = ms(40),
+               jobs: int = 1,
+               cache: Optional[SweepCache] = None) -> List[dict]:
     """Fig. 13b: aggregate stream throughput vs total VMs, 1/2/4 sidecores."""
-    rows = []
-    for workers in WORKER_COUNTS:
-        for n in total_vms:
-            if n % 4:
-                raise ValueError("total VM count must be a multiple of 4")
-            tb = build_scalability_setup(n_vmhosts=4, vms_per_host=n // 4,
-                                         workers=workers, model_numa=False)
-            streams = [NetperfStream(tb.env, tb.ports[i], tb.clients[i],
-                                     tb.costs, warmup_ns=ms(3))
-                       for i in range(n)]
-            tb.env.run(until=run_ns)
-            total = sum(s.throughput_gbps() for s in streams)
-            rows.append({"workers": workers, "n_vms": n,
-                         "throughput_gbps": total})
-    return rows
+    return sweep(_fig13_points(total_vms, run_ns), _fig13b_point, jobs=jobs,
+                 artifact="fig13b", cache=cache)
 
 
 def run_fig13_util(total_vms: int = 8, workers: int = 2,

@@ -14,10 +14,11 @@ I/O model's event counters are read off afterwards.  Expected paper values:
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from ..cluster import build_simple_setup
 from ..sim import ms
+from .runner import SweepCache, sweep
 
 __all__ = ["run_tab03", "format_tab03", "PAPER_TAB03"]
 
@@ -59,13 +60,21 @@ def _single_request_response(model_name: str) -> dict:
     return tb.stats.snapshot()
 
 
-def run_tab03() -> Dict[str, dict]:
+def _tab03_point(params: dict) -> dict:
+    """One model's measured event snapshot (sum added post-merge)."""
+    return _single_request_response(params["model"])
+
+
+def run_tab03(jobs: int = 1,
+              cache: Optional[SweepCache] = None) -> Dict[str, dict]:
     """Measure Table 3 for all five models."""
+    points = [{"model": model_name} for model_name in MODEL_ORDER]
+    snapshots = sweep(points, _tab03_point, jobs=jobs,
+                      artifact="tab3", cache=cache)
     rows = {}
-    for model_name in MODEL_ORDER:
-        snapshot = _single_request_response(model_name)
+    for p, snapshot in zip(points, snapshots):
         snapshot["sum"] = sum(snapshot.values())
-        rows[model_name] = snapshot
+        rows[p["model"]] = snapshot
     return rows
 
 

@@ -1,12 +1,25 @@
 """Throughput experiments: Figure 9 (stream), Figure 10 (cycles/packet),
-Figure 11 (equal cores), Figure 5 & 12 (macrobenchmarks)."""
+Figure 11 (equal cores), Figure 5 & 12 (macrobenchmarks).
+
+Sweep points are independent simulations dispatched through
+:func:`~repro.experiments.executor.sweep`; cross-point derived columns
+(the "relative to optimum" ratios) are computed after the merge so every
+point stays hermetic and cacheable.
+"""
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from ..sim import ms
-from .runner import DEFAULT_RUN_NS, SeriesPoint, macro_run, stream_run
+from .runner import (
+    DEFAULT_RUN_NS,
+    SeriesPoint,
+    SweepCache,
+    macro_run,
+    stream_run,
+    sweep,
+)
 
 __all__ = [
     "run_fig09", "format_fig09",
@@ -20,16 +33,24 @@ FIG9_MODELS = ("optimum", "elvis", "vrio", "baseline")
 FIG5_MODELS = ("optimum", "vrio", "elvis", "vrio_nopoll", "baseline")
 
 
+def _fig09_point(params: dict) -> float:
+    """One (model, N) cell of Fig. 9: aggregate stream Gbps."""
+    _tb, workloads = stream_run(params["model"], params["n_vms"],
+                                run_ns=params["run_ns"])
+    return sum(w.throughput_gbps() for w in workloads)
+
+
 def run_fig09(vm_counts: Sequence[int] = range(1, 8),
-              run_ns: int = DEFAULT_RUN_NS) -> List[SeriesPoint]:
+              run_ns: int = DEFAULT_RUN_NS,
+              jobs: int = 1,
+              cache: Optional[SweepCache] = None) -> List[SeriesPoint]:
     """Fig. 9: aggregate netperf 64 B stream throughput (Gbps) vs N."""
-    points = []
-    for model_name in FIG9_MODELS:
-        for n in vm_counts:
-            _tb, workloads = stream_run(model_name, n, run_ns=run_ns)
-            total = sum(w.throughput_gbps() for w in workloads)
-            points.append(SeriesPoint(model_name, n, total))
-    return points
+    points = [{"model": model_name, "n_vms": int(n), "run_ns": run_ns}
+              for model_name in FIG9_MODELS for n in vm_counts]
+    values = sweep(points, _fig09_point, jobs=jobs,
+                   artifact="fig9", cache=cache)
+    return [SeriesPoint(p["model"], p["n_vms"], v)
+            for p, v in zip(points, values)]
 
 
 def format_fig09(points: List[SeriesPoint]) -> str:
@@ -43,7 +64,30 @@ def format_fig09(points: List[SeriesPoint]) -> str:
     return "\n".join(lines)
 
 
-def run_fig10(run_ns: int = DEFAULT_RUN_NS) -> List[dict]:
+def _fig10_point(params: dict) -> dict:
+    """One model of Fig. 10: per-packet cycle counts (no ratios yet)."""
+    model_name = params["model"]
+    tb, workloads = stream_run(model_name, 1, run_ns=params["run_ns"])
+    stream = workloads[0]
+    messages = (stream.chunks_received
+                * tb.costs.netperf_stream_msgs_per_chunk)
+    vm_cycles = sum(vm.vcpu.total_cycles for vm in tb.vms)
+    service_cycles = sum(core.total_cycles for core in tb.service_cores)
+    if model_name.startswith("vrio"):
+        client_side = vm_cycles            # workers live at the IOhost
+    else:
+        client_side = vm_cycles + service_cycles
+    total = vm_cycles + service_cycles
+    per_packet = client_side / messages if messages else float("inf")
+    per_packet_total = total / messages if messages else float("inf")
+    return {"model": model_name,
+            "cycles_per_packet": per_packet,
+            "cycles_per_packet_total": per_packet_total}
+
+
+def run_fig10(run_ns: int = DEFAULT_RUN_NS,
+              jobs: int = 1,
+              cache: Optional[SweepCache] = None) -> List[dict]:
     """Fig. 10: per-packet processing cycles with one VM, netperf stream.
 
     "Packet" is one 64 B application message.  The headline column counts
@@ -51,28 +95,13 @@ def run_fig10(run_ns: int = DEFAULT_RUN_NS) -> List[dict]:
     added processing time incurred by the vRIO driver", i.e. to the
     sender's side; the total column adds the remote IOhost workers.
     """
-    rows = []
-    reference = None
-    for model_name in ("optimum", "vrio", "elvis", "baseline"):
-        tb, workloads = stream_run(model_name, 1, run_ns=run_ns)
-        stream = workloads[0]
-        messages = (stream.chunks_received
-                    * tb.costs.netperf_stream_msgs_per_chunk)
-        vm_cycles = sum(vm.vcpu.total_cycles for vm in tb.vms)
-        service_cycles = sum(core.total_cycles for core in tb.service_cores)
-        if model_name.startswith("vrio"):
-            client_side = vm_cycles            # workers live at the IOhost
-        else:
-            client_side = vm_cycles + service_cycles
-        total = vm_cycles + service_cycles
-        per_packet = client_side / messages if messages else float("inf")
-        per_packet_total = total / messages if messages else float("inf")
-        if model_name == "optimum":
-            reference = per_packet
-        rows.append({"model": model_name,
-                     "cycles_per_packet": per_packet,
-                     "cycles_per_packet_total": per_packet_total,
-                     "relative_to_optimum": per_packet / reference - 1.0})
+    points = [{"model": model_name, "run_ns": run_ns}
+              for model_name in ("optimum", "vrio", "elvis", "baseline")]
+    rows = sweep(points, _fig10_point, jobs=jobs,
+                 artifact="fig10", cache=cache)
+    reference = rows[0]["cycles_per_packet"]   # optimum comes first
+    for row in rows:
+        row["relative_to_optimum"] = row["cycles_per_packet"] / reference - 1.0
     return rows
 
 
@@ -87,22 +116,29 @@ def format_fig10(rows: List[dict]) -> str:
     return "\n".join(lines)
 
 
-def run_fig11(run_ns: int = DEFAULT_RUN_NS) -> List[dict]:
+def _fig11_point(params: dict) -> float:
+    """One config of Fig. 11: aggregate stream Gbps."""
+    _tb, workloads = stream_run(params["model"], params["n_vms"],
+                                run_ns=params["run_ns"])
+    return sum(w.throughput_gbps() for w in workloads)
+
+
+def run_fig11(run_ns: int = DEFAULT_RUN_NS,
+              jobs: int = 1,
+              cache: Optional[SweepCache] = None) -> List[dict]:
     """Fig. 11: equal-core comparison — the optimum with N+1=8 VMs versus
     everyone else at N=7; shows the price of interposability."""
-    reference = None
-    rows = []
     configs = [("optimum_8vms", "optimum", 8), ("optimum", "optimum", 7),
                ("elvis", "elvis", 7), ("vrio", "vrio", 7),
                ("baseline", "baseline", 7)]
-    for label, model_name, n in configs:
-        _tb, workloads = stream_run(model_name, n, run_ns=run_ns)
-        total = sum(w.throughput_gbps() for w in workloads)
-        if reference is None:
-            reference = total
-        rows.append({"label": label, "throughput_gbps": total,
-                     "relative": total / reference - 1.0})
-    return rows
+    points = [{"model": model_name, "n_vms": n, "run_ns": run_ns}
+              for _label, model_name, n in configs]
+    totals = sweep(points, _fig11_point, jobs=jobs,
+                   artifact="fig11", cache=cache)
+    reference = totals[0]
+    return [{"label": label, "throughput_gbps": total,
+             "relative": total / reference - 1.0}
+            for (label, _model, _n), total in zip(configs, totals)]
 
 
 def format_fig11(rows: List[dict]) -> str:
@@ -114,16 +150,25 @@ def format_fig11(rows: List[dict]) -> str:
     return "\n".join(lines)
 
 
+def _macro_point(params: dict) -> float:
+    """One (benchmark, model, N) macrobenchmark cell: aggregate tps."""
+    _tb, workloads = macro_run(params["benchmark"], params["model"],
+                               params["n_vms"], run_ns=params["run_ns"])
+    return sum(w.throughput_tps() for w in workloads)
+
+
 def run_fig05(vm_counts: Sequence[int] = range(1, 8),
-              run_ns: int = ms(30)) -> List[SeriesPoint]:
+              run_ns: int = ms(30),
+              jobs: int = 1,
+              cache: Optional[SweepCache] = None) -> List[SeriesPoint]:
     """Fig. 5: ApacheBench aggregate requests/sec for all five models."""
-    points = []
-    for model_name in FIG5_MODELS:
-        for n in vm_counts:
-            _tb, workloads = macro_run("apache", model_name, n, run_ns=run_ns)
-            total = sum(w.throughput_tps() for w in workloads)
-            points.append(SeriesPoint(model_name, n, total))
-    return points
+    points = [{"benchmark": "apache", "model": model_name,
+               "n_vms": int(n), "run_ns": run_ns}
+              for model_name in FIG5_MODELS for n in vm_counts]
+    values = sweep(points, _macro_point, jobs=jobs,
+                   artifact="fig5", cache=cache)
+    return [SeriesPoint(p["model"], p["n_vms"], v)
+            for p, v in zip(points, values)]
 
 
 def format_fig05(points: List[SeriesPoint]) -> str:
@@ -138,18 +183,21 @@ def format_fig05(points: List[SeriesPoint]) -> str:
 
 
 def run_fig12(vm_counts: Sequence[int] = range(1, 8),
-              run_ns: int = ms(30)) -> Dict[str, List[SeriesPoint]]:
+              run_ns: int = ms(30),
+              jobs: int = 1,
+              cache: Optional[SweepCache] = None
+              ) -> Dict[str, List[SeriesPoint]]:
     """Fig. 12: memcached and Apache transactions/sec vs N, 4 models."""
-    result: Dict[str, List[SeriesPoint]] = {}
-    for benchmark in ("memcached", "apache"):
-        points = []
-        for model_name in FIG9_MODELS:
-            for n in vm_counts:
-                _tb, workloads = macro_run(benchmark, model_name, n,
-                                           run_ns=run_ns)
-                total = sum(w.throughput_tps() for w in workloads)
-                points.append(SeriesPoint(model_name, n, total))
-        result[benchmark] = points
+    benchmarks = ("memcached", "apache")
+    points = [{"benchmark": benchmark, "model": model_name,
+               "n_vms": int(n), "run_ns": run_ns}
+              for benchmark in benchmarks
+              for model_name in FIG9_MODELS for n in vm_counts]
+    values = sweep(points, _macro_point, jobs=jobs,
+                   artifact="fig12", cache=cache)
+    result: Dict[str, List[SeriesPoint]] = {b: [] for b in benchmarks}
+    for p, v in zip(points, values):
+        result[p["benchmark"]].append(SeriesPoint(p["model"], p["n_vms"], v))
     return result
 
 

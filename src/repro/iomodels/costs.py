@@ -130,6 +130,10 @@ class CostModel:
     # -- block reliability (§4.5) ----------------------------------------------
     blk_initial_timeout_ns: int = 10_000_000   # 10 ms
     blk_max_retransmissions: int = 8
+    # Backoff cap: doubling stops here, so a persistently lossy link hits
+    # the retransmission limit in hundreds of ms instead of several
+    # simulated seconds of unbounded exponential waits.
+    blk_max_timeout_ns: int = 80_000_000       # 80 ms
 
     def copy(self, **overrides) -> "CostModel":
         """A copy of this cost model with selected fields replaced."""

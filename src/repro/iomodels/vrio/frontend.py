@@ -259,7 +259,8 @@ class VrioModel:
                 self.env,
                 send=lambda req, xid, cid=vm.name: self._start_blk_tx(cid, req, xid),
                 initial_timeout_ns=self.costs.blk_initial_timeout_ns,
-                max_retransmissions=self.costs.blk_max_retransmissions)
+                max_retransmissions=self.costs.blk_max_retransmissions,
+                max_timeout_ns=self.costs.blk_max_timeout_ns)
         handle = VrioBlockHandle(self, client, device_id)
         return handle
 

@@ -5,7 +5,10 @@ virtual *block* device must be reliable.  The mechanism, exactly as in the
 paper:
 
 * every transmission (or retransmission) carries a fresh unique identifier;
-* the initial timeout is 10 ms, doubling on each expiry;
+* the initial timeout is 10 ms, doubling on each expiry up to
+  ``max_timeout_ns`` — unbounded doubling would push the later attempts of
+  a persistently lossy link seconds apart, postponing the §4.5 device
+  error far beyond any reasonable detection latency;
 * on expiry the request is presumed lost and retransmitted;
 * responses whose identifier differs from the current one are *stale* and
   ignored;
@@ -65,14 +68,22 @@ class ReliableBlockChannel:
     def __init__(self, env: Environment,
                  send: Callable[[BlockRequest, int], None],
                  initial_timeout_ns: int = 10_000_000,
-                 max_retransmissions: int = 8):
+                 max_retransmissions: int = 8,
+                 max_timeout_ns: Optional[int] = None):
         if initial_timeout_ns <= 0:
             raise ValueError(f"timeout must be positive: {initial_timeout_ns}")
         if max_retransmissions < 0:
             raise ValueError("max_retransmissions must be >= 0")
+        if max_timeout_ns is None:
+            max_timeout_ns = 8 * initial_timeout_ns
+        if max_timeout_ns < initial_timeout_ns:
+            raise ValueError(
+                f"max_timeout_ns ({max_timeout_ns}) must be >= "
+                f"initial_timeout_ns ({initial_timeout_ns})")
         self.env = env
         self._send = send
         self.initial_timeout_ns = initial_timeout_ns
+        self.max_timeout_ns = max_timeout_ns
         self.max_retransmissions = max_retransmissions
         self._outstanding: Dict[int, _Outstanding] = {}  # by request_id
         self.retransmissions = Counter("retransmissions")
@@ -134,9 +145,9 @@ class ReliableBlockChannel:
                                                  entry.attempts))
                 return
             # Presumed lost: retransmit under a fresh identifier, double
-            # the timeout (§4.5).
+            # the timeout (§4.5) up to the backoff cap.
             entry.xmit_id = next(_xmit_ids)
             entry.attempts += 1
-            entry.timeout_ns *= 2
+            entry.timeout_ns = min(entry.timeout_ns * 2, self.max_timeout_ns)
             self.retransmissions.add()
             self._send(entry.request, entry.xmit_id)

@@ -58,14 +58,27 @@ class Counter:
 
 
 class Histogram:
-    """Collects samples; summarizes mean/percentiles on demand."""
+    """Collects samples; summarizes mean/percentiles on demand.
+
+    The sorted view backing every percentile query is computed once and
+    cached until the next ``add`` — post-processing reads many
+    percentiles from the same frozen sample set, and re-sorting the full
+    list per query made that path O(n log n) each time.
+    """
 
     def __init__(self, name: str = ""):
         self.name = name
         self._samples: List[float] = []
+        self._sorted: Optional[List[float]] = None
 
     def add(self, value: float) -> None:
         self._samples.append(value)
+        self._sorted = None
+
+    def _sorted_samples(self) -> List[float]:
+        if self._sorted is None:
+            self._sorted = sorted(self._samples)
+        return self._sorted
 
     @property
     def count(self) -> int:
@@ -94,10 +107,10 @@ class Histogram:
         return max(self._samples)
 
     def percentile(self, q: float) -> float:
-        return percentile(sorted(self._samples), q)
+        return percentile(self._sorted_samples(), q)
 
     def percentiles(self, qs: Sequence[float]) -> Dict[float, float]:
-        data = sorted(self._samples)
+        data = self._sorted_samples()
         return {q: percentile(data, q) for q in qs}
 
     def summary(self) -> Dict[str, Optional[float]]:
@@ -110,7 +123,7 @@ class Histogram:
         if not self._samples:
             return {"count": 0, "mean": None, "p50": None, "p95": None,
                     "p99": None, "max": None}
-        data = sorted(self._samples)
+        data = self._sorted_samples()
         return {
             "count": len(data),
             "mean": sum(data) / len(data),

@@ -1,5 +1,7 @@
 """Tests for the CLI and the ASCII chart renderer."""
 
+import json
+
 import pytest
 
 from repro.analysis.charts import ascii_chart
@@ -92,8 +94,62 @@ def test_cli_chart_on_table_artifact(capsys):
 
 
 def test_cli_rejects_unknown_artifact(capsys):
+    """An unknown artifact id exits non-zero and lists the valid ids."""
+    assert main(["run", "fig99"]) == 2
+    captured = capsys.readouterr()
+    assert "unknown artifact: fig99" in captured.err
+    assert "valid artifacts:" in captured.err
+    assert "all" in captured.err
+    for artifact in ARTIFACTS:
+        assert artifact in captured.err
+
+
+def test_cli_run_with_cache_dir(capsys, tmp_path):
+    """--cache-dir populates the cache; a re-run replays from it and the
+    two outputs are identical."""
+    cache_dir = str(tmp_path / "cache")
+    assert main(["run", "tab3", "--cache-dir", cache_dir]) == 0
+    first = capsys.readouterr().out
+    assert (tmp_path / "cache").is_dir()  # entries were written
+    assert main(["run", "tab3", "--cache-dir", cache_dir]) == 0
+    second = capsys.readouterr().out
+    assert first == second
+
+
+def test_cli_run_parallel_matches_serial(capsys, tmp_path):
+    """--jobs 2 output is byte-identical to --jobs 1 (acceptance)."""
+    assert main(["run", "tab3", "--jobs", "1", "--no-cache"]) == 0
+    serial = capsys.readouterr().out
+    assert main(["run", "tab3", "--jobs", "2", "--no-cache"]) == 0
+    parallel = capsys.readouterr().out
+    assert serial == parallel
+
+
+def test_cli_rejects_bad_jobs(capsys):
     with pytest.raises(SystemExit):
-        main(["run", "fig99"])
+        main(["run", "tab3", "--jobs", "0"])
+    with pytest.raises(SystemExit):
+        main(["run", "tab3", "--jobs", "fast"])
+
+
+def test_cli_bench_writes_json(capsys, tmp_path):
+    out_path = tmp_path / "BENCH_sweep.json"
+    assert main(["bench", "tab2", "tab3", "--quick",
+                 "--out", str(out_path)]) == 0
+    payload = json.loads(out_path.read_text())
+    assert payload["benchmark"] == "sweep-executor"
+    names = [r["artifact"] for r in payload["results"]]
+    assert names == ["tab2", "tab3"]
+    for row in payload["results"]:
+        assert row["serial_s"] > 0
+        assert row["parallel_s"] > 0
+        assert row["warm_cache_s"] > 0
+
+
+def test_cli_bench_rejects_unknown_artifact(capsys, tmp_path):
+    assert main(["bench", "fig99",
+                 "--out", str(tmp_path / "b.json")]) == 2
+    assert "unknown artifact" in capsys.readouterr().err
 
 
 def test_cli_trace(capsys):

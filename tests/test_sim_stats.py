@@ -59,6 +59,36 @@ def test_histogram_summary():
     assert h.percentile(50) == 25
 
 
+def test_histogram_sorted_cache_invalidated_by_add():
+    """Percentile queries reuse a cached sorted view; interleaved adds
+    must invalidate it so later queries see the new samples."""
+    h = Histogram("lat")
+    for v in [30, 10, 20]:
+        h.add(v)
+    assert h.percentile(100) == 30
+    assert h.percentiles([0, 50, 100]) == {0: 10, 50: 20, 100: 30}
+    # Out-of-order add after a query: the cache must not go stale.
+    h.add(5)
+    assert h.percentile(0) == 5
+    assert h.percentile(100) == 30
+    h.add(90)
+    assert h.percentile(100) == 90
+    assert h.summary()["max"] == 90
+    # Samples order itself is untouched by the sorted view.
+    assert h.samples == [30, 10, 20, 5, 90]
+
+
+def test_histogram_repeated_queries_consistent():
+    """Many queries against a frozen sample set agree with a fresh sort."""
+    h = Histogram()
+    data = [7, 1, 9, 3, 3, 8, 2]
+    for v in data:
+        h.add(v)
+    expect = sorted(data)
+    for q in (0, 10, 25, 50, 75, 90, 99, 100):
+        assert h.percentile(q) == percentile(expect, q)
+
+
 def test_histogram_empty_mean_raises():
     with pytest.raises(ValueError):
         Histogram().mean()

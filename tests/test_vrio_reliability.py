@@ -156,6 +156,64 @@ def test_invalid_parameters_rejected():
         ReliableBlockChannel(env, RecordingSender(), initial_timeout_ns=0)
     with pytest.raises(ValueError):
         ReliableBlockChannel(env, RecordingSender(), max_retransmissions=-1)
+    with pytest.raises(ValueError):
+        ReliableBlockChannel(env, RecordingSender(),
+                             initial_timeout_ns=ms(10),
+                             max_timeout_ns=ms(5))
+
+
+def test_backoff_caps_at_max_timeout():
+    """Doubling stops at ``max_timeout_ns``: 10, 20, 40, 40, 40 ms gaps."""
+    env = Environment()
+    times = []
+
+    def sender(request, xmit_id):
+        times.append(env.now)
+
+    chan = ReliableBlockChannel(env, sender, initial_timeout_ns=ms(10),
+                                max_retransmissions=4,
+                                max_timeout_ns=ms(40))
+    done = chan.submit(req())
+    done.add_callback(lambda e: None)  # swallow the eventual failure
+    env.run()
+    gaps = [b - a for a, b in zip(times, times[1:])]
+    assert gaps == [ms(10), ms(20), ms(40), ms(40)]
+    assert chan.failures.value == 1
+
+
+def test_lossy_link_fails_within_bounded_time():
+    """Regression: a persistently lossy link must hit the §4.5 error
+    threshold in hundreds of milliseconds, not stall for simulated
+    seconds of unbounded exponential waits.
+
+    With the defaults (10 ms initial, 8 retransmissions, cap at 8x =
+    80 ms), the worst case is 10+20+40+80*6 = 550 ms.  Uncapped doubling
+    would take 10*(2^9 - 1) = 5.11 s.
+    """
+    env = Environment()
+
+    def black_hole(request, xmit_id):
+        pass  # the link eats every transmission
+
+    chan = ReliableBlockChannel(env, black_hole,
+                                initial_timeout_ns=ms(10),
+                                max_retransmissions=8)
+    assert chan.max_timeout_ns == ms(80)  # default: 8x initial
+    failures = []
+
+    def proc(env):
+        try:
+            yield chan.submit(req())
+        except BlockDeviceError as exc:
+            failures.append((env.now, exc))
+
+    env.process(proc(env))
+    env.run()
+    assert len(failures) == 1
+    failed_at, exc = failures[0]
+    assert exc.attempts == 9  # original + 8 retransmissions
+    assert failed_at == ms(10 + 20 + 40 + 80 * 6)  # 550 ms
+    assert failed_at < ms(1000)  # bounded: well under uncapped 5.11 s
 
 
 def test_response_after_completion_is_stale():
