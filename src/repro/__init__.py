@@ -23,15 +23,19 @@ The package is organized exactly like the system in the paper:
 
 Quick start::
 
-    from repro.cluster import build_simple_setup
+    from repro.cluster import TestbedSpec, build_testbed
     from repro.workloads import NetperfRR
     from repro.sim import ms
 
-    testbed = build_simple_setup("vrio", n_vms=1)
+    testbed = build_testbed(TestbedSpec(model="vrio", vms_per_host=1))
     rr = NetperfRR(testbed.env, testbed.clients[0], testbed.ports[0],
                    testbed.costs)
     testbed.env.run(until=ms(30))
     print(rr.mean_latency_us(), testbed.stats.snapshot())
+
+Fault campaigns (:mod:`repro.faults`) ride the same spec: attach a
+``FaultPlan`` to the spec and the planned faults fire as simulation
+events — ``python -m repro faults`` runs the stock campaigns.
 """
 
 from . import (
@@ -49,9 +53,11 @@ from . import (
     workloads,
 )
 from .cluster import (
+    TestbedSpec,
     build_consolidation_setup,
     build_scalability_setup,
     build_simple_setup,
+    build_testbed,
 )
 from .iomodels import (
     BaselineModel,
@@ -68,6 +74,7 @@ __version__ = "1.0.0"
 __all__ = [
     "sim", "hw", "net", "virtio", "guest", "iomodels", "interpose",
     "workloads", "cluster", "costmodel", "experiments", "analysis",
+    "TestbedSpec", "build_testbed",
     "build_simple_setup", "build_scalability_setup",
     "build_consolidation_setup",
     "BaselineModel", "ElvisModel", "OptimumModel", "VrioModel",

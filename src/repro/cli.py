@@ -23,6 +23,13 @@ verify [--scenario NAME] [--update-goldens] [--list] [--telemetry]
     ``--telemetry`` adds a pass validating each scenario's metrics and
     Chrome-trace exports.  Scenarios fan out over ``--jobs`` processes
     and replay from the result cache when the code is unchanged.
+faults [CAMPAIGN ...] [--all] [--list] [--seed N] [--jobs N]
+    Run fault-injection campaigns (IOhost crash, link loss/blackout, NIC
+    failure, storage error bursts, sidecore stalls, live migration) and
+    print each recovery report: detection latency, failover downtime,
+    requests lost/retried/recovered, and throughput before/during/after
+    the fault.  Reports are byte-identical per seed and cache/parallelize
+    like any sweep.  ``verify --faults`` runs the quick smoke variant.
 observe SCENARIO [--seed N] [--trace PATH] [--json FILE] [--csv FILE]
     Run one scenario under full telemetry: print the per-stage latency
     breakdown and key metrics, and write a Chrome ``trace_event`` JSON
@@ -169,10 +176,10 @@ def _make_cache(args) -> Optional[SweepCache]:
 def _trace_one_request() -> None:
     """Run one request-response through vRIO with tracing and print the
     lifecycle of both messages (request in, response out)."""
-    from .cluster import build_simple_setup
+    from .cluster import TestbedSpec, build_testbed
     from .sim import Tracer
 
-    testbed = build_simple_setup("vrio", 1)
+    testbed = build_testbed(TestbedSpec(model="vrio"))
     tracer = Tracer(testbed.env)
     testbed.model.tracer = tracer
     port, client = testbed.ports[0], testbed.clients[0]
@@ -311,10 +318,62 @@ def _verify_command(args) -> int:
             for problem in problems:
                 for line in str(problem).splitlines():
                     print(f"    {line}")
+    if args.faults:
+        issue = _fault_smoke_line()
+        if issue is not None:
+            failures += 1
     if failures:
         print(f"\n{failures} of {len(names)} scenario(s) FAILED")
         return 1
     print(f"\nall {len(names)} scenario(s) verified")
+    return 0
+
+
+def _fault_smoke_line() -> Optional[str]:
+    """Run the fault-campaign smoke and print its verdict row."""
+    from .faults import run_fault_smoke
+
+    issue = run_fault_smoke(seed=0)
+    if issue is None:
+        print(f"{'faults':24s} {'ok':>10s}")
+    else:
+        print(f"{'faults':24s} {'FAILED':>10s}")
+        print(f"    {issue}")
+    return issue
+
+
+def _faults_command(args) -> int:
+    """Run fault campaigns and print their recovery reports."""
+    from .faults import (
+        CAMPAIGNS,
+        DEFAULT_CAMPAIGN,
+        campaign_names,
+        format_report,
+        run_campaigns,
+    )
+
+    if args.list:
+        for name in campaign_names():
+            print(f"{name:16s} {CAMPAIGNS[name].description}")
+        return 0
+    names = args.campaigns or (
+        campaign_names() if args.all else [DEFAULT_CAMPAIGN])
+    unknown = [n for n in names if n not in CAMPAIGNS]
+    if unknown:
+        print(f"unknown campaign(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"known: {', '.join(campaign_names())}", file=sys.stderr)
+        return 2
+    reports = run_campaigns(names, seed=args.seed, jobs=args.jobs,
+                            cache=_make_cache(args))
+    unrecovered = 0
+    for i, report in enumerate(reports):
+        if i:
+            print()
+        print(format_report(report))
+        unrecovered += report["unrecovered"]
+    if unrecovered:
+        print(f"\n{unrecovered} fault(s) went UNRECOVERED")
+        return 1
     return 0
 
 
@@ -477,6 +536,24 @@ def _main(argv: Optional[list] = None) -> int:
                                help="also re-run each scenario under a "
                                     "telemetry session and validate its "
                                     "metrics + Chrome-trace exports")
+    verify_parser.add_argument("--faults", action="store_true",
+                               help="also run the fault-campaign smoke: "
+                                    "the IOhost-crash campaign must detect, "
+                                    "fail over, and reproduce byte-"
+                                    "identically")
+    faults_parser = sub.add_parser(
+        "faults", help="run fault-injection campaigns")
+    faults_parser.add_argument("campaigns", metavar="CAMPAIGN", nargs="*",
+                               help="campaign names (default: "
+                                    "iohost_crash; see --list)")
+    faults_parser.add_argument("--all", action="store_true",
+                               help="run every stock campaign")
+    faults_parser.add_argument("--list", action="store_true",
+                               help="list campaigns and exit")
+    faults_parser.add_argument("--seed", type=int, default=0,
+                               help="master RNG seed (reports are byte-"
+                                    "identical per seed)")
+    _add_sweep_flags(faults_parser)
     observe_parser = sub.add_parser(
         "observe", help="run one scenario under full telemetry")
     observe_parser.add_argument("scenario", metavar="SCENARIO",
@@ -523,6 +600,8 @@ def _main(argv: Optional[list] = None) -> int:
         return 0
     if args.command == "verify":
         return _verify_command(args)
+    if args.command == "faults":
+        return _faults_command(args)
     if args.command == "observe":
         return _observe_command(args)
     if args.command == "bench":

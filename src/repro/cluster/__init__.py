@@ -3,16 +3,20 @@
 from .host import IoHostMachine, LoadGenHost, VmHostMachine, guest_costs_from
 from .testbed import (
     MODEL_NAMES,
+    TOPOLOGIES,
     Testbed,
+    TestbedSpec,
     build_consolidation_setup,
     build_scalability_setup,
     build_simple_setup,
     build_switched_setup,
+    build_testbed,
 )
 
 __all__ = [
     "VmHostMachine", "IoHostMachine", "LoadGenHost", "guest_costs_from",
-    "Testbed", "MODEL_NAMES",
+    "Testbed", "TestbedSpec", "build_testbed",
+    "MODEL_NAMES", "TOPOLOGIES",
     "build_simple_setup", "build_scalability_setup",
     "build_consolidation_setup", "build_switched_setup",
 ]

@@ -1,28 +1,35 @@
-"""Builders for the paper's experimental setups (§5).
+"""Declarative testbed construction for the paper's experimental setups (§5).
 
-:func:`build_simple_setup` reproduces Figure 6: one VMhost, one load
-generator, and — for vRIO — an IOhost interposed between them.  Core
-budgets follow the paper: N+1 active cores for baseline/Elvis/vRIO (the
-+1 being the sidecore, local or remote) and N for the optimum.
+One :class:`TestbedSpec` describes any of the paper's topologies as pure
+data — model, topology, host/VM counts, knobs, cost model, and (for fault
+campaigns) a :class:`repro.faults.FaultPlan` — and :func:`build_testbed`
+assembles it.  Because specs are plain serializable data, a campaign
+(spec × fault plan × seed) can be cached, shipped to worker processes, and
+reproduced bit-for-bit.
 
-:func:`build_scalability_setup` reproduces the Figure 13 topology: four
-logical VMhosts, each with its own load generator, all served by one
-IOhost.
+The four historical builders remain as thin shims over specs:
 
-:func:`build_consolidation_setup` reproduces the Figure 15/16 topology:
-two VMhosts running block workloads on ramdisks — local sidecores under
-Elvis/baseline, consolidated remote sidecores under vRIO.
+* ``build_simple_setup`` — Figure 6: one VMhost, one load generator, and —
+  for vRIO — an IOhost interposed between them.  Core budgets follow the
+  paper: N+1 active cores for baseline/Elvis/vRIO (the +1 being the
+  sidecore, local or remote) and N for the optimum.
+* ``build_scalability_setup`` — Figure 13: four logical VMhosts, each with
+  its own load generator, all served by one IOhost.
+* ``build_switched_setup`` — §4.6: client traffic through a rack switch
+  that can re-steer F addresses to the VMhost after an IOhost failure.
+* ``build_consolidation_setup`` — Figure 15/16: several VMhosts running
+  block workloads on ramdisks — local sidecores under Elvis/baseline,
+  consolidated remote sidecores under vRIO.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from dataclasses import asdict, dataclass, field, replace
+from typing import Dict, List, Optional
 
 from ..guest.vm import Vm
 from ..hw.cpu import Core
 from ..hw.link import Link
-from ..hw.storage import StorageDevice, make_ramdisk
 from ..iomodels import (
     BaselineModel,
     DEFAULT_COSTS,
@@ -34,13 +41,17 @@ from ..iomodels import (
 )
 from ..iomodels.base import ExternalEndpoint
 from ..iomodels.costs import CostModel
+from ..hw.storage import StorageDevice, make_ramdisk
 from ..sim import Environment, RngRegistry
 from ..telemetry import bind_testbed, register_storage_device
 from .host import IoHostMachine, LoadGenHost, VmHostMachine
 
 __all__ = [
     "Testbed",
+    "TestbedSpec",
+    "build_testbed",
     "MODEL_NAMES",
+    "TOPOLOGIES",
     "build_simple_setup",
     "build_scalability_setup",
     "build_consolidation_setup",
@@ -48,6 +59,7 @@ __all__ = [
 ]
 
 MODEL_NAMES = ("baseline", "elvis", "optimum", "vrio", "vrio_nopoll")
+TOPOLOGIES = ("simple", "scalability", "switched", "consolidation")
 
 
 @dataclass
@@ -67,7 +79,12 @@ class Testbed:
     iohost: Optional[IoHostMachine] = None
     loadgens: List[LoadGenHost] = field(default_factory=list)
     models: List[object] = field(default_factory=list)
-    _block_attach: Optional[Callable[[Vm, StorageDevice], object]] = None
+    links: Dict[str, Link] = field(default_factory=dict)
+    channels: List[object] = field(default_factory=list)   # VmhostChannels
+    storage_devices: List[StorageDevice] = field(default_factory=list)
+    spec: Optional["TestbedSpec"] = None
+    fault_injector: Optional[object] = None
+    _model_by_vm: Dict[str, object] = field(default_factory=dict)
 
     @property
     def model(self):
@@ -84,14 +101,94 @@ class Testbed:
         return self.attach_block_device(vm, device)
 
     def attach_block_device(self, vm: Vm, device: StorageDevice):
-        if self._block_attach is None:
+        """Attach ``device`` to ``vm`` under whichever model owns the VM.
+
+        The single block-attachment path shared by every topology, all
+        I/O models, and the fault injector: the owning model is resolved
+        per VM, so consolidation setups route each VM to its own Elvis /
+        baseline instance while vRIO VMs share the consolidated IOhost.
+        """
+        model = self._model_by_vm.get(vm.name)
+        if model is None:
             raise NotImplementedError(
                 f"model {self.model_name!r} does not support host-managed "
                 "block devices")
+        handle = model.attach_block_device(vm, device)
         telemetry = getattr(self, "telemetry", None)
         if telemetry is not None:
             register_storage_device(telemetry.registry, device)
-        return self._block_attach(vm, device)
+        self.storage_devices.append(device)
+        return handle
+
+
+@dataclass(frozen=True)
+class TestbedSpec:
+    """A declarative, serializable description of one experimental setup.
+
+    Fields that only some topologies consume (``channel_loss``,
+    ``model_numa``, …) are ignored by the others, matching the historical
+    builder signatures.  ``sidecores`` means: vRIO worker count (total, at
+    the IOhost), Elvis sidecore count / baseline I/O core count (per host
+    in the consolidation topology).
+    """
+
+    model: str = "vrio"
+    topology: str = "simple"
+    n_vmhosts: int = 1
+    vms_per_host: int = 1
+    sidecores: int = 1
+    with_clients: bool = True
+    seed: int = 0
+    channel_loss: float = 0.0
+    channel_rx_ring: int = 4096
+    channel_mtu: int = 8100
+    pump_window: int = 32
+    worker_idle_policy: Optional[str] = None
+    model_numa: bool = True
+    costs: Optional[CostModel] = None
+    fault_plan: Optional[object] = None     # repro.faults.FaultPlan
+
+    @property
+    def n_vms(self) -> int:
+        return self.n_vmhosts * self.vms_per_host
+
+    def copy(self, **overrides) -> "TestbedSpec":
+        """A copy of this spec with selected fields replaced."""
+        return replace(self, **overrides)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (round-trips via :meth:`from_dict`)."""
+        data = {
+            "model": self.model,
+            "topology": self.topology,
+            "n_vmhosts": self.n_vmhosts,
+            "vms_per_host": self.vms_per_host,
+            "sidecores": self.sidecores,
+            "with_clients": self.with_clients,
+            "seed": self.seed,
+            "channel_loss": self.channel_loss,
+            "channel_rx_ring": self.channel_rx_ring,
+            "channel_mtu": self.channel_mtu,
+            "pump_window": self.pump_window,
+            "worker_idle_policy": self.worker_idle_policy,
+            "model_numa": self.model_numa,
+            "costs": None if self.costs is None else asdict(self.costs),
+            "fault_plan": (None if self.fault_plan is None
+                           else self.fault_plan.to_dict()),
+        }
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TestbedSpec":
+        data = dict(data)
+        costs = data.get("costs")
+        if costs is not None and not isinstance(costs, CostModel):
+            data["costs"] = CostModel(**costs)
+        plan = data.get("fault_plan")
+        if plan is not None and isinstance(plan, dict):
+            from ..faults.plan import FaultPlan
+            data["fault_plan"] = FaultPlan.from_dict(plan)
+        return cls(**data)
 
 
 def _check_model_name(model_name: str) -> None:
@@ -100,29 +197,50 @@ def _check_model_name(model_name: str) -> None:
             f"unknown model {model_name!r}; expected one of {MODEL_NAMES}")
 
 
-def build_simple_setup(model_name: str, n_vms: int,
-                       costs: Optional[CostModel] = None,
-                       sidecores: int = 1,
-                       seed: int = 0,
-                       with_clients: bool = True,
-                       channel_loss: float = 0.0,
-                       channel_rx_ring: int = 4096,
-                       channel_mtu: int = 8100,
-                       pump_window: int = 32,
-                       worker_idle_policy: Optional[str] = None) -> Testbed:
-    """The Figure 6 setup for any of the five model names.
+def build_testbed(spec: TestbedSpec) -> Testbed:
+    """Assemble the testbed a :class:`TestbedSpec` describes.
 
-    ``sidecores`` controls the Elvis sidecore count / baseline I/O core
-    count / vRIO worker count (the paper's default experiments use 1).
+    Validates the spec, dispatches on topology, binds telemetry, and —
+    when the spec carries a fault plan — arms a
+    :class:`repro.faults.FaultInjector` so the planned faults fire as
+    simulation events during the run.
     """
-    _check_model_name(model_name)
-    if n_vms <= 0:
-        raise ValueError(f"need at least one VM, got {n_vms}")
-    if sidecores <= 0:
-        raise ValueError(f"need at least one sidecore, got {sidecores}")
-    costs = costs if costs is not None else DEFAULT_COSTS
+    _check_model_name(spec.model)
+    if spec.topology not in TOPOLOGIES:
+        raise ValueError(
+            f"unknown topology {spec.topology!r}; expected one of "
+            f"{TOPOLOGIES}")
+    if spec.topology in ("scalability", "switched") and spec.model != "vrio":
+        raise ValueError(
+            f"the {spec.topology} topology is vRIO-only, got {spec.model!r}")
+    if spec.topology == "consolidation" and spec.model in ("optimum",
+                                                           "vrio_nopoll"):
+        raise ValueError(f"{spec.model} is not part of this experiment")
+    if spec.topology == "simple" and spec.n_vmhosts != 1:
+        raise ValueError("the simple topology has exactly one VMhost")
+    if spec.n_vmhosts <= 0 or spec.vms_per_host <= 0:
+        raise ValueError("need positive host and VM counts")
+    if spec.sidecores <= 0:
+        raise ValueError(f"need at least one sidecore, got {spec.sidecores}")
+
+    builder = _TOPOLOGY_BUILDERS[spec.topology]
+    testbed = builder(spec)
+    testbed.spec = spec
+    bind_testbed(testbed)
+    if spec.fault_plan:
+        from ..faults.inject import FaultInjector
+        testbed.fault_injector = FaultInjector(testbed,
+                                               spec.fault_plan).arm()
+    return testbed
+
+
+def _build_simple(spec: TestbedSpec) -> Testbed:
+    """The Figure 6 setup for any of the five model names."""
+    model_name = spec.model
+    n_vms = spec.vms_per_host
+    costs = spec.costs if spec.costs is not None else DEFAULT_COSTS
     env = Environment()
-    rng = RngRegistry(seed)
+    rng = RngRegistry(spec.seed)
 
     vmhost = VmHostMachine(env, "vmhost0", costs)
     vms = [vmhost.new_vm() for _ in range(n_vms)]
@@ -136,96 +254,96 @@ def build_simple_setup(model_name: str, n_vms: int,
     iohost: Optional[IoHostMachine] = None
     service_cores: List[Core] = []
     models: List[object] = []
-    block_attach = None
+    links: Dict[str, Link] = {}
+    channels: List[object] = []
 
     if model_name in ("vrio", "vrio_nopoll"):
         poll = model_name == "vrio"
         iohost = IoHostMachine(env, "iohost", costs)
         workers = [iohost.new_worker(poll_mode=poll,
-                                     idle_policy=worker_idle_policy)
-                   for _ in range(sidecores)]
+                                     idle_policy=spec.worker_idle_policy)
+                   for _ in range(spec.sidecores)]
         service_cores = workers
         model = VrioModel(env, workers, costs=costs, stats=stats, poll=poll,
-                          channel_mtu=channel_mtu,
-                          channel_rx_ring=channel_rx_ring,
-                          pump_window=pump_window)
+                          channel_mtu=spec.channel_mtu,
+                          channel_rx_ring=spec.channel_rx_ring,
+                          pump_window=spec.pump_window)
         models.append(model)
         # Channel link: VMhost <-> IOhost.
+        channel_loss = spec.channel_loss
         channel_link = Link(env, gbps=costs.channel_gbps,
                             propagation_ns=costs.propagation_ns,
                             loss_probability=channel_loss,
                             rng=rng.stream("channel-loss") if channel_loss else None,
                             name="channel")
+        links["channel"] = channel_link
         vmhost_nic = vmhost.new_nic("channel")
         vmhost_nic.attach(channel_link.side_a)
         iohost_channel_nic = iohost.new_nic("channel")
         iohost_channel_nic.attach(channel_link.side_b)
         channel = model.connect_vmhost("vmhost0", vmhost_nic,
                                        iohost_channel_nic)
+        channels.append(channel)
         # External link: load generator <-> IOhost.
         external_nic = iohost.new_nic("external")
         lg_link = Link(env, gbps=costs.link_gbps,
                        propagation_ns=costs.propagation_ns, name="lg")
+        links["lg"] = lg_link
         external_nic.attach(lg_link.side_a)
         lg_nic_host = lg_link.side_b
         ports = [model.attach_vm(vm, channel, external_nic) for vm in vms]
-        block_attach = model.attach_block_device
     else:
         host_nic = vmhost.new_nic("external")
         lg_link = Link(env, gbps=costs.link_gbps,
                        propagation_ns=costs.propagation_ns, name="lg")
+        links["lg"] = lg_link
         host_nic.attach(lg_link.side_a)
         lg_nic_host = lg_link.side_b
         if model_name == "elvis":
-            cores = [vmhost.new_sidecore() for _ in range(sidecores)]
+            cores = [vmhost.new_sidecore() for _ in range(spec.sidecores)]
             service_cores = cores
             model = ElvisModel(env, host_nic, cores, costs=costs, stats=stats)
             ports = [model.attach_vm(vm) for vm in vms]
-            block_attach = model.attach_block_device
         elif model_name == "baseline":
             io_core = vmhost.new_io_core()
             service_cores = [io_core]
             model = BaselineModel(env, host_nic, io_core, costs=costs,
                                   stats=stats)
             ports = [model.attach_vm(vm) for vm in vms]
-            block_attach = model.attach_block_device
         else:  # optimum
             model = OptimumModel(env, costs=costs, stats=stats)
             ports = [model.attach_vm(vm, host_nic) for vm in vms]
         models.append(model)
 
-    if with_clients:
+    if spec.with_clients:
         from ..hw.nic import Nic
         lg_nic = Nic(env, "loadgen/nic", endpoint=lg_nic_host)
         loadgen = LoadGenHost(env, "loadgen0", lg_nic, costs)
         loadgens.append(loadgen)
         clients = [loadgen.new_client_endpoint() for _ in range(n_vms)]
 
-    testbed = Testbed(env=env, costs=costs, model_name=model_name, vms=vms,
-                      ports=ports, clients=clients, stats=stats,
-                      service_cores=service_cores, rng=rng, vmhosts=[vmhost],
-                      iohost=iohost, loadgens=loadgens, models=models,
-                      _block_attach=block_attach)
-    bind_testbed(testbed)
-    return testbed
+    # The optimum's attach_block_device itself raises NotImplementedError
+    # ("there is no such thing as an SRIOV ramdisk"), so every model routes
+    # through the same map.
+    model_by_vm = {vm.name: model for vm in vms}
+    return Testbed(env=env, costs=costs, model_name=model_name, vms=vms,
+                   ports=ports, clients=clients, stats=stats,
+                   service_cores=service_cores, rng=rng, vmhosts=[vmhost],
+                   iohost=iohost, loadgens=loadgens, models=models,
+                   links=links, channels=channels,
+                   _model_by_vm=model_by_vm)
 
 
-def build_scalability_setup(n_vmhosts: int = 4, vms_per_host: int = 1,
-                            workers: int = 1,
-                            costs: Optional[CostModel] = None,
-                            seed: int = 0,
-                            model_numa: bool = True) -> Testbed:
+def _build_scalability(spec: TestbedSpec) -> Testbed:
     """The Figure 13 topology: one IOhost serving several VMhosts, each
     paired with its own load generator (vRIO only)."""
-    if n_vmhosts <= 0 or vms_per_host <= 0:
-        raise ValueError("need positive host and VM counts")
-    costs = costs if costs is not None else DEFAULT_COSTS
+    costs = spec.costs if spec.costs is not None else DEFAULT_COSTS
     env = Environment()
-    rng = RngRegistry(seed)
+    rng = RngRegistry(spec.seed)
     stats = IoEventStats("vrio")
 
     iohost = IoHostMachine(env, "iohost", costs)
-    worker_cores = [iohost.new_worker() for _ in range(workers)]
+    worker_cores = [iohost.new_worker() for _ in range(spec.sidecores)]
     model = VrioModel(env, worker_cores, costs=costs, stats=stats)
 
     vms: List[Vm] = []
@@ -233,48 +351,50 @@ def build_scalability_setup(n_vmhosts: int = 4, vms_per_host: int = 1,
     clients: List[ExternalEndpoint] = []
     vmhosts: List[VmHostMachine] = []
     loadgens: List[LoadGenHost] = []
+    links: Dict[str, Link] = {}
+    channels: List[object] = []
 
     from ..hw.nic import Nic
-    for h in range(n_vmhosts):
+    for h in range(spec.n_vmhosts):
         vmhost = VmHostMachine(env, f"vmhost{h}", costs, core_budget=8)
         vmhosts.append(vmhost)
         channel_link = Link(env, gbps=costs.channel_gbps,
                             propagation_ns=costs.propagation_ns,
                             name=f"channel{h}")
+        links[f"channel{h}"] = channel_link
         vmhost_nic = vmhost.new_nic("channel")
         vmhost_nic.attach(channel_link.side_a)
         iohost_channel_nic = iohost.new_nic(f"channel{h}")
         iohost_channel_nic.attach(channel_link.side_b)
         channel = model.connect_vmhost(f"vmhost{h}", vmhost_nic,
                                        iohost_channel_nic)
+        channels.append(channel)
 
         external_nic = iohost.new_nic(f"external{h}")
         lg_link = Link(env, gbps=costs.link_gbps,
                        propagation_ns=costs.propagation_ns, name=f"lg{h}")
+        links[f"lg{h}"] = lg_link
         external_nic.attach(lg_link.side_a)
         lg_nic = Nic(env, f"loadgen{h}/nic", endpoint=lg_link.side_b)
         loadgen = LoadGenHost(env, f"loadgen{h}", lg_nic, costs,
-                              model_numa=model_numa)
+                              model_numa=spec.model_numa)
         loadgens.append(loadgen)
 
-        for _ in range(vms_per_host):
+        for _ in range(spec.vms_per_host):
             vm = vmhost.new_vm()
             vms.append(vm)
             ports.append(model.attach_vm(vm, channel, external_nic))
             clients.append(loadgen.new_client_endpoint())
 
-    testbed = Testbed(env=env, costs=costs, model_name="vrio", vms=vms,
-                      ports=ports, clients=clients, stats=stats,
-                      service_cores=worker_cores, rng=rng, vmhosts=vmhosts,
-                      iohost=iohost, loadgens=loadgens, models=[model],
-                      _block_attach=model.attach_block_device)
-    bind_testbed(testbed)
-    return testbed
+    return Testbed(env=env, costs=costs, model_name="vrio", vms=vms,
+                   ports=ports, clients=clients, stats=stats,
+                   service_cores=worker_cores, rng=rng, vmhosts=vmhosts,
+                   iohost=iohost, loadgens=loadgens, models=[model],
+                   links=links, channels=channels,
+                   _model_by_vm={vm.name: model for vm in vms})
 
 
-def build_switched_setup(n_vms: int = 1, workers: int = 1,
-                         costs: Optional[CostModel] = None,
-                         seed: int = 0) -> Testbed:
+def _build_switched(spec: TestbedSpec) -> Testbed:
     """The §4.6 fault-tolerant arrangement: client traffic flows through
     the rack switch, which steers each F address to the IOhost — and can
     re-steer it to the VMhost after an IOhost failure.
@@ -291,15 +411,15 @@ def build_switched_setup(n_vms: int = 1, workers: int = 1,
     from ..hw.nic import Nic
     from ..hw.switch_fabric import Switch
 
-    costs = costs if costs is not None else DEFAULT_COSTS
+    costs = spec.costs if spec.costs is not None else DEFAULT_COSTS
     env = Environment()
-    rng = RngRegistry(seed)
+    rng = RngRegistry(spec.seed)
     stats = IoEventStats("vrio")
 
     switch = Switch(env, "rack-switch")
     vmhost = VmHostMachine(env, "vmhost0", costs)
     iohost = IoHostMachine(env, "iohost", costs)
-    worker_cores = [iohost.new_worker() for _ in range(workers)]
+    worker_cores = [iohost.new_worker() for _ in range(spec.sidecores)]
     model = VrioModel(env, worker_cores, costs=costs, stats=stats)
 
     # Direct channel link VMhost <-> IOhost (cheap wiring stays).
@@ -330,9 +450,9 @@ def build_switched_setup(n_vms: int = 1, workers: int = 1,
     lg_nic = Nic(env, "loadgen/nic", endpoint=lg_end)
     loadgen = LoadGenHost(env, "loadgen0", lg_nic, costs)
 
-    vms = [vmhost.new_vm() for _ in range(n_vms)]
+    vms = [vmhost.new_vm() for _ in range(spec.vms_per_host)]
     ports = [model.attach_vm(vm, channel, external_nic) for vm in vms]
-    clients = [loadgen.new_client_endpoint() for _ in range(n_vms)]
+    clients = [loadgen.new_client_endpoint() for _ in range(spec.vms_per_host)]
     for port in ports:
         switch.learn(port.mac, iohost_link.side_a)
     for client in clients:
@@ -342,34 +462,29 @@ def build_switched_setup(n_vms: int = 1, workers: int = 1,
                       ports=ports, clients=clients, stats=stats,
                       service_cores=worker_cores, rng=rng, vmhosts=[vmhost],
                       iohost=iohost, loadgens=[loadgen], models=[model],
-                      _block_attach=model.attach_block_device)
+                      links={"channel": channel_link, "lg": lg_link,
+                             "iohost": iohost_link, "vmhost": vmhost_link},
+                      channels=[channel],
+                      _model_by_vm={vm.name: model for vm in vms})
     testbed.switch = switch
     testbed.switch_ports = {"loadgen": lg_link.side_a,
                             "iohost": iohost_link.side_a,
                             "vmhost": vmhost_link.side_a}
     testbed.vmhost_fallback_nic = vmhost_fallback_nic
     testbed.fallback_io_core = vmhost.new_io_core()
-    bind_testbed(testbed)
     return testbed
 
 
-def build_consolidation_setup(model_name: str, n_vmhosts: int = 2,
-                              vms_per_host: int = 5,
-                              sidecores_per_host: int = 1,
-                              vrio_workers: int = 1,
-                              costs: Optional[CostModel] = None,
-                              seed: int = 0) -> Testbed:
+def _build_consolidation(spec: TestbedSpec) -> Testbed:
     """The Figure 15/16 topology: several VMhosts running block workloads.
 
-    Elvis/baseline get ``sidecores_per_host`` local service cores per
-    VMhost; vRIO gets ``vrio_workers`` consolidated workers at one IOhost.
+    Elvis/baseline get ``sidecores`` local service cores per VMhost; vRIO
+    gets ``sidecores`` consolidated workers at one IOhost.
     """
-    _check_model_name(model_name)
-    if model_name in ("optimum", "vrio_nopoll"):
-        raise ValueError(f"{model_name} is not part of this experiment")
-    costs = costs if costs is not None else DEFAULT_COSTS
+    model_name = spec.model
+    costs = spec.costs if spec.costs is not None else DEFAULT_COSTS
     env = Environment()
-    rng = RngRegistry(seed)
+    rng = RngRegistry(spec.seed)
     stats = IoEventStats(model_name)
 
     vms: List[Vm] = []
@@ -378,40 +493,44 @@ def build_consolidation_setup(model_name: str, n_vmhosts: int = 2,
     models: List[object] = []
     service_cores: List[Core] = []
     iohost: Optional[IoHostMachine] = None
-    attach_map: Dict[str, Callable] = {}
+    links: Dict[str, Link] = {}
+    channels: List[object] = []
+    model_by_vm: Dict[str, object] = {}
 
     if model_name == "vrio":
         iohost = IoHostMachine(env, "iohost", costs)
-        worker_cores = [iohost.new_worker() for _ in range(vrio_workers)]
+        worker_cores = [iohost.new_worker() for _ in range(spec.sidecores)]
         service_cores = worker_cores
         model = VrioModel(env, worker_cores, costs=costs, stats=stats)
         models.append(model)
-        for h in range(n_vmhosts):
+        for h in range(spec.n_vmhosts):
             vmhost = VmHostMachine(env, f"vmhost{h}", costs)
             vmhosts.append(vmhost)
             channel_link = Link(env, gbps=costs.channel_gbps,
                                 propagation_ns=costs.propagation_ns,
                                 name=f"channel{h}")
+            links[f"channel{h}"] = channel_link
             vmhost_nic = vmhost.new_nic("channel")
             vmhost_nic.attach(channel_link.side_a)
             iohost_channel_nic = iohost.new_nic(f"channel{h}")
             iohost_channel_nic.attach(channel_link.side_b)
             channel = model.connect_vmhost(f"vmhost{h}", vmhost_nic,
                                            iohost_channel_nic)
+            channels.append(channel)
             external_nic = iohost.new_nic(f"external{h}")
-            for _ in range(vms_per_host):
+            for _ in range(spec.vms_per_host):
                 vm = vmhost.new_vm()
                 vms.append(vm)
                 ports.append(model.attach_vm(vm, channel, external_nic))
-                attach_map[vm.name] = model.attach_block_device
+                model_by_vm[vm.name] = model
     else:
-        for h in range(n_vmhosts):
+        for h in range(spec.n_vmhosts):
             vmhost = VmHostMachine(env, f"vmhost{h}", costs)
             vmhosts.append(vmhost)
             nic = vmhost.new_nic("external")  # unused by block workloads
             if model_name == "elvis":
                 cores = [vmhost.new_sidecore()
-                         for _ in range(sidecores_per_host)]
+                         for _ in range(spec.sidecores)]
                 service_cores.extend(cores)
                 model = ElvisModel(env, nic, cores, costs=costs, stats=stats)
             else:
@@ -420,19 +539,93 @@ def build_consolidation_setup(model_name: str, n_vmhosts: int = 2,
                 model = BaselineModel(env, nic, io_core, costs=costs,
                                       stats=stats)
             models.append(model)
-            for _ in range(vms_per_host):
+            for _ in range(spec.vms_per_host):
                 vm = vmhost.new_vm()
                 vms.append(vm)
                 ports.append(model.attach_vm(vm))
-                attach_map[vm.name] = model.attach_block_device
+                model_by_vm[vm.name] = model
 
-    def block_attach(vm: Vm, device: StorageDevice):
-        return attach_map[vm.name](vm, device)
+    return Testbed(env=env, costs=costs, model_name=model_name, vms=vms,
+                   ports=ports, clients=[], stats=stats,
+                   service_cores=service_cores, rng=rng, vmhosts=vmhosts,
+                   iohost=iohost, loadgens=[], models=models,
+                   links=links, channels=channels,
+                   _model_by_vm=model_by_vm)
 
-    testbed = Testbed(env=env, costs=costs, model_name=model_name, vms=vms,
-                      ports=ports, clients=[], stats=stats,
-                      service_cores=service_cores, rng=rng, vmhosts=vmhosts,
-                      iohost=iohost, loadgens=[], models=models,
-                      _block_attach=block_attach)
-    bind_testbed(testbed)
-    return testbed
+
+_TOPOLOGY_BUILDERS = {
+    "simple": _build_simple,
+    "scalability": _build_scalability,
+    "switched": _build_switched,
+    "consolidation": _build_consolidation,
+}
+
+
+# -- historical builder names (shims over TestbedSpec) -----------------------
+
+def build_simple_setup(model_name: str, n_vms: int,
+                       costs: Optional[CostModel] = None,
+                       sidecores: int = 1,
+                       seed: int = 0,
+                       with_clients: bool = True,
+                       channel_loss: float = 0.0,
+                       channel_rx_ring: int = 4096,
+                       channel_mtu: int = 8100,
+                       pump_window: int = 32,
+                       worker_idle_policy: Optional[str] = None) -> Testbed:
+    """Shim: the Figure 6 setup as a spec (see :func:`build_testbed`).
+
+    ``sidecores`` controls the Elvis sidecore count / baseline I/O core
+    count / vRIO worker count (the paper's default experiments use 1).
+    """
+    _check_model_name(model_name)
+    if n_vms <= 0:
+        raise ValueError(f"need at least one VM, got {n_vms}")
+    return build_testbed(TestbedSpec(
+        model=model_name, topology="simple", n_vmhosts=1,
+        vms_per_host=n_vms, sidecores=sidecores, seed=seed,
+        with_clients=with_clients, channel_loss=channel_loss,
+        channel_rx_ring=channel_rx_ring, channel_mtu=channel_mtu,
+        pump_window=pump_window, worker_idle_policy=worker_idle_policy,
+        costs=costs))
+
+
+def build_scalability_setup(n_vmhosts: int = 4, vms_per_host: int = 1,
+                            workers: int = 1,
+                            costs: Optional[CostModel] = None,
+                            seed: int = 0,
+                            model_numa: bool = True) -> Testbed:
+    """Shim: the Figure 13 topology as a spec (see :func:`build_testbed`)."""
+    return build_testbed(TestbedSpec(
+        model="vrio", topology="scalability", n_vmhosts=n_vmhosts,
+        vms_per_host=vms_per_host, sidecores=workers, seed=seed,
+        model_numa=model_numa, costs=costs))
+
+
+def build_switched_setup(n_vms: int = 1, workers: int = 1,
+                         costs: Optional[CostModel] = None,
+                         seed: int = 0) -> Testbed:
+    """Shim: the §4.6 switched topology as a spec (see
+    :func:`build_testbed` and :func:`_build_switched` for the extras)."""
+    return build_testbed(TestbedSpec(
+        model="vrio", topology="switched", n_vmhosts=1, vms_per_host=n_vms,
+        sidecores=workers, seed=seed, costs=costs))
+
+
+def build_consolidation_setup(model_name: str, n_vmhosts: int = 2,
+                              vms_per_host: int = 5,
+                              sidecores_per_host: int = 1,
+                              vrio_workers: int = 1,
+                              costs: Optional[CostModel] = None,
+                              seed: int = 0) -> Testbed:
+    """Shim: the Figure 15/16 topology as a spec (see :func:`build_testbed`).
+
+    Elvis/baseline get ``sidecores_per_host`` local service cores per
+    VMhost; vRIO gets ``vrio_workers`` consolidated workers at one IOhost.
+    """
+    _check_model_name(model_name)
+    sidecores = vrio_workers if model_name == "vrio" else sidecores_per_host
+    return build_testbed(TestbedSpec(
+        model=model_name, topology="consolidation", n_vmhosts=n_vmhosts,
+        vms_per_host=vms_per_host, sidecores=sidecores, seed=seed,
+        costs=costs))

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-from ..cluster import build_simple_setup
+from ..cluster import TestbedSpec, build_testbed
 from ..hw.storage import make_sata_ssd
 from ..sim import ms
 from ..workloads import FilebenchRandomIO
@@ -37,7 +37,8 @@ def _fig14_point(params: dict) -> dict:
     """One (mix, model, N) filebench/ramdisk cell."""
     model_name, n = params["model"], params["n_vms"]
     readers, writers = params["readers"], params["writers"]
-    tb = build_simple_setup(model_name, n, with_clients=False)
+    tb = build_testbed(TestbedSpec(model=model_name, vms_per_host=n,
+                                   with_clients=False))
     workloads = []
     for i, vm in enumerate(tb.vms):
         handle = tb.attach_ramdisk(vm)
@@ -76,7 +77,8 @@ def run_fig14(vm_counts: Sequence[int] = range(1, 8),
 def _fig14_ssd_point(params: dict) -> float:
     """One (model, N) SATA-SSD cell: aggregate single-reader ops/sec."""
     model_name, n = params["model"], params["n_vms"]
-    tb = build_simple_setup(model_name, n, with_clients=False)
+    tb = build_testbed(TestbedSpec(model=model_name, vms_per_host=n,
+                                   with_clients=False))
     workloads = []
     for i, vm in enumerate(tb.vms):
         device = make_sata_ssd(tb.env, name=f"ssd-{vm.name}")

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-from ..cluster import Testbed, build_consolidation_setup
+from ..cluster import Testbed, TestbedSpec, build_testbed
 from ..interpose import AesEncryption
 from ..sim import TimeSeries, ms
 from ..telemetry import sample_utilization
@@ -53,10 +53,9 @@ def _sample_utilization(tb: Testbed, interval_ns: int) -> List[TimeSeries]:
 
 def _fig15_point(params: dict) -> dict:
     """One model of Fig. 15: utilization traces of every sidecore."""
-    tb = build_consolidation_setup(params["model"], n_vmhosts=2,
-                                   vms_per_host=5,
-                                   sidecores_per_host=1,
-                                   vrio_workers=params["workers"])
+    tb = build_testbed(TestbedSpec(
+        model=params["model"], topology="consolidation", n_vmhosts=2,
+        vms_per_host=5, sidecores=params["workers"]))
     run_ns = params["run_ns"]
     _start_webservers(tb, range(len(tb.vms)), run_ns, warmup_ns=ms(2))
     series = _sample_utilization(tb, params["interval_ns"])
@@ -105,11 +104,9 @@ def format_fig15(result: Dict[str, dict]) -> str:
 
 def _fig16a_point(params: dict) -> float:
     """One model of Fig. 16a: aggregate webserver Mbps."""
-    kwargs = {"elvis": {"sidecores_per_host": 1},
-              "vrio": {"vrio_workers": 1},
-              "baseline": {}}[params["model"]]
-    tb = build_consolidation_setup(params["model"], n_vmhosts=2,
-                                   vms_per_host=5, **kwargs)
+    tb = build_testbed(TestbedSpec(
+        model=params["model"], topology="consolidation", n_vmhosts=2,
+        vms_per_host=5, sidecores=1))
     run_ns = params["run_ns"]
     workloads = _start_webservers(tb, range(len(tb.vms)), run_ns,
                                   warmup_ns=ms(2))
@@ -142,10 +139,10 @@ def format_fig16a(rows: List[dict]) -> str:
 
 def _fig16b_point(params: dict) -> float:
     """One model of Fig. 16b: aggregate Mbps with AES interposition."""
-    kwargs = {"elvis": {"sidecores_per_host": 1},
-              "vrio": {"vrio_workers": 2}}[params["model"]]
-    tb = build_consolidation_setup(params["model"], n_vmhosts=2,
-                                   vms_per_host=5, **kwargs)
+    sidecores = {"elvis": 1, "vrio": 2}[params["model"]]
+    tb = build_testbed(TestbedSpec(
+        model=params["model"], topology="consolidation", n_vmhosts=2,
+        vms_per_host=5, sidecores=sidecores))
     for model in tb.models:
         model.add_interposer(AesEncryption())
     run_ns = params["run_ns"]

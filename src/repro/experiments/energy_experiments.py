@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
-from ..cluster import build_simple_setup
+from ..cluster import TestbedSpec, build_testbed
 from ..sim import ms
 from ..workloads import NetperfRR
 from .runner import SweepCache, sweep
@@ -28,7 +28,8 @@ __all__ = ["run_energy", "format_energy"]
 def _energy_point(params: dict) -> dict:
     """One (policy, N) cell: RR latency + sidecore energy."""
     policy, n = params["policy"], params["n_vms"]
-    tb = build_simple_setup("vrio", n, worker_idle_policy=policy)
+    tb = build_testbed(TestbedSpec(model="vrio", vms_per_host=n,
+                                   worker_idle_policy=policy))
     workloads = [NetperfRR(tb.env, tb.clients[i], tb.ports[i],
                            tb.costs, warmup_ns=ms(2))
                  for i in range(n)]

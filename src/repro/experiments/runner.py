@@ -16,7 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
-from ..cluster import Testbed, build_simple_setup
+from ..cluster import Testbed, TestbedSpec, build_testbed
 from ..iomodels.costs import CostModel
 from ..sim import ms
 from ..workloads import ApacheBench, Memslap, NetperfRR, NetperfStream
@@ -74,8 +74,8 @@ def rr_run(model_name: str, n_vms: int,
     long housekeeping events) on every core — needed for realistic tail
     percentiles (Table 4).
     """
-    tb = build_simple_setup(model_name, n_vms, costs=costs,
-                            sidecores=sidecores)
+    tb = build_testbed(TestbedSpec(model=model_name, vms_per_host=n_vms,
+                                   costs=costs, sidecores=sidecores))
     workloads = [NetperfRR(tb.env, tb.clients[i], tb.ports[i], tb.costs,
                            warmup_ns=warmup_ns,
                            rng=tb.rng.stream(f"rr-client-{i}"))
@@ -137,8 +137,8 @@ def stream_run(model_name: str, n_vms: int,
                warmup_ns: int = ms(3),
                sidecores: int = 1):
     """Netperf 64 B stream on the Figure 6 setup."""
-    tb = build_simple_setup(model_name, n_vms, costs=costs,
-                            sidecores=sidecores)
+    tb = build_testbed(TestbedSpec(model=model_name, vms_per_host=n_vms,
+                                   costs=costs, sidecores=sidecores))
     workloads = [NetperfStream(tb.env, tb.ports[i], tb.clients[i], tb.costs,
                                warmup_ns=warmup_ns) for i in range(n_vms)]
     tb.env.run(until=run_ns)
@@ -155,7 +155,8 @@ def macro_run(benchmark: str, model_name: str, n_vms: int,
     if benchmark not in _MACRO_CLASSES:
         raise ValueError(f"benchmark must be one of {sorted(_MACRO_CLASSES)}")
     workload_cls = _MACRO_CLASSES[benchmark]
-    tb = build_simple_setup(model_name, n_vms, costs=costs)
+    tb = build_testbed(TestbedSpec(model=model_name, vms_per_host=n_vms,
+                                   costs=costs))
     workloads = [workload_cls(tb.env, tb.clients[i], tb.ports[i], tb.costs,
                               warmup_ns=warmup_ns) for i in range(n_vms)]
     tb.env.run(until=run_ns)

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
-from ..cluster import build_scalability_setup
+from ..cluster import TestbedSpec, build_testbed
 from ..sim import ms
 from ..workloads import NetperfRR, NetperfStream
 from .runner import SweepCache, sweep
@@ -36,9 +36,10 @@ def _fig13_points(total_vms: Sequence[int], run_ns: int) -> List[dict]:
 def _fig13a_point(params: dict) -> dict:
     """One (workers, N) cell of Fig. 13a: mean RR latency."""
     workers, n = params["workers"], params["n_vms"]
-    tb = build_scalability_setup(n_vmhosts=4, vms_per_host=n // 4,
-                                 workers=workers,
-                                 model_numa=params["model_numa"])
+    tb = build_testbed(TestbedSpec(
+        model="vrio", topology="scalability", n_vmhosts=4,
+        vms_per_host=n // 4, sidecores=workers,
+        model_numa=params["model_numa"]))
     rrs = [NetperfRR(tb.env, tb.clients[i], tb.ports[i], tb.costs,
                      warmup_ns=ms(2)) for i in range(n)]
     tb.env.run(until=params["run_ns"])
@@ -61,8 +62,9 @@ def run_fig13a(total_vms: Sequence[int] = (4, 8, 12, 16, 20, 24, 28),
 def _fig13b_point(params: dict) -> dict:
     """One (workers, N) cell of Fig. 13b: aggregate stream Gbps."""
     workers, n = params["workers"], params["n_vms"]
-    tb = build_scalability_setup(n_vmhosts=4, vms_per_host=n // 4,
-                                 workers=workers, model_numa=False)
+    tb = build_testbed(TestbedSpec(
+        model="vrio", topology="scalability", n_vmhosts=4,
+        vms_per_host=n // 4, sidecores=workers, model_numa=False))
     streams = [NetperfStream(tb.env, tb.ports[i], tb.clients[i],
                              tb.costs, warmup_ns=ms(3))
                for i in range(n)]
@@ -94,8 +96,10 @@ def run_fig13_util(total_vms: int = 8, workers: int = 2,
     if total_vms % 4:
         raise ValueError("total VM count must be a multiple of 4")
     with TelemetrySession() as session:
-        tb = build_scalability_setup(n_vmhosts=4, vms_per_host=total_vms // 4,
-                                     workers=workers, model_numa=False)
+        tb = build_testbed(TestbedSpec(
+            model="vrio", topology="scalability", n_vmhosts=4,
+            vms_per_host=total_vms // 4, sidecores=workers,
+            model_numa=False))
         streams = [NetperfStream(tb.env, tb.ports[i], tb.clients[i],
                                  tb.costs, warmup_ns=ms(3))
                    for i in range(total_vms)]

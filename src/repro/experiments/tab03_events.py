@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-from ..cluster import build_simple_setup
+from ..cluster import TestbedSpec, build_testbed
 from ..sim import ms
 from .runner import SweepCache, sweep
 
@@ -39,7 +39,7 @@ PAPER_TAB03 = {
 
 
 def _single_request_response(model_name: str) -> dict:
-    tb = build_simple_setup(model_name, n_vms=1)
+    tb = build_testbed(TestbedSpec(model=model_name))
     env = tb.env
     port, client = tb.ports[0], tb.clients[0]
     done = {"received": False}

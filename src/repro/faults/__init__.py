@@ -1,0 +1,34 @@
+"""Deterministic fault injection and recovery campaigns.
+
+Faults are first-class simulation events: a declarative
+:class:`FaultPlan` rides inside a :class:`repro.cluster.TestbedSpec`,
+:func:`repro.cluster.build_testbed` arms a :class:`FaultInjector`, and a
+:class:`Campaign` (spec × fault plan × seed) reports detection latency,
+failover downtime, request loss/retry/recovery, and throughput
+before/during/after each fault — byte-identical per seed.
+
+Run the stock campaigns with ``python -m repro faults``.
+"""
+
+from .plan import FAULT_KINDS, FaultPlan, FaultSpec
+from .inject import DETECTION_EVENTS, FaultInjector, FaultRecord
+from .campaign import (
+    CAMPAIGNS,
+    DEFAULT_CAMPAIGN,
+    Campaign,
+    CampaignResult,
+    campaign_names,
+    execute_campaign,
+    format_report,
+    run_campaign_point,
+    run_campaigns,
+    run_fault_smoke,
+)
+
+__all__ = [
+    "FAULT_KINDS", "FaultSpec", "FaultPlan",
+    "DETECTION_EVENTS", "FaultInjector", "FaultRecord",
+    "Campaign", "CampaignResult", "CAMPAIGNS", "DEFAULT_CAMPAIGN",
+    "campaign_names", "execute_campaign", "format_report",
+    "run_campaign_point", "run_campaigns", "run_fault_smoke",
+]

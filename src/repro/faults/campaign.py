@@ -1,0 +1,444 @@
+"""Fault campaigns: scenario × fault plan × seed, with a recovery report.
+
+A :class:`Campaign` pairs a :class:`~repro.cluster.TestbedSpec` (carrying
+its :class:`FaultPlan`) with a workload and a run length.
+:func:`execute_campaign` builds the testbed (which arms the injector),
+drives the workload, and assembles a canonical-JSON report of:
+
+* per-fault lifecycle — injection, detection latency, failover downtime;
+* request accounting — submitted / completed / lost, plus the §4.5
+  reliability ledger (retransmissions, recovered, device errors, stales);
+* steady-state throughput before / during / after the fault;
+* a flight-recorder dump when a fault stayed unrecovered.
+
+Reports are canonicalized, so the same campaign at the same seed is
+byte-identical run-to-run — they plug straight into the sweep executor's
+content-addressed cache (``python -m repro faults --jobs N``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from ..cluster import TestbedSpec, build_testbed
+from ..experiments.executor import SweepCache, canonical_json, canonicalize, sweep
+from ..hw.storage import BlockRequest
+from ..iomodels.costs import DEFAULT_COSTS
+from ..iomodels.vrio.reliability import BlockDeviceError
+from ..sim import ms
+from ..telemetry import FlightRecorder
+from ..workloads import NetperfRR
+from .plan import FaultPlan, FaultSpec
+
+__all__ = [
+    "Campaign",
+    "CampaignResult",
+    "CAMPAIGNS",
+    "campaign_names",
+    "execute_campaign",
+    "run_campaign_point",
+    "run_campaigns",
+    "format_report",
+    "run_fault_smoke",
+    "DEFAULT_CAMPAIGN",
+]
+
+# Shortened §4.5 timeouts so campaigns resolve in tens of simulated ms:
+# 0.5 ms initial, doubling to a 2 ms cap (the cap is hit on attempt 4 —
+# the PR-3 backoff-cap path), 3 retransmissions before the device error.
+_FAST_BLK = dict(blk_initial_timeout_ns=500_000,
+                 blk_max_retransmissions=3,
+                 blk_max_timeout_ns=2_000_000)
+
+
+@dataclass(frozen=True)
+class Campaign:
+    """One named fault campaign (pure data; seeds come from the caller)."""
+
+    name: str
+    description: str
+    spec: TestbedSpec
+    workload: str = "block"     # "block" | "rr"
+    run_ns: int = ms(20)
+    streams: int = 3            # block streams per VM
+    io_bytes: int = 4096
+
+
+@dataclass
+class CampaignResult:
+    """A campaign run: the canonical report plus live objects for tests."""
+
+    report: dict
+    testbed: object
+    workloads: List[object]
+    instrument: object = None
+
+
+class _BlockStreamDriver:
+    """Closed-loop block streams against one VM's device handle.
+
+    Streams use disjoint sector ranges, so the guest-disk-scheduler
+    invariant (one outstanding request per block, §4.5) holds by
+    construction.  Completion timestamps feed the phase-throughput
+    accounting; a :class:`BlockDeviceError` counts the request as lost
+    and the stream moves on — exactly what a journaling filesystem's
+    error path would do.
+    """
+
+    def __init__(self, env, handle, streams: int, io_bytes: int, label: str):
+        self.env = env
+        self.submitted = 0
+        self.completions: List[int] = []
+        self.failures: List[int] = []
+        for index in range(streams):
+            env.process(self._stream(handle, index, io_bytes),
+                        name=f"fault-blk:{label}:{index}")
+
+    def _stream(self, handle, stream_index: int, io_bytes: int):
+        env = self.env
+        sectors_per_io = max(1, -(-io_bytes // 512))
+        base = stream_index * 64 * sectors_per_io
+        i = 0
+        while True:
+            op = "read" if (i + stream_index) % 2 == 0 else "write"
+            sector = base + (i % 64) * sectors_per_io
+            request = BlockRequest(op=op, sector=sector, size_bytes=io_bytes)
+            self.submitted += 1
+            try:
+                yield handle.submit(request)
+                self.completions.append(env.now)
+            except BlockDeviceError:
+                self.failures.append(env.now)
+            i += 1
+
+
+def _start_workload(campaign: Campaign, testbed):
+    """Attach and start the campaign's workload.
+
+    Returns ``(drivers, workloads, count_ops)`` where ``count_ops`` reads
+    the cumulative operation count (completions / transactions) — called
+    at phase boundaries for the before/during/after throughput split.
+    """
+    if campaign.workload == "block":
+        drivers = []
+        for vm in testbed.vms:
+            handle = testbed.attach_ramdisk(vm)
+            drivers.append(_BlockStreamDriver(
+                testbed.env, handle, streams=campaign.streams,
+                io_bytes=campaign.io_bytes, label=vm.name))
+        count_ops = lambda: sum(len(d.completions) for d in drivers)
+        return drivers, drivers, count_ops
+    if campaign.workload == "rr":
+        workloads = [
+            NetperfRR(testbed.env, testbed.clients[i], testbed.ports[i],
+                      testbed.costs,
+                      rng=testbed.rng.stream(f"fault-rr-{i}"))
+            for i in range(len(testbed.vms))]
+        count_ops = lambda: sum(w.transactions for w in workloads)
+        return [], workloads, count_ops
+    raise ValueError(f"unknown campaign workload {campaign.workload!r}")
+
+
+def _reliability_totals(testbed) -> Dict[str, int]:
+    totals = {"retransmissions": 0, "recovered": 0, "failures": 0,
+              "stale_responses": 0, "device_errors": 0, "completions": 0}
+    for model in testbed.models:
+        clients = getattr(model, "_clients", None)
+        if clients is None:
+            continue
+        for client in clients.values():
+            reliable = getattr(client, "reliable", None)
+            if reliable is None:
+                continue
+            for key in totals:
+                totals[key] += getattr(reliable, key).value
+    return totals
+
+
+def _phase_entry(ops: int, duration_ns: int) -> dict:
+    rate = (ops * 1e9 / duration_ns) if duration_ns > 0 else 0.0
+    return {"ops": ops, "duration_ns": duration_ns, "ops_per_sec": rate}
+
+
+def execute_campaign(campaign: Campaign, seed: int = 0,
+                     instrument: Optional[Callable] = None) -> CampaignResult:
+    """Run one campaign at one seed; returns the result bundle.
+
+    ``instrument``, if given, is called with the built testbed before the
+    workload starts (scenario runs attach an
+    :class:`~repro.testing.invariants.EngineMonitor` here); whatever it
+    returns rides along in ``CampaignResult.instrument``.
+    """
+    spec = campaign.spec.copy(seed=seed)
+    testbed = build_testbed(spec)
+    recorder = FlightRecorder(capacity=192).attach(testbed.env)
+    injector = testbed.fault_injector
+    if injector is not None:
+        injector.recorder = recorder
+    extra = instrument(testbed) if instrument is not None else None
+    drivers, workloads, count_ops = _start_workload(campaign, testbed)
+
+    # Phase marks: ops counts captured exactly at the first injection and
+    # at the first recovery/window-clear (deterministic scheduled events,
+    # not samplers).
+    marks: Dict[str, tuple] = {}
+    if injector is not None and injector.records:
+        first = injector.records[0]
+
+        def mark_inject():
+            marks.setdefault("inject", (testbed.env.now, count_ops()))
+
+        def mark_recover(_record):
+            marks.setdefault("recover", (testbed.env.now, count_ops()))
+
+        testbed.env.schedule_at(first.spec.at_ns, mark_inject)
+        injector.on_recover.append(mark_recover)
+        injector.on_clear.append(mark_recover)
+
+    testbed.env.run(until=campaign.run_ns)
+
+    total_ops = count_ops()
+    end_ns = testbed.env.now
+    inject_ns, ops_at_inject = marks.get("inject", (None, None))
+    recover_ns, ops_at_recover = marks.get("recover", (None, None))
+    if inject_ns is not None:
+        before = _phase_entry(ops_at_inject, inject_ns)
+        if recover_ns is not None:
+            during = _phase_entry(ops_at_recover - ops_at_inject,
+                                  recover_ns - inject_ns)
+            after = _phase_entry(total_ops - ops_at_recover,
+                                 end_ns - recover_ns)
+        else:
+            during = _phase_entry(total_ops - ops_at_inject,
+                                  end_ns - inject_ns)
+            after = _phase_entry(0, 0)
+    else:
+        before = _phase_entry(total_ops, end_ns)
+        during = _phase_entry(0, 0)
+        after = _phase_entry(0, 0)
+
+    reliability = _reliability_totals(testbed)
+    unrecovered = len(injector.unrecovered) if injector is not None else 0
+    report = {
+        "campaign": campaign.name,
+        "description": campaign.description,
+        "seed": seed,
+        "model": spec.model,
+        "topology": spec.topology,
+        "workload": campaign.workload,
+        "run_ns": campaign.run_ns,
+        "faults": injector.summary() if injector is not None else [],
+        "requests": {
+            "submitted": sum(d.submitted for d in drivers),
+            "completed": sum(len(d.completions) for d in drivers),
+            "lost": sum(len(d.failures) for d in drivers),
+            "ops_total": total_ops,
+            **reliability,
+        },
+        "throughput": {"before": before, "during": during, "after": after},
+        "unrecovered": unrecovered,
+        "flight": (recorder.dump(last=48).splitlines()
+                   if unrecovered else []),
+    }
+    return CampaignResult(report=canonicalize(report), testbed=testbed,
+                          workloads=workloads, instrument=extra)
+
+
+# -- the stock campaigns -----------------------------------------------------
+
+def _plan(*faults: FaultSpec) -> FaultPlan:
+    return FaultPlan(faults=faults)
+
+
+def _build_campaigns() -> Dict[str, Campaign]:
+    fast_costs = DEFAULT_COSTS.copy(**_FAST_BLK)
+    campaigns = [
+        Campaign(
+            name="iohost_crash",
+            description=("IOhost dies mid-run; guests detect via §4.5 "
+                         "timeouts and fail over to local virtio with a "
+                         "replica disk (§4.6)"),
+            spec=TestbedSpec(
+                model="vrio", topology="switched", vms_per_host=1,
+                costs=fast_costs,
+                fault_plan=_plan(FaultSpec(
+                    kind="iohost_crash", at_ns=ms(8),
+                    params={"recover": "fallback", "replica": True}))),
+            workload="block", run_ns=ms(24)),
+        Campaign(
+            name="link_loss",
+            description=("40% frame loss on the VMhost-IOhost channel for "
+                         "8 ms; the reliability layer retransmits through "
+                         "it (§4.5)"),
+            spec=TestbedSpec(
+                model="vrio", topology="simple", with_clients=False,
+                costs=fast_costs,
+                fault_plan=_plan(FaultSpec(
+                    kind="link_loss", at_ns=ms(4), duration_ns=ms(8),
+                    target="channel", params={"probability": 0.4}))),
+            workload="block", run_ns=ms(20)),
+        Campaign(
+            name="link_blackout",
+            description=("3 ms total blackout on the channel; every "
+                         "in-flight request survives via capped-backoff "
+                         "retransmission"),
+            spec=TestbedSpec(
+                model="vrio", topology="simple", with_clients=False,
+                costs=fast_costs,
+                fault_plan=_plan(FaultSpec(
+                    kind="link_down", at_ns=ms(5), duration_ns=ms(3),
+                    target="channel"))),
+            workload="block", run_ns=ms(18)),
+        Campaign(
+            name="nic_failure",
+            description=("the IOhost's channel NIC function drops all "
+                         "traffic for 3 ms; recovery mirrors a link "
+                         "blackout"),
+            spec=TestbedSpec(
+                model="vrio", topology="simple", with_clients=False,
+                costs=fast_costs,
+                fault_plan=_plan(FaultSpec(
+                    kind="nic_function_failure", at_ns=ms(5),
+                    duration_ns=ms(3), target="ch-vmhost0"))),
+            workload="block", run_ns=ms(18)),
+        Campaign(
+            name="storage_errors",
+            description=("the remote ramdisk errors every request for "
+                         "3 ms; errors surface as not-ok responses the "
+                         "guest retries like losses"),
+            spec=TestbedSpec(
+                model="vrio", topology="simple", with_clients=False,
+                costs=fast_costs,
+                fault_plan=_plan(FaultSpec(
+                    kind="storage_error_burst", at_ns=ms(6),
+                    duration_ns=ms(3)))),
+            workload="block", run_ns=ms(18)),
+        Campaign(
+            name="sidecore_stall",
+            description=("the (only) vRIO worker is pinned for 2 ms; "
+                         "RR throughput dips and recovers, nothing is "
+                         "lost"),
+            spec=TestbedSpec(
+                model="vrio", topology="simple", vms_per_host=2,
+                fault_plan=_plan(FaultSpec(
+                    kind="sidecore_stall", at_ns=ms(6),
+                    duration_ns=ms(2), target="0"))),
+            workload="rr", run_ns=ms(16)),
+        Campaign(
+            name="migration",
+            description=("live-migrate a client's I/O hypervisor "
+                         "connection to a second channel with a 2 ms "
+                         "blackout (§4.6)"),
+            spec=TestbedSpec(
+                model="vrio", topology="scalability", n_vmhosts=2,
+                vms_per_host=1, costs=fast_costs,
+                fault_plan=_plan(FaultSpec(
+                    kind="live_migration", at_ns=ms(6),
+                    params={"client": 0, "target_channel": 1,
+                            "downtime_ns": 2_000_000}))),
+            workload="block", run_ns=ms(20)),
+    ]
+    return {c.name: c for c in campaigns}
+
+
+CAMPAIGNS: Dict[str, Campaign] = _build_campaigns()
+DEFAULT_CAMPAIGN = "iohost_crash"
+
+
+def campaign_names() -> List[str]:
+    return sorted(CAMPAIGNS)
+
+
+def run_campaign_point(params: dict) -> dict:
+    """Sweep-executor point function: one campaign at one seed.
+
+    Module-level (spawn-picklable); params: ``{"campaign": name,
+    "seed": int}``.
+    """
+    campaign = CAMPAIGNS[params["campaign"]]
+    seed = int(params.get("seed", 0))
+    return execute_campaign(campaign, seed).report
+
+
+def run_campaigns(names: List[str], seed: int = 0,
+                  jobs=1, cache: Optional[SweepCache] = None) -> List[dict]:
+    """Run several campaigns (optionally in parallel / cached)."""
+    for name in names:
+        if name not in CAMPAIGNS:
+            raise KeyError(f"unknown campaign {name!r}; known: "
+                           f"{', '.join(campaign_names())}")
+    points = [{"campaign": name, "seed": seed} for name in names]
+    return sweep(points, run_campaign_point, jobs=jobs, artifact="faults",
+                 cache=cache)
+
+
+def _fmt_ms(ns: Optional[int]) -> str:
+    return "-" if ns is None else f"{ns / 1e6:.3f} ms"
+
+
+def _fmt_us(ns: Optional[int]) -> str:
+    return "-" if ns is None else f"{ns / 1e3:.1f} us"
+
+
+def format_report(report: dict) -> str:
+    """Human-readable rendering of one campaign report."""
+    lines = [
+        f"campaign {report['campaign']} (seed {report['seed']}): "
+        f"{report['description']}",
+        f"  model={report['model']} topology={report['topology']} "
+        f"workload={report['workload']} run={_fmt_ms(report['run_ns'])}",
+    ]
+    for fault in report["faults"]:
+        lines.append(f"  fault {fault['kind']}"
+                     + (f" target={fault['target']}" if fault["target"] else "")
+                     + f" @ {_fmt_ms(fault['injected_ns'])}")
+        lines.append("    detection latency: "
+                     f"{_fmt_us(fault['detection_latency_ns'])}")
+        lines.append("    recovery downtime: "
+                     f"{_fmt_us(fault['downtime_ns'])}")
+        if fault["duration_ns"]:
+            lines.append(f"    window: {_fmt_ms(fault['duration_ns'])} "
+                         f"(cleared @ {_fmt_ms(fault['cleared_ns'])})")
+        if fault["detail"]:
+            lines.append(f"    note: {fault['detail']}")
+    requests = report["requests"]
+    lines.append(
+        "  requests: "
+        f"submitted={requests['submitted']} "
+        f"completed={requests['completed']} lost={requests['lost']} "
+        f"retransmissions={requests['retransmissions']} "
+        f"recovered={requests['recovered']} "
+        f"device_errors={requests['device_errors']} "
+        f"stale={requests['stale_responses']}")
+    phases = report["throughput"]
+    lines.append("  throughput (ops/s): " + "  ".join(
+        f"{name}={phases[name]['ops_per_sec']:.0f}"
+        for name in ("before", "during", "after")))
+    if report["unrecovered"]:
+        lines.append(f"  result: UNRECOVERED ({report['unrecovered']} fault(s))")
+        lines.extend(f"    {line}" for line in report["flight"])
+    else:
+        lines.append("  result: recovered")
+    return "\n".join(lines)
+
+
+def run_fault_smoke(seed: int = 0) -> Optional[str]:
+    """The ``verify --faults`` check: the flagship campaign must detect,
+    fail over, and produce byte-identical reports run-to-run.  Returns a
+    problem description, or None when healthy."""
+    campaign = CAMPAIGNS[DEFAULT_CAMPAIGN]
+    first = execute_campaign(campaign, seed).report
+    second = execute_campaign(campaign, seed).report
+    if canonical_json(first) != canonical_json(second):
+        return "campaign report is not deterministic across runs"
+    if first["unrecovered"]:
+        return "the IOhost-crash campaign did not recover"
+    fault = first["faults"][0]
+    if fault["detection_latency_ns"] is None:
+        return "the IOhost crash was never detected"
+    if first["requests"]["completed"] == 0:
+        return "no block requests completed"
+    if first["throughput"]["after"]["ops"] == 0:
+        return "no throughput after failover"
+    return None

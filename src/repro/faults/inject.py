@@ -1,0 +1,346 @@
+"""The fault injector: turns a :class:`FaultPlan` into simulation events.
+
+Armed at testbed-build time (see :func:`repro.cluster.build_testbed`), the
+injector schedules each planned fault at its absolute time via
+``Environment.schedule_at`` and tracks a :class:`FaultRecord` per fault:
+
+* ``injected_ns`` / ``cleared_ns`` — when the fault started and (for
+  windowed faults) ended;
+* ``detected_ns`` — when the *system under test* first noticed: the first
+  retransmission, reliability failure, or device-error response observed
+  by any guest's §4.5 reliability layer after the injection;
+* ``recovered_ns`` — when service was restored: failover completion for an
+  IOhost crash, migration completion, stall drain, or window end.
+
+Everything is deterministic: injections are plain scheduled events, the
+loss RNG is drawn from the testbed's seeded registry, and the injector
+adds no time-dependent state of its own.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from ..hw.storage import make_ramdisk
+from ..iomodels.vrio.failover import fail_iohost, fall_back_to_local_virtio
+from ..iomodels.vrio.frontend import VrioModel
+from ..iomodels.vrio.migration import live_migrate
+from .plan import FaultPlan, FaultSpec
+
+__all__ = ["FaultInjector", "FaultRecord", "DETECTION_EVENTS"]
+
+# Reliability-layer events that count as the guest *detecting* a fault.
+DETECTION_EVENTS = ("retransmit", "failure", "device_error")
+
+
+@dataclass
+class FaultRecord:
+    """Lifecycle timestamps of one injected fault (all absolute ns)."""
+
+    spec: FaultSpec
+    injected_ns: Optional[int] = None
+    cleared_ns: Optional[int] = None
+    detected_ns: Optional[int] = None
+    recovered_ns: Optional[int] = None
+    expects_recovery: bool = False
+    detail: str = ""
+
+    @property
+    def detection_latency_ns(self) -> Optional[int]:
+        if self.detected_ns is None or self.injected_ns is None:
+            return None
+        return self.detected_ns - self.injected_ns
+
+    @property
+    def downtime_ns(self) -> Optional[int]:
+        if self.recovered_ns is None or self.injected_ns is None:
+            return None
+        return self.recovered_ns - self.injected_ns
+
+    @property
+    def unrecovered(self) -> bool:
+        return (self.injected_ns is not None and self.expects_recovery
+                and self.recovered_ns is None)
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.spec.kind,
+            "at_ns": self.spec.at_ns,
+            "duration_ns": self.spec.duration_ns,
+            "target": self.spec.target,
+            "injected_ns": self.injected_ns,
+            "cleared_ns": self.cleared_ns,
+            "detected_ns": self.detected_ns,
+            "recovered_ns": self.recovered_ns,
+            "detection_latency_ns": self.detection_latency_ns,
+            "downtime_ns": self.downtime_ns,
+            "expects_recovery": self.expects_recovery,
+            "unrecovered": self.unrecovered,
+            "detail": self.detail,
+        }
+
+
+class FaultInjector:
+    """Schedules and tracks one fault plan against one testbed.
+
+    The injector duck-types the testbed: it needs ``env``, ``rng``,
+    ``models``, ``links``, ``channels``, ``storage_devices``,
+    ``service_cores``, and — for IOhost failover — the switched
+    topology's ``vmhost_fallback_nic`` / ``fallback_io_core`` /
+    ``switch`` / ``switch_ports`` extras.
+    """
+
+    def __init__(self, testbed, plan: FaultPlan, recorder=None):
+        self.testbed = testbed
+        self.env = testbed.env
+        self.plan = plan
+        self.recorder = recorder
+        self.records: List[FaultRecord] = [FaultRecord(spec=f)
+                                           for f in plan.faults]
+        self.on_detect: List[Callable[[FaultRecord], None]] = []
+        self.on_recover: List[Callable[[FaultRecord], None]] = []
+        self.on_clear: List[Callable[[FaultRecord], None]] = []
+        self._armed = False
+
+    def arm(self) -> "FaultInjector":
+        """Schedule every planned fault as a simulation event."""
+        if self._armed:
+            raise RuntimeError("fault plan already armed")
+        self._armed = True
+        for record in self.records:
+            self.env.schedule_at(record.spec.at_ns,
+                                 self._injector_for(record))
+        return self
+
+    def _injector_for(self, record: FaultRecord) -> Callable[[], None]:
+        def inject():
+            record.injected_ns = self.env.now
+            self._note(f"inject {record.spec.kind}"
+                       + (f" target={record.spec.target}"
+                          if record.spec.target else ""))
+            getattr(self, f"_inject_{record.spec.kind}")(record)
+        return inject
+
+    @property
+    def unrecovered(self) -> List[FaultRecord]:
+        return [r for r in self.records if r.unrecovered]
+
+    def summary(self) -> List[dict]:
+        return [r.to_dict() for r in self.records]
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _note(self, detail: str) -> None:
+        recorder = self.recorder
+        if recorder is None:
+            telemetry = getattr(self.testbed, "telemetry", None)
+            recorder = getattr(telemetry, "recorder", None)
+        if recorder is not None:
+            recorder.note(self.env.now, "fault", detail)
+
+    def _vrio_model(self) -> Optional[VrioModel]:
+        for model in self.testbed.models:
+            if isinstance(model, VrioModel):
+                return model
+        return None
+
+    def _reliable_channels(self):
+        model = self._vrio_model()
+        if model is None:
+            return []
+        return [client.reliable for client in model._clients.values()
+                if client.reliable is not None]
+
+    def _watch_detection(self, record: FaultRecord,
+                         then: Optional[Callable[[], None]] = None) -> None:
+        """Detect via the guests' §4.5 reliability layers: the first
+        retransmit/failure/device-error after injection marks
+        ``detected_ns`` (and triggers ``then``, e.g. failover)."""
+        def observer(event, _request, _attempts):
+            if record.detected_ns is not None:
+                return
+            if event not in DETECTION_EVENTS:
+                return
+            record.detected_ns = self.env.now
+            self._note(f"detected {record.spec.kind} via {event} "
+                       f"(+{record.detected_ns - record.injected_ns} ns)")
+            for fn in self.on_detect:
+                fn(record)
+            if then is not None:
+                then()
+        channels = self._reliable_channels()
+        if not channels:
+            record.detail = record.detail or "no reliability layer to detect with"
+            return
+        for channel in channels:
+            channel.add_observer(observer)
+
+    def _schedule_clear(self, record: FaultRecord,
+                        undo: Callable[[], None]) -> None:
+        """End a windowed fault ``duration_ns`` after injection.  Windowed
+        faults recover by clearing: service is restored the moment the
+        window ends (lost requests are healed by retransmission)."""
+        if record.spec.duration_ns <= 0:
+            return
+        def clear():
+            undo()
+            record.cleared_ns = self.env.now
+            record.recovered_ns = self.env.now
+            self._note(f"clear {record.spec.kind}")
+            for fn in self.on_clear:
+                fn(record)
+        self.env.schedule_at(record.injected_ns + record.spec.duration_ns,
+                             clear)
+
+    def _finish(self, record: FaultRecord) -> Callable:
+        """Event callback marking a point fault (stall, migration) done."""
+        def finished(_event):
+            record.cleared_ns = self.env.now
+            record.recovered_ns = self.env.now
+            self._note(f"{record.spec.kind} complete")
+            for fn in self.on_recover:
+                fn(record)
+        return finished
+
+    # -- fault kinds ---------------------------------------------------------
+
+    def _inject_iohost_crash(self, record: FaultRecord) -> None:
+        model = self._vrio_model()
+        if model is None:
+            record.detail = "no vRIO model to crash"
+            return
+        fail_iohost(model)
+        if record.spec.params.get("recover") == "fallback":
+            record.expects_recovery = True
+            self._watch_detection(
+                record, then=lambda: self._recover_fallback(record))
+        else:
+            self._watch_detection(record)
+
+    def _recover_fallback(self, record: FaultRecord) -> None:
+        """§4.6 failover: local virtio under the same F address, plus a
+        replica block device when the plan says storage is distributed."""
+        tb = self.testbed
+        model = self._vrio_model()
+        fallback_nic = getattr(tb, "vmhost_fallback_nic", None)
+        io_core = getattr(tb, "fallback_io_core", None)
+        if fallback_nic is None or io_core is None:
+            record.detail = ("no fallback path: the switched topology "
+                             "provides vmhost_fallback_nic/fallback_io_core")
+            self._note(record.detail)
+            return
+        switch = getattr(tb, "switch", None)
+        switch_port = None
+        if switch is not None:
+            switch_port = getattr(tb, "switch_ports", {}).get("vmhost")
+        want_replica = record.spec.params.get("replica", True)
+        for client in list(model._clients.values()):
+            replica = None
+            if want_replica and client.devices:
+                replica = make_ramdisk(
+                    self.env, name=f"replica-{client.client_id}")
+            fall_back_to_local_virtio(model, client, fallback_nic, io_core,
+                                      switch=switch, switch_port=switch_port,
+                                      replica_device=replica)
+        record.recovered_ns = self.env.now
+        self._note("failover to local virtio complete")
+        for fn in self.on_recover:
+            fn(record)
+
+    def _find_link(self, record: FaultRecord):
+        link = self.testbed.links.get(record.spec.target)
+        if link is None:
+            record.detail = (f"no link named {record.spec.target!r}; have "
+                             f"{sorted(self.testbed.links)}")
+        return link
+
+    def _inject_link_loss(self, record: FaultRecord) -> None:
+        link = self._find_link(record)
+        if link is None:
+            return
+        probability = float(record.spec.params.get("probability", 0.5))
+        rng = self.testbed.rng.stream(
+            f"fault-link_loss-{record.spec.target}-{record.spec.at_ns}")
+        link.set_loss(probability, rng)
+        self._watch_detection(record)
+        self._schedule_clear(record, link.restore)
+
+    def _inject_link_down(self, record: FaultRecord) -> None:
+        link = self._find_link(record)
+        if link is None:
+            return
+        link.set_down(True)
+        self._watch_detection(record)
+        self._schedule_clear(record, link.restore)
+
+    def _inject_nic_function_failure(self, record: FaultRecord) -> None:
+        target = record.spec.target
+        matches = []
+        hosts = list(self.testbed.vmhosts)
+        if self.testbed.iohost is not None:
+            hosts.append(self.testbed.iohost)
+        for host in hosts:
+            for nic in host.nics:
+                for fn in nic.functions:
+                    if fn.name == target or fn.name.endswith(target):
+                        matches.append(fn)
+        if not matches:
+            record.detail = f"no NIC function matching {target!r}"
+            return
+        for fn in matches:
+            fn.fail()
+        self._watch_detection(record)
+        self._schedule_clear(
+            record, lambda: [fn.restore() for fn in matches])
+
+    def _inject_storage_error_burst(self, record: FaultRecord) -> None:
+        target = record.spec.target
+        devices = [d for d in self.testbed.storage_devices
+                   if not target or d.name == target]
+        if not devices:
+            record.detail = (f"no storage device matching {target!r}; have "
+                             f"{[d.name for d in self.testbed.storage_devices]}")
+            return
+        until = self.env.now + record.spec.duration_ns
+        for device in devices:
+            device.set_error_window(until)
+        self._watch_detection(record)
+        self._schedule_clear(record, lambda: None)
+
+    def _inject_sidecore_stall(self, record: FaultRecord) -> None:
+        cores = self.testbed.service_cores
+        index = int(record.spec.target or 0)
+        if not 0 <= index < len(cores):
+            record.detail = (f"no service core {index}; have "
+                             f"{len(cores)}")
+            return
+        record.expects_recovery = True
+        # A stall is operator-visible the moment it starts (maintenance
+        # semantics) — detection latency is not the interesting number.
+        record.detected_ns = record.injected_ns
+        done = cores[index].stall(record.spec.duration_ns)
+        done.add_callback(self._finish(record))
+
+    def _inject_live_migration(self, record: FaultRecord) -> None:
+        model = self._vrio_model()
+        if model is None:
+            record.detail = "no vRIO model to migrate"
+            return
+        clients = list(model._clients.values())
+        index = int(record.spec.params.get("client", 0))
+        channel_index = int(record.spec.params.get("target_channel", 1))
+        channels = self.testbed.channels
+        if not 0 <= index < len(clients):
+            record.detail = f"no client {index}; have {len(clients)}"
+            return
+        if not 0 <= channel_index < len(channels):
+            record.detail = (f"no channel {channel_index}; have "
+                             f"{len(channels)}")
+            return
+        downtime_ns = int(record.spec.params.get("downtime_ns", 2_000_000))
+        record.expects_recovery = True
+        record.detected_ns = record.injected_ns  # planned maintenance
+        proc = live_migrate(model, clients[index], channels[channel_index],
+                            downtime_ns=downtime_ns)
+        proc.add_callback(self._finish(record))

@@ -1,0 +1,99 @@
+"""Fault plans: declarative descriptions of *what goes wrong, when*.
+
+A :class:`FaultPlan` is pure data — a tuple of :class:`FaultSpec` entries,
+each naming a fault kind, an absolute injection time, an optional window
+duration, a target (link name, storage-device name, NIC-function suffix,
+core index — kind-dependent), and kind-specific parameters.  Plans ride
+inside :class:`repro.cluster.TestbedSpec`, so a campaign
+(spec × fault plan × seed) serializes to JSON and reproduces bit-for-bit.
+
+The kinds, mapped to the paper:
+
+* ``iohost_crash`` — §4.6: the I/O hypervisor dies; with
+  ``params={"recover": "fallback"}`` the VMhost splices in a local virtio
+  device (plus a replica block device) the moment the guest detects
+  trouble.
+* ``link_loss`` / ``link_down`` — §4.5: a degradation window or blackout
+  on a named link; the block reliability layer must retransmit through it.
+* ``nic_function_failure`` — a PF/VF drops all traffic until restored.
+* ``storage_error_burst`` — the medium errors every request in a window;
+  errors surface as not-ok responses the guest retries like losses.
+* ``sidecore_stall`` — an I/O core is pinned by non-useful work.
+* ``live_migration`` — §4.6 planned maintenance: migrate a client's
+  I/O hypervisor connection to another channel mid-run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Tuple
+
+__all__ = ["FAULT_KINDS", "FaultSpec", "FaultPlan"]
+
+FAULT_KINDS = (
+    "iohost_crash",
+    "link_loss",
+    "link_down",
+    "nic_function_failure",
+    "storage_error_burst",
+    "sidecore_stall",
+    "live_migration",
+)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One planned fault occurrence."""
+
+    kind: str
+    at_ns: int
+    duration_ns: int = 0        # 0 = no window (point fault)
+    target: str = ""            # kind-dependent: link/device/function/core
+    params: Mapping = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; expected one of "
+                f"{FAULT_KINDS}")
+        if self.at_ns < 0:
+            raise ValueError(f"negative injection time: {self.at_ns}")
+        if self.duration_ns < 0:
+            raise ValueError(f"negative fault duration: {self.duration_ns}")
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "at_ns": self.at_ns,
+                "duration_ns": self.duration_ns, "target": self.target,
+                "params": dict(self.params)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultSpec":
+        return cls(kind=data["kind"], at_ns=data["at_ns"],
+                   duration_ns=data.get("duration_ns", 0),
+                   target=data.get("target", ""),
+                   params=dict(data.get("params", {})))
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An ordered sequence of planned faults (order = injection order for
+    simultaneous faults; times are absolute simulation ns)."""
+
+    faults: Tuple[FaultSpec, ...] = ()
+
+    def __post_init__(self):
+        object.__setattr__(self, "faults", tuple(self.faults))
+
+    def __bool__(self) -> bool:
+        return bool(self.faults)
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def to_dict(self) -> dict:
+        return {"faults": [f.to_dict() for f in self.faults]}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        return cls(faults=tuple(FaultSpec.from_dict(f)
+                                for f in data.get("faults", ())))

@@ -106,6 +106,20 @@ class Core:
             self._idle_wakeup.succeed()
         return done
 
+    def stall(self, duration_ns: int) -> Event:
+        """Occupy the core with non-useful work for ~``duration_ns``.
+
+        Fault-injection hook: models a hypervisor-level hiccup (SMI, host
+        scheduler preemption) pinning the core.  Queued at high priority so
+        the stall starts as soon as the in-flight work item finishes;
+        pending useful work waits behind it.
+        """
+        if duration_ns < 0:
+            raise ValueError(f"negative stall duration: {duration_ns}")
+        cycles = int(round(duration_ns * self.ghz))
+        return self.execute(cycles, useful=False, tag="stall",
+                            high_priority=True)
+
     @property
     def queue_length(self) -> int:
         return len(self._high) + len(self._normal)

@@ -27,6 +27,7 @@ class _Channel:
         self.propagation_ns = propagation_ns
         self.loss_probability = loss_probability
         self.rng = rng
+        self.down = False
         self.deliver: Optional[Callable[[EthernetFrame], None]] = None
         self.frames_sent = 0
         self.frames_dropped = 0
@@ -44,6 +45,9 @@ class _Channel:
             yield env.timeout(wire_time_ns(frame.wire_bytes, self.gbps))
             self.frames_sent += 1
             self.bytes_sent += frame.wire_bytes
+            if self.down:
+                self.frames_dropped += 1
+                continue
             if (self.loss_probability > 0.0 and self.rng is not None
                     and self.rng.random() < self.loss_probability):
                 self.frames_dropped += 1
@@ -117,9 +121,52 @@ class Link:
         self.name = name
         forward = _Channel(env, gbps, propagation_ns, loss_probability, rng)
         backward = _Channel(env, gbps, propagation_ns, loss_probability, rng)
+        self._forward = forward
+        self._backward = backward
+        self._initial = (loss_probability, rng)
         self.side_a = LinkEndpoint(forward, backward, name=f"{name}/a")
         self.side_b = LinkEndpoint(backward, forward, name=f"{name}/b")
 
     @property
     def endpoints(self):
         return self.side_a, self.side_b
+
+    @property
+    def down(self) -> bool:
+        return self._forward.down
+
+    @property
+    def frames_dropped(self) -> int:
+        return self._forward.frames_dropped + self._backward.frames_dropped
+
+    # -- runtime fault state (degradation windows, blackouts) ---------------
+
+    def set_loss(self, probability: float,
+                 rng: Optional[random.Random] = None) -> None:
+        """Degrade both directions to the given per-frame drop probability.
+
+        The construction-time invariants hold here too: probabilities live
+        in [0, 1) and a nonzero probability needs an RNG (pass one, or rely
+        on the RNG the link was built with).
+        """
+        if not 0.0 <= probability < 1.0:
+            raise ValueError(f"loss probability out of range: {probability}")
+        for channel in (self._forward, self._backward):
+            if rng is not None:
+                channel.rng = rng
+            if probability > 0.0 and channel.rng is None:
+                raise ValueError("lossy link requires an RNG stream")
+            channel.loss_probability = probability
+
+    def set_down(self, down: bool = True) -> None:
+        """Blackout: drop every frame in both directions until restored."""
+        self._forward.down = down
+        self._backward.down = down
+
+    def restore(self) -> None:
+        """Clear any fault state back to the construction-time behaviour."""
+        loss, rng = self._initial
+        for channel in (self._forward, self._backward):
+            channel.down = False
+            channel.loss_probability = loss
+            channel.rng = rng

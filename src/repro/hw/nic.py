@@ -62,14 +62,29 @@ class NicFunction:
         self.rx_frames = Counter(f"{name}.rx_frames")
         self.rx_dropped = Counter(f"{name}.rx_dropped")
         self.tx_frames = Counter(f"{name}.tx_frames")
+        self.tx_dropped = Counter(f"{name}.tx_dropped")
         self.notifications = Counter(f"{name}.notifications")
         self.coalesced = Counter(f"{name}.coalesced")
         self._armed = True
+        self.failed = False
+
+    # -- fault injection -----------------------------------------------------
+
+    def fail(self) -> None:
+        """Take the function out of service: drop all rx and tx traffic."""
+        self.failed = True
+
+    def restore(self) -> None:
+        """Return the function to service (ring contents survive)."""
+        self.failed = False
 
     # -- receive path -------------------------------------------------------
 
     def deliver(self, frame: EthernetFrame) -> None:
         """Called by the owning NIC when a frame for this MAC arrives."""
+        if self.failed:
+            self.rx_dropped.add()
+            return
         if not self.rx_ring.try_put(frame):
             self.rx_dropped.add()
             return
@@ -108,6 +123,9 @@ class NicFunction:
         once the frame has left the wire — the physical-device interrupt
         that Elvis and the baseline pay on every send (Table 3).
         """
+        if self.failed:
+            self.tx_dropped.add()
+            return
         frame.src = self.mac
         self.tx_frames.add()
         self.nic.send(frame)

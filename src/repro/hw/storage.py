@@ -101,6 +101,23 @@ class StorageDevice:
         self.writes = Counter(f"{name}.writes")
         self.bytes_read = Counter(f"{name}.bytes_read")
         self.bytes_written = Counter(f"{name}.bytes_written")
+        self.errors = Counter(f"{name}.errors")
+        self._error_until_ns = -1
+
+    # -- fault injection: media error bursts --------------------------------
+
+    def set_error_window(self, until_ns: int) -> None:
+        """Until ``until_ns``, requests complete with a media error.
+
+        Erroring requests still pass through the queue and media (so the
+        servicing back-end never wedges waiting on them); they are tagged
+        ``meta["device_error"]`` on completion instead of carrying data.
+        """
+        self._error_until_ns = until_ns
+
+    @property
+    def error_active(self) -> bool:
+        return self.env.now < self._error_until_ns
 
     def cpu_cycles(self, request: BlockRequest) -> int:
         """Software cycles the servicing core pays for this request."""
@@ -140,6 +157,9 @@ class StorageDevice:
                                                 self.bandwidth_gbps))
             self._media.release()
         self._queue.release()
+        if self.error_active:
+            request.meta["device_error"] = True
+            self.errors.add()
         if request.op == "read":
             self.reads.add()
             self.bytes_read.add(request.size_bytes)

@@ -96,6 +96,12 @@ class VrioBlockHandle:
 
     def submit(self, request: BlockRequest) -> Event:
         """Issue a block request to the remote device, reliably."""
+        # §4.6 failover transparency: once recovery splices in a local
+        # virtio replica, new requests flow to it under the same handle —
+        # the workload never learns the IOhost died.
+        local = self.client.local_block_handle
+        if local is not None:
+            return local.submit(request)
         done = self.model.env.event()
         self.model.env.process(
             self.model._guest_blk_submit(self.client, self.device_id,
@@ -163,6 +169,18 @@ class VrioModel:
                             "messages_sent", "messages_received",
                             "bytes_sent", "bytes_received"):
                 ns.register_counter(counter, getattr(ts, counter))
+        # Reliability counters aggregate over clients via gauges because
+        # ReliableBlockChannel instances appear lazily on block attach —
+        # usually after telemetry binds the testbed.
+        rel_ns = namespace.namespace("reliability")
+        for attr in ("retransmissions", "stale_responses", "failures",
+                     "completions", "recovered", "device_errors"):
+            rel_ns.register_gauge(
+                attr,
+                lambda m=self, a=attr: sum(
+                    getattr(cl.reliable, a).value
+                    for cl in m._clients.values()
+                    if cl.reliable is not None))
 
     # -- wiring -----------------------------------------------------------------
 
@@ -612,16 +630,21 @@ class VrioModel:
             span = self.tracer.begin(op.xmit_id << 20, "device_io",
                                      device=device.name, op=request.op)
         pipeline = self.env.timeout(c.vrio_block_service_latency_ns)
-        media = device.submit(BlockRequest(op=request.op,
-                                           sector=request.sector,
-                                           size_bytes=request.size_bytes))
+        media_request = BlockRequest(op=request.op, sector=request.sector,
+                                     size_bytes=request.size_bytes)
+        media = device.submit(media_request)
         yield self.env.all_of([pipeline, media])
         if span is not None:
             self.tracer.end(span)
+        # A media error burst surfaces as a not-ok response; the guest's
+        # reliability layer retries it like a loss (§4.5).
+        ok = not media_request.meta.get("device_error", False)
         resp_size = request.size_bytes if request.op == "read" else 64
+        if not ok:
+            resp_size = 64  # error responses carry status, not data
         resp = BlockChannelResp(request_id=request.request_id,
                                 xmit_id=op.xmit_id,
-                                device_id=op.device_id, ok=True,
+                                device_id=op.device_id, ok=ok,
                                 size_bytes=resp_size)
         packets = self._chunk_packets(client.client_id, "to_guest", resp,
                                       resp_size,
@@ -636,7 +659,10 @@ class VrioModel:
                             packet: ChannelPacket) -> None:
         if packet.chunk_index != packet.chunk_count - 1:
             return
-        client.reliable.on_response(resp.request_id, resp.xmit_id, resp)
+        if resp.ok:
+            client.reliable.on_response(resp.request_id, resp.xmit_id, resp)
+        else:
+            client.reliable.on_error_response(resp.request_id, resp.xmit_id)
 
     # -- control plane ------------------------------------------------------------------------------
 

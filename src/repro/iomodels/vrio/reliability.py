@@ -24,7 +24,7 @@ write can never race a newer write to the same block.
 from __future__ import annotations
 
 import itertools
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, List, Optional
 
 from ...hw.storage import BlockRequest
 from ...sim import Counter, Environment, Event
@@ -90,10 +90,33 @@ class ReliableBlockChannel:
         self.stale_responses = Counter("stale_responses")
         self.failures = Counter("failures")
         self.completions = Counter("completions")
+        # Requests that completed only after at least one retransmission —
+        # the §4.5 losses the reliability layer actually papered over.
+        self.recovered = Counter("recovered")
+        # Responses carrying a device error (media fault at the IOhost);
+        # the request stays outstanding and the timer drives the retry.
+        self.device_errors = Counter("device_errors")
+        self._observers: List[Callable[[str, BlockRequest, int], None]] = []
 
     @property
     def outstanding_count(self) -> int:
         return len(self._outstanding)
+
+    def add_observer(
+            self, fn: Callable[[str, BlockRequest, int], None]) -> None:
+        """Subscribe to reliability events.
+
+        ``fn(event, request, attempts)`` fires for ``"retransmit"``,
+        ``"recovered"``, ``"failure"``, ``"stale"``, and
+        ``"device_error"``.  Fault campaigns use the first retransmit or
+        device error after an injection as the *detection* signal.
+        """
+        self._observers.append(fn)
+
+    def _notify(self, event: str, request: BlockRequest,
+                attempts: int) -> None:
+        for fn in self._observers:
+            fn(event, request, attempts)
 
     def submit(self, request: BlockRequest) -> Event:
         """Send a request reliably; the event carries the request on
@@ -119,14 +142,36 @@ class ReliableBlockChannel:
         entry = self._outstanding.get(request_id)
         if entry is None:
             self.stale_responses.add()
+            self._notify("stale", None, 0)
             return False
         if entry.xmit_id != xmit_id:
             # A response to a transmission we already gave up on.
             self.stale_responses.add()
+            self._notify("stale", entry.request, entry.attempts)
             return False
         del self._outstanding[request_id]
         self.completions.add()
+        if entry.attempts > 1:
+            self.recovered.add()
+            self._notify("recovered", entry.request, entry.attempts)
         entry.done.succeed(payload if payload is not None else entry.request)
+        return True
+
+    def on_error_response(self, request_id: int, xmit_id: int) -> bool:
+        """Handle a response flagging a device error at the IOhost.
+
+        The §4.5 layer treats a media error like a loss: the request stays
+        outstanding and the running timer retransmits it — transient error
+        bursts (controller resets, path flaps) heal without guest-visible
+        failures, while a persistent fault still exhausts
+        ``max_retransmissions`` and surfaces a :class:`BlockDeviceError`.
+        """
+        entry = self._outstanding.get(request_id)
+        if entry is None or entry.xmit_id != xmit_id:
+            self.stale_responses.add()
+            return False
+        self.device_errors.add()
+        self._notify("device_error", entry.request, entry.attempts)
         return True
 
     def _timer(self, entry: _Outstanding):
@@ -141,6 +186,7 @@ class ReliableBlockChannel:
             if entry.attempts > self.max_retransmissions:
                 del self._outstanding[entry.request.request_id]
                 self.failures.add()
+                self._notify("failure", entry.request, entry.attempts)
                 entry.done.fail(BlockDeviceError(entry.request,
                                                  entry.attempts))
                 return
@@ -150,4 +196,5 @@ class ReliableBlockChannel:
             entry.attempts += 1
             entry.timeout_ns = min(entry.timeout_ns * 2, self.max_timeout_ns)
             self.retransmissions.add()
+            self._notify("retransmit", entry.request, entry.attempts)
             self._send(entry.request, entry.xmit_id)

@@ -334,6 +334,18 @@ class Environment:
         self._seq += 1
         heapq.heappush(self._heap, (self._now + delay, self._seq, None, fn))
 
+    def schedule_at(self, at_ns: int, fn: Callable[[], None]) -> None:
+        """Run ``fn()`` at the absolute time ``at_ns``.
+
+        The hook for externally planned occurrences — fault injections,
+        campaign phase marks — that are specified in wall-clock simulation
+        time rather than relative to the caller.
+        """
+        if at_ns < self._now:
+            raise SimulationError(
+                f"cannot schedule at {at_ns} ns; clock is at {self._now} ns")
+        self.call_soon(fn, delay=at_ns - self._now)
+
     # -- factories ---------------------------------------------------------
 
     def event(self) -> Event:

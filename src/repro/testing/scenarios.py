@@ -20,11 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Tuple
 
-from ..cluster import (
-    MODEL_NAMES,
-    build_scalability_setup,
-    build_simple_setup,
-)
+from ..cluster import MODEL_NAMES, TestbedSpec, build_testbed
 from ..sim import ms
 from ..workloads import ApacheBench, NetperfRR, NetperfStream
 from ..workloads.filebench import FilebenchRandomIO
@@ -107,7 +103,8 @@ _RR_WARMUP_NS = ms(1)
 
 def _rr_scenario(model_name: str, n_vms: int = 2):
     def build(seed: int) -> ScenarioResult:
-        tb = build_simple_setup(model_name, n_vms, seed=seed)
+        tb = build_testbed(TestbedSpec(model=model_name, vms_per_host=n_vms,
+                                       seed=seed))
         monitor = EngineMonitor.attach(tb.env)
         workloads = [
             NetperfRR(tb.env, tb.clients[i], tb.ports[i], tb.costs,
@@ -130,7 +127,7 @@ def _rr_scenario(model_name: str, n_vms: int = 2):
 
 def _stream_scenario(model_name: str):
     def build(seed: int) -> ScenarioResult:
-        tb = build_simple_setup(model_name, 1, seed=seed)
+        tb = build_testbed(TestbedSpec(model=model_name, seed=seed))
         monitor = EngineMonitor.attach(tb.env)
         workloads = [NetperfStream(tb.env, tb.ports[0], tb.clients[0],
                                    tb.costs, warmup_ns=_RR_WARMUP_NS)]
@@ -147,7 +144,8 @@ def _stream_scenario(model_name: str):
 
 def _apache_scenario(model_name: str, n_vms: int = 2):
     def build(seed: int) -> ScenarioResult:
-        tb = build_simple_setup(model_name, n_vms, seed=seed)
+        tb = build_testbed(TestbedSpec(model=model_name, vms_per_host=n_vms,
+                                       seed=seed))
         monitor = EngineMonitor.attach(tb.env)
         workloads = [ApacheBench(tb.env, tb.clients[i], tb.ports[i],
                                  tb.costs, warmup_ns=_RR_WARMUP_NS)
@@ -169,10 +167,10 @@ def _filebench_scenario(model_name: str, channel_loss: float = 0.0,
     suffix = "_lossy" if channel_loss else ""
 
     def build(seed: int) -> ScenarioResult:
-        kwargs = {"seed": seed}
+        spec = TestbedSpec(model=model_name, with_clients=False, seed=seed)
         if model_name in ("vrio", "vrio_nopoll"):
-            kwargs["channel_loss"] = channel_loss
-        tb = build_simple_setup(model_name, 1, with_clients=False, **kwargs)
+            spec = spec.copy(channel_loss=channel_loss)
+        tb = build_testbed(spec)
         monitor = EngineMonitor.attach(tb.env)
         handle = tb.attach_ramdisk(tb.vms[0])
         workloads = [FilebenchRandomIO(
@@ -195,8 +193,9 @@ def _filebench_scenario(model_name: str, channel_loss: float = 0.0,
 
 def _scalability_scenario():
     def build(seed: int) -> ScenarioResult:
-        tb = build_scalability_setup(n_vmhosts=2, vms_per_host=2, workers=1,
-                                     seed=seed)
+        tb = build_testbed(TestbedSpec(model="vrio", topology="scalability",
+                                       n_vmhosts=2, vms_per_host=2,
+                                       sidecores=1, seed=seed))
         monitor = EngineMonitor.attach(tb.env)
         workloads = [
             NetperfRR(tb.env, tb.clients[i], tb.ports[i], tb.costs,
@@ -210,6 +209,35 @@ def _scalability_scenario():
                 w.mean_latency_us() for w in workloads) / len(workloads),
         }
         return _finish("scalability_vrio", tb, workloads, monitor, extra)
+
+    return build
+
+
+def _fault_scenario(campaign_name: str):
+    def build(seed: int) -> ScenarioResult:
+        # Lazy: repro.faults pulls in the experiment executor; the scenario
+        # registry must stay importable on its own.
+        from ..faults import CAMPAIGNS, execute_campaign
+        result = execute_campaign(
+            CAMPAIGNS[campaign_name], seed,
+            instrument=lambda tb: EngineMonitor.attach(tb.env))
+        report = result.report
+        extra: Metrics = {"fault.unrecovered": report["unrecovered"]}
+        for i, fault in enumerate(report["faults"]):
+            for key in ("injected_ns", "detected_ns", "recovered_ns",
+                        "detection_latency_ns", "downtime_ns"):
+                value = fault[key]
+                extra[f"fault.{i}.{key}"] = -1 if value is None else value
+        requests = report["requests"]
+        for key in ("submitted", "completed", "lost", "ops_total",
+                    "retransmissions", "recovered", "device_errors",
+                    "stale_responses"):
+            extra[f"requests.{key}"] = requests[key]
+        for phase in ("before", "during", "after"):
+            extra[f"throughput.{phase}.ops"] = (
+                report["throughput"][phase]["ops"])
+        return _finish(f"fault_{campaign_name}", result.testbed,
+                       result.workloads, result.instrument, extra)
 
     return build
 
@@ -244,6 +272,13 @@ def _build_registry() -> Dict[str, Scenario]:
     add("scalability_vrio",
         "one IOhost serving 2 VMhosts x 2 VMs (Fig. 13 topology)",
         _scalability_scenario(), "net", "scalability", "vrio")
+    add("fault_iohost_crash",
+        "IOhost crash detected via §4.5 timeouts, §4.6 failover to "
+        "local virtio",
+        _fault_scenario("iohost_crash"), "fault", "block", "vrio")
+    add("fault_link_blackout",
+        "3 ms channel blackout healed by capped-backoff retransmission",
+        _fault_scenario("link_blackout"), "fault", "block", "vrio")
     return registry
 
 

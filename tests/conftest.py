@@ -11,7 +11,11 @@ from typing import Callable, Dict, Tuple
 
 import pytest
 
+from repro.cluster import TestbedSpec
 from repro.testing import ScenarioResult, run_scenario
+
+# The name starts with "Test", but it's a dataclass, not a test class.
+TestbedSpec.__test__ = False
 
 GOLDEN_DIR = Path(__file__).parent / "goldens"
 

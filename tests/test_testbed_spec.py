@@ -1,0 +1,126 @@
+"""The declarative testbed API: TestbedSpec, build_testbed, and the
+legacy builder shims."""
+
+import pytest
+
+from repro.cluster import (
+    TOPOLOGIES,
+    TestbedSpec,
+    build_consolidation_setup,
+    build_scalability_setup,
+    build_simple_setup,
+    build_switched_setup,
+    build_testbed,
+)
+from repro.faults import FaultPlan, FaultSpec
+from repro.hw.storage import make_ramdisk
+from repro.iomodels import DEFAULT_COSTS
+from repro.sim import ms
+from repro.workloads import NetperfRR
+
+
+def test_spec_defaults_build_the_simple_vrio_testbed():
+    tb = build_testbed(TestbedSpec())
+    assert tb.model_name == "vrio"
+    assert len(tb.vms) == 1
+    assert tb.iohost is not None
+    assert tb.spec == TestbedSpec()
+
+
+def test_spec_round_trips_through_dict():
+    spec = TestbedSpec(
+        model="vrio", topology="switched", vms_per_host=2, sidecores=2,
+        channel_loss=0.01,
+        costs=DEFAULT_COSTS.copy(blk_initial_timeout_ns=500_000),
+        fault_plan=FaultPlan(faults=(
+            FaultSpec(kind="link_down", at_ns=ms(5), duration_ns=ms(1),
+                      target="channel"),)))
+    assert TestbedSpec.from_dict(spec.to_dict()) == spec
+
+
+def test_spec_copy_overrides_only_what_is_named():
+    spec = TestbedSpec(model="elvis", vms_per_host=3)
+    clone = spec.copy(seed=7)
+    assert clone.seed == 7
+    assert clone.model == "elvis" and clone.vms_per_host == 3
+    assert spec.seed == 0  # original untouched
+
+
+@pytest.mark.parametrize("topology", TOPOLOGIES)
+def test_every_topology_builds(topology):
+    spec = TestbedSpec(
+        model="vrio", topology=topology,
+        n_vmhosts=1 if topology in ("simple", "switched") else 2,
+        vms_per_host=1)
+    tb = build_testbed(spec)
+    assert tb.vms and tb.spec.topology == topology
+
+
+def test_unknown_topology_is_rejected():
+    with pytest.raises(ValueError, match="topology"):
+        build_testbed(TestbedSpec(topology="ring"))
+
+
+def test_scalability_topology_is_vrio_only():
+    with pytest.raises(ValueError, match="vRIO-only"):
+        build_testbed(TestbedSpec(model="elvis", topology="scalability",
+                                  n_vmhosts=2))
+
+
+def test_shim_and_spec_runs_are_bit_identical():
+    def transactions(tb):
+        rrs = [NetperfRR(tb.env, tb.clients[i], tb.ports[i], tb.costs,
+                         rng=tb.rng.stream(f"rr-{i}"))
+               for i in range(len(tb.vms))]
+        tb.env.run(until=ms(4))
+        return [r.transactions for r in rrs], tb.stats.snapshot()
+
+    via_shim = transactions(build_simple_setup("vrio", 2, seed=3))
+    via_spec = transactions(build_testbed(
+        TestbedSpec(model="vrio", vms_per_host=2, seed=3)))
+    assert via_shim == via_spec
+
+
+def test_all_shims_delegate_to_build_testbed():
+    assert build_simple_setup("elvis", 1).spec.model == "elvis"
+    assert build_scalability_setup(n_vmhosts=2).spec.topology == "scalability"
+    assert build_switched_setup().spec.topology == "switched"
+    tb = build_consolidation_setup("vrio", vrio_workers=2)
+    assert tb.spec.topology == "consolidation"
+    assert tb.spec.sidecores == 2
+    # Elvis interprets sidecores as per-host service cores.
+    tb = build_consolidation_setup("elvis", sidecores_per_host=1)
+    assert tb.spec.sidecores == 1 and len(tb.service_cores) == 2
+
+
+def test_unified_attach_records_devices_and_routes_by_vm():
+    tb = build_testbed(TestbedSpec(
+        model="vrio", topology="consolidation", n_vmhosts=2, vms_per_host=1,
+        with_clients=False))
+    handles = [tb.attach_ramdisk(vm) for vm in tb.vms]
+    assert len(tb.storage_devices) == 2
+    assert all(h is not None for h in handles)
+
+
+def test_attach_on_optimum_raises_not_implemented():
+    tb = build_testbed(TestbedSpec(model="optimum", with_clients=False))
+    with pytest.raises(NotImplementedError):
+        tb.attach_block_device(tb.vms[0], make_ramdisk(tb.env, name="d"))
+
+
+def test_fault_plan_in_spec_arms_an_injector():
+    plan = FaultPlan(faults=(
+        FaultSpec(kind="link_down", at_ns=ms(2), duration_ns=ms(1),
+                  target="channel"),))
+    tb = build_testbed(TestbedSpec(model="vrio", with_clients=False,
+                                   fault_plan=plan))
+    assert tb.fault_injector is not None
+    assert len(tb.fault_injector.records) == 1
+    tb.env.run(until=ms(4))
+    record = tb.fault_injector.records[0]
+    assert record.injected_ns == ms(2)
+    assert record.cleared_ns == ms(3)
+
+
+def test_specless_testbed_has_no_injector():
+    assert build_testbed(TestbedSpec()).fault_injector is None
