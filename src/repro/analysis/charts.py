@@ -26,7 +26,7 @@ def ascii_chart(series: Dict[str, List[Tuple[float, float]]],
         raise ValueError("nothing to chart")
     if width < 10 or height < 4:
         raise ValueError(f"chart too small: {width}x{height}")
-    points = [(x, y) for values in series.values() for x, y in values]
+    points = [(x, y) for key in sorted(series) for x, y in series[key]]
     if not points:
         raise ValueError("all series are empty")
     xs = [x for x, _y in points]

@@ -16,13 +16,21 @@ models
 costs
     Dump the calibrated cost-model constants.
 verify [--scenario NAME] [--update-goldens] [--list] [--telemetry]
-       [--jobs N] [--no-cache] [--cache-dir D]
+       [--lint] [--jobs N] [--no-cache] [--cache-dir D]
     Run the verification harness: every canonical scenario is executed,
     audited against the simulation invariants, re-run to prove bit
     determinism, and compared to its committed golden fingerprint.
     ``--telemetry`` adds a pass validating each scenario's metrics and
-    Chrome-trace exports.  Scenarios fan out over ``--jobs`` processes
-    and replay from the result cache when the code is unchanged.
+    Chrome-trace exports.  ``--lint`` adds the simlint static-analysis
+    pass over the source tree.  Scenarios fan out over ``--jobs``
+    processes and replay from the result cache when the code is
+    unchanged.
+lint [PATH ...] [--json] [--baseline FILE] [--update-baseline]
+     [--only CODE] [--list-rules]
+    Run simlint, the AST-based static analyzer enforcing the simulator's
+    invariants: SIM1xx determinism, SIM2xx cycle-ledger integrity,
+    SIM3xx event-callback safety, SIM4xx telemetry hygiene.  Exit 0 when
+    clean, 1 on findings, 2 on usage errors.
 faults [CAMPAIGN ...] [--all] [--list] [--seed N] [--jobs N]
     Run fault-injection campaigns (IOhost crash, link loss/blackout, NIC
     failure, storage error bursts, sidecore stalls, live migration) and
@@ -322,6 +330,10 @@ def _verify_command(args) -> int:
         issue = _fault_smoke_line()
         if issue is not None:
             failures += 1
+    if args.lint:
+        issue = _lint_smoke_line()
+        if issue is not None:
+            failures += 1
     if failures:
         print(f"\n{failures} of {len(names)} scenario(s) FAILED")
         return 1
@@ -340,6 +352,20 @@ def _fault_smoke_line() -> Optional[str]:
         print(f"{'faults':24s} {'FAILED':>10s}")
         print(f"    {issue}")
     return issue
+
+
+def _lint_smoke_line() -> Optional[str]:
+    """Run simlint over the tree and print its verdict row."""
+    from .lint import lint_tree
+
+    result = lint_tree()
+    if result.clean:
+        print(f"{'lint':24s} {'ok':>10s}")
+        return None
+    print(f"{'lint':24s} {'FAILED':>10s}")
+    for finding in result.all_findings():
+        print(f"    {finding.format()}")
+    return f"{len(result.all_findings())} lint finding(s)"
 
 
 def _faults_command(args) -> int:
@@ -541,6 +567,13 @@ def _main(argv: Optional[list] = None) -> int:
                                     "the IOhost-crash campaign must detect, "
                                     "fail over, and reproduce byte-"
                                     "identically")
+    verify_parser.add_argument("--lint", action="store_true",
+                               help="also run the simlint static-analysis "
+                                    "pass over the source tree")
+    lint_parser = sub.add_parser(
+        "lint", help="run simlint static analysis over the source tree")
+    from .lint import add_lint_arguments
+    add_lint_arguments(lint_parser)
     faults_parser = sub.add_parser(
         "faults", help="run fault-injection campaigns")
     faults_parser.add_argument("campaigns", metavar="CAMPAIGN", nargs="*",
@@ -600,6 +633,9 @@ def _main(argv: Optional[list] = None) -> int:
         return 0
     if args.command == "verify":
         return _verify_command(args)
+    if args.command == "lint":
+        from .lint import run_lint
+        return run_lint(args)
     if args.command == "faults":
         return _faults_command(args)
     if args.command == "observe":

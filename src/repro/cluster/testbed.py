@@ -143,6 +143,7 @@ class TestbedSpec:
     channel_rx_ring: int = 4096
     channel_mtu: int = 8100
     pump_window: int = 32
+    steering_policy: str = "affinity"
     worker_idle_policy: Optional[str] = None
     model_numa: bool = True
     costs: Optional[CostModel] = None
@@ -170,6 +171,7 @@ class TestbedSpec:
             "channel_rx_ring": self.channel_rx_ring,
             "channel_mtu": self.channel_mtu,
             "pump_window": self.pump_window,
+            "steering_policy": self.steering_policy,
             "worker_idle_policy": self.worker_idle_policy,
             "model_numa": self.model_numa,
             "costs": None if self.costs is None else asdict(self.costs),
@@ -267,7 +269,11 @@ def _build_simple(spec: TestbedSpec) -> Testbed:
         model = VrioModel(env, workers, costs=costs, stats=stats, poll=poll,
                           channel_mtu=spec.channel_mtu,
                           channel_rx_ring=spec.channel_rx_ring,
-                          pump_window=spec.pump_window)
+                          pump_window=spec.pump_window,
+                          steering_policy=spec.steering_policy,
+                          steering_rng=(rng.stream("steering")
+                                        if spec.steering_policy == "random"
+                                        else None))
         models.append(model)
         # Channel link: VMhost <-> IOhost.
         channel_loss = spec.channel_loss

@@ -58,8 +58,8 @@ class ServerConfig:
         unknown = set(self.components) - set(COMPONENT_PRICES)
         if unknown:
             raise KeyError(f"unknown components: {sorted(unknown)}")
-        return sum(COMPONENT_PRICES[part] * count
-                   for part, count in self.components.items())
+        return sum(COMPONENT_PRICES[part] * self.components[part]
+                   for part in sorted(self.components))
 
     @property
     def cores(self) -> int:

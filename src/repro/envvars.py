@@ -1,0 +1,74 @@
+"""The one sanctioned home for process-environment access.
+
+Determinism rule SIM105 forbids ``os.environ``/``os.getenv`` anywhere in
+the simulation tree: results must not silently depend on the caller's
+shell.  The few legitimate knobs — all of them about *where artifacts
+live* or *how child processes are spawned*, never about simulated
+behavior — are centralized here so every environment dependency is
+visible in one module.
+
+Knobs
+-----
+``REPRO_REGEN_GOLDENS``
+    Truthy: golden comparisons rewrite the committed file instead of
+    asserting against it.
+``REPRO_CACHE_DIR``
+    Overrides the sweep cache directory (default ``.repro_cache``).
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+__all__ = [
+    "REGEN_GOLDENS_ENV",
+    "CACHE_DIR_ENV",
+    "regen_goldens_requested",
+    "cache_dir_override",
+    "spawn_pythonpath",
+    "pythonpath_for_spawn",
+]
+
+REGEN_GOLDENS_ENV = "REPRO_REGEN_GOLDENS"
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def regen_goldens_requested() -> bool:
+    """True when the caller asked golden tests to regenerate files."""
+    return bool(os.environ.get(REGEN_GOLDENS_ENV))
+
+
+def cache_dir_override() -> Optional[str]:
+    """The sweep-cache directory override, or None for the default."""
+    return os.environ.get(CACHE_DIR_ENV) or None
+
+
+def spawn_pythonpath(src_root: str) -> str:
+    """A PYTHONPATH value with ``src_root`` prepended (deduplicated).
+
+    Spawned workers re-import ``repro`` from scratch; callers that got
+    the package onto ``sys.path`` by hand (tests, ad-hoc scripts) need
+    the source root exported through the environment.
+    """
+    existing = os.environ.get("PYTHONPATH", "")
+    parts = [p for p in existing.split(os.pathsep) if p]
+    if src_root not in parts:
+        parts.insert(0, src_root)
+    return os.pathsep.join(parts)
+
+
+@contextmanager
+def pythonpath_for_spawn(src_root: str) -> Iterator[str]:
+    """Temporarily export :func:`spawn_pythonpath` while a pool runs."""
+    old = os.environ.get("PYTHONPATH")
+    value = spawn_pythonpath(src_root)
+    os.environ["PYTHONPATH"] = value
+    try:
+        yield value
+    finally:
+        if old is None:
+            os.environ.pop("PYTHONPATH", None)
+        else:
+            os.environ["PYTHONPATH"] = old

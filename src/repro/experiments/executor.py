@@ -35,6 +35,7 @@ from dataclasses import dataclass, fields
 from pathlib import Path
 from typing import Any, Callable, List, Optional, Sequence, Union
 
+from ..envvars import cache_dir_override, pythonpath_for_spawn
 from ..iomodels.costs import CostModel, DEFAULT_COSTS
 
 __all__ = [
@@ -49,7 +50,6 @@ __all__ = [
     "point_digest",
 ]
 
-CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 DEFAULT_CACHE_DIRNAME = ".repro_cache"
 
 
@@ -116,7 +116,7 @@ def point_digest(key: dict) -> str:
 
 def default_cache_dir() -> Path:
     """``$REPRO_CACHE_DIR`` if set, else ``.repro_cache`` in the cwd."""
-    return Path(os.environ.get(CACHE_DIR_ENV) or DEFAULT_CACHE_DIRNAME)
+    return Path(cache_dir_override() or DEFAULT_CACHE_DIRNAME)
 
 
 @dataclass
@@ -200,37 +200,21 @@ def resolve_jobs(jobs: Union[int, str, None]) -> int:
     return count
 
 
-def _spawn_pythonpath() -> str:
-    """PYTHONPATH for spawned workers: ensure ``repro`` stays importable.
+def _run_pool(fn: Callable[[dict], Any], params: List[dict],
+              jobs: int) -> List[Any]:
+    """Map ``fn`` over ``params`` in a spawn pool, preserving order.
 
     Tests and ad-hoc callers often import ``repro`` via ``sys.path``
     manipulation that a spawned child would not inherit; exporting the
     package's parent directory through the environment closes that gap.
     """
-    src_root = str(Path(__file__).resolve().parent.parent.parent)
-    existing = os.environ.get("PYTHONPATH", "")
-    parts = [p for p in existing.split(os.pathsep) if p]
-    if src_root not in parts:
-        parts.insert(0, src_root)
-    return os.pathsep.join(parts)
-
-
-def _run_pool(fn: Callable[[dict], Any], params: List[dict],
-              jobs: int) -> List[Any]:
-    """Map ``fn`` over ``params`` in a spawn pool, preserving order."""
     import multiprocessing
 
     ctx = multiprocessing.get_context("spawn")
-    old_pythonpath = os.environ.get("PYTHONPATH")
-    os.environ["PYTHONPATH"] = _spawn_pythonpath()
-    try:
+    src_root = str(Path(__file__).resolve().parent.parent.parent)
+    with pythonpath_for_spawn(src_root):
         with ctx.Pool(processes=min(jobs, len(params))) as pool:
             return pool.map(fn, params, chunksize=1)
-    finally:
-        if old_pythonpath is None:
-            os.environ.pop("PYTHONPATH", None)
-        else:
-            os.environ["PYTHONPATH"] = old_pythonpath
 
 
 def sweep(points: Sequence[dict], fn: Callable[[dict], Any],

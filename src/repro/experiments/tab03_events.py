@@ -73,7 +73,7 @@ def run_tab03(jobs: int = 1,
                       artifact="tab3", cache=cache)
     rows = {}
     for p, snapshot in zip(points, snapshots):
-        snapshot["sum"] = sum(snapshot.values())
+        snapshot["sum"] = sum(snapshot[key] for key in sorted(snapshot))
         rows[p["model"]] = snapshot
     return rows
 

@@ -147,7 +147,8 @@ def _reliability_totals(testbed) -> Dict[str, int]:
         clients = getattr(model, "_clients", None)
         if clients is None:
             continue
-        for client in clients.values():
+        for name in sorted(clients):
+            client = clients[name]
             reliable = getattr(client, "reliable", None)
             if reliable is None:
                 continue

@@ -149,7 +149,8 @@ class FaultInjector:
         model = self._vrio_model()
         if model is None:
             return []
-        return [client.reliable for client in model._clients.values()
+        clients = [model._clients[name] for name in sorted(model._clients)]
+        return [client.reliable for client in clients
                 if client.reliable is not None]
 
     def _watch_detection(self, record: FaultRecord,
@@ -235,7 +236,8 @@ class FaultInjector:
         if switch is not None:
             switch_port = getattr(tb, "switch_ports", {}).get("vmhost")
         want_replica = record.spec.params.get("replica", True)
-        for client in list(model._clients.values()):
+        for client in [model._clients[name]
+                       for name in sorted(model._clients)]:
             replica = None
             if want_replica and client.devices:
                 replica = make_ramdisk(
@@ -327,7 +329,7 @@ class FaultInjector:
         if model is None:
             record.detail = "no vRIO model to migrate"
             return
-        clients = list(model._clients.values())
+        clients = [model._clients[name] for name in sorted(model._clients)]
         index = int(record.spec.params.get("client", 0))
         channel_index = int(record.spec.params.get("target_channel", 1))
         channels = self.testbed.channels

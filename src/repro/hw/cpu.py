@@ -19,7 +19,7 @@ Two details matter for the paper:
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, Optional, Tuple
+from typing import Any, Deque, Dict, Generator, Optional, Tuple
 
 from ..sim import Environment, Event, UtilizationTracker
 
@@ -61,7 +61,7 @@ class Core:
 
     def __init__(self, env: Environment, name: str, ghz: float,
                  poll_mode: bool = False, poll_dispatch_ns: int = 150,
-                 idle_policy: Optional[str] = None):
+                 idle_policy: Optional[str] = None) -> None:
         if ghz <= 0:
             raise ValueError(f"core frequency must be positive, got {ghz}")
         if idle_policy is None:
@@ -146,7 +146,7 @@ class Core:
 
     # -- server loop ---------------------------------------------------------
 
-    def _serve(self):
+    def _serve(self) -> Generator[Event, Any, None]:
         env = self.env
         while True:
             if not self._high and not self._normal:
@@ -180,7 +180,7 @@ class CpuSocket:
     """A group of same-frequency cores (one physical CPU package)."""
 
     def __init__(self, env: Environment, name: str, core_count: int,
-                 ghz: float):
+                 ghz: float) -> None:
         if core_count <= 0:
             raise ValueError(f"core count must be positive, got {core_count}")
         self.name = name

@@ -9,9 +9,9 @@ propagation delay.  Optional random loss models an unreliable fabric for the
 from __future__ import annotations
 
 import random
-from typing import Callable, Optional
+from typing import Any, Callable, Generator, Optional, Tuple
 
-from ..sim import Environment, Store, wire_time_ns
+from ..sim import Environment, Event, Store, wire_time_ns
 from ..net.frame import EthernetFrame
 
 __all__ = ["Link", "LinkEndpoint"]
@@ -21,7 +21,7 @@ class _Channel:
     """One direction of a link: serialize, propagate, deliver."""
 
     def __init__(self, env: Environment, gbps: float, propagation_ns: int,
-                 loss_probability: float, rng: Optional[random.Random]):
+                 loss_probability: float, rng: Optional[random.Random]) -> None:
         self.env = env
         self.gbps = gbps
         self.propagation_ns = propagation_ns
@@ -38,7 +38,7 @@ class _Channel:
     def send(self, frame: EthernetFrame) -> None:
         self._queue.try_put(frame)
 
-    def _pump(self):
+    def _pump(self) -> Generator[Event, Any, None]:
         env = self.env
         while True:
             frame = yield self._queue.get()
@@ -55,7 +55,7 @@ class _Channel:
             env.call_soon(self._arrive(frame), delay=self.propagation_ns)
 
     def _arrive(self, frame: EthernetFrame) -> Callable[[], None]:
-        def deliver():
+        def deliver() -> None:
             if self.deliver is None:
                 raise RuntimeError("link channel has no receiver attached")
             self.deliver(frame)
@@ -66,7 +66,7 @@ class LinkEndpoint:
     """One end of a link: transmit here, receive via an attached callback."""
 
     def __init__(self, tx_channel: _Channel, rx_channel: _Channel,
-                 name: str = ""):
+                 name: str = "") -> None:
         self._tx = tx_channel
         self._rx = rx_channel
         self.name = name
@@ -111,7 +111,7 @@ class Link:
 
     def __init__(self, env: Environment, gbps: float = 10.0,
                  propagation_ns: int = 500, loss_probability: float = 0.0,
-                 rng: Optional[random.Random] = None, name: str = ""):
+                 rng: Optional[random.Random] = None, name: str = "") -> None:
         if gbps <= 0:
             raise ValueError(f"link rate must be positive, got {gbps}")
         if not 0.0 <= loss_probability < 1.0:
@@ -128,7 +128,7 @@ class Link:
         self.side_b = LinkEndpoint(backward, forward, name=f"{name}/b")
 
     @property
-    def endpoints(self):
+    def endpoints(self) -> Tuple[LinkEndpoint, LinkEndpoint]:
         return self.side_a, self.side_b
 
     @property

@@ -21,7 +21,7 @@ was growing the channel Rx ring from 512 to 4096 descriptors).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, List, Optional
 
 from ..sim import Counter, Environment, Store, wire_time_ns
 from ..net.frame import EthernetFrame, MacAddress
@@ -45,7 +45,7 @@ class NicFunction:
     def __init__(self, env: Environment, nic: "Nic", name: str,
                  mac: Optional[MacAddress] = None,
                  rx_ring_size: int = DEFAULT_RX_RING,
-                 notify_mode: str = "poll"):
+                 notify_mode: str = "poll") -> None:
         if notify_mode not in _NOTIFY_MODES:
             raise ValueError(
                 f"notify mode must be one of {_NOTIFY_MODES}, got {notify_mode!r}")
@@ -139,7 +139,7 @@ class Nic:
     """A physical NIC port: link attachment plus MAC demux to functions."""
 
     def __init__(self, env: Environment, name: str,
-                 endpoint: Optional[LinkEndpoint] = None):
+                 endpoint: Optional[LinkEndpoint] = None) -> None:
         self.env = env
         self.name = name
         self._endpoint: Optional[LinkEndpoint] = None
@@ -166,8 +166,9 @@ class Nic:
         return self._endpoint.gbps
 
     @property
-    def functions(self):
-        return list(self._functions.values())
+    def functions(self) -> List[NicFunction]:
+        return [self._functions[mac]
+                for mac in sorted(self._functions, key=lambda m: m.value)]
 
     def create_function(self, name: str, mac: Optional[MacAddress] = None,
                         rx_ring_size: int = DEFAULT_RX_RING,

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Any, Generator, Optional
 
 from ..sim import Counter, Environment, Event, Resource, wire_time_ns
 
@@ -46,7 +46,7 @@ class BlockRequest:
     issued_ns: int = 0
     meta: dict = field(default_factory=dict)
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.op not in ("read", "write"):
             raise ValueError(f"unknown block op {self.op!r}")
         if self.size_bytes <= 0:
@@ -81,7 +81,7 @@ class StorageDevice:
     def __init__(self, env: Environment, name: str, latency_ns: int,
                  bandwidth_gbps: float, queue_depth: int,
                  cpu_cycles_per_request: int, cpu_cycles_per_byte: float,
-                 capacity_bytes: int = 1 << 30):
+                 capacity_bytes: int = 1 << 30) -> None:
         if queue_depth <= 0:
             raise ValueError(f"queue depth must be positive: {queue_depth}")
         if latency_ns < 0:
@@ -146,7 +146,8 @@ class StorageDevice:
                          name=f"storage:{self.name}")
         return done
 
-    def _service(self, request: BlockRequest, done: Event):
+    def _service(self, request: BlockRequest,
+                 done: Event) -> Generator[Event, Any, None]:
         grant = self._queue.request()
         yield grant
         if self.latency_ns:

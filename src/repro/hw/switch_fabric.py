@@ -20,7 +20,7 @@ class Switch:
     """An N-port switch; create ports with :meth:`add_port`."""
 
     def __init__(self, env: Environment, name: str = "switch",
-                 forwarding_latency_ns: int = 800):
+                 forwarding_latency_ns: int = 800) -> None:
         self.env = env
         self.name = name
         self.forwarding_latency_ns = forwarding_latency_ns

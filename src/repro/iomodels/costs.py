@@ -55,7 +55,6 @@ class CostModel:
     # -- virtio protocol (cycles) ---------------------------------------------
     ring_op_cycles: int = 500          # add/reap one descriptor chain
     backend_per_msg_cycles: int = 2_700
-    backend_per_byte_cycles: float = 0.50
 
     # -- guest network stack (cycles) -----------------------------------------
     guest_net_per_msg_cycles: int = 7_000

@@ -125,13 +125,15 @@ class VrioModel:
                  external_mtu: int = STANDARD_MTU,
                  pump_window: int = 32,
                  steering_policy: str = "affinity",
+                 steering_rng=None,
                  tracer=None):
         self.env = env
         self.costs = costs
         self.poll = poll
         self.name = "vrio" if poll else "vrio_nopoll"
         self.stats = stats if stats is not None else IoEventStats(self.name)
-        self.pool = WorkerPool(env, workers, policy=steering_policy)
+        self.pool = WorkerPool(env, workers, policy=steering_policy,
+                               rng=steering_rng)
         self.interposers = interposers if interposers is not None else InterposerChain()
         self.channel_mtu = channel_mtu
         self.channel_rx_ring = channel_rx_ring
@@ -178,9 +180,9 @@ class VrioModel:
             rel_ns.register_gauge(
                 attr,
                 lambda m=self, a=attr: sum(
-                    getattr(cl.reliable, a).value
-                    for cl in m._clients.values()
-                    if cl.reliable is not None))
+                    getattr(m._clients[key].reliable, a).value
+                    for key in sorted(m._clients)
+                    if m._clients[key].reliable is not None))
 
     # -- wiring -----------------------------------------------------------------
 

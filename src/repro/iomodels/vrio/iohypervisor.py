@@ -50,8 +50,10 @@ class WorkerPool:
         if policy not in ("affinity", "random"):
             raise ValueError(f"unknown steering policy {policy!r}")
         if policy == "random" and rng is None:
-            import random
-            rng = random.Random(0)
+            raise ValueError(
+                "policy='random' needs an rng threaded from the testbed's "
+                "RngRegistry (a fixed ad-hoc seed would decouple steering "
+                "from the master seed)")
         self.env = env
         self.workers = workers
         self.policy = policy

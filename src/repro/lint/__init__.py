@@ -1,0 +1,50 @@
+"""simlint: AST-based static analysis for simulator invariants.
+
+One pass per file, a registry of rules in four families:
+
+* SIM1xx (:mod:`.determinism`) — bit-determinism: wall-clock reads,
+  unthreaded RNG, identity ordering, unordered iteration into
+  order-sensitive sinks, environment reads outside the CLI.
+* SIM2xx (:mod:`.ledger`) — cycle-ledger integrity: dead CostModel
+  fields, magic cycle literals charged to cores.
+* SIM3xx (:mod:`.events`) — event-callback safety: mutable default
+  arguments, late-bound loop-variable capture.
+* SIM4xx (:mod:`.telemetry`) — telemetry hygiene: malformed metric
+  names, namespace collisions, spans opened but never closed.
+
+Entry points: ``python -m repro lint`` and ``repro.lint.lint_tree``.
+"""
+
+from .baseline import (baseline_keys, default_baseline_path, load_baseline,
+                       save_baseline)
+from .cli import add_lint_arguments, lint_tree, run_lint
+from .findings import Finding, is_suppressed, parse_suppressions
+from .framework import (FileContext, LintResult, ProjectLinter, Rule,
+                        default_lint_root, lint_paths, lint_sources,
+                        register_rule, registered_rules)
+from .report import render_json, render_rule_list, render_text
+
+__all__ = [
+    "Finding",
+    "FileContext",
+    "LintResult",
+    "ProjectLinter",
+    "Rule",
+    "add_lint_arguments",
+    "baseline_keys",
+    "default_baseline_path",
+    "default_lint_root",
+    "is_suppressed",
+    "lint_paths",
+    "lint_sources",
+    "lint_tree",
+    "load_baseline",
+    "parse_suppressions",
+    "register_rule",
+    "registered_rules",
+    "render_json",
+    "render_rule_list",
+    "render_text",
+    "run_lint",
+    "save_baseline",
+]

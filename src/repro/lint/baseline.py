@@ -1,0 +1,65 @@
+"""Baseline file handling for simlint.
+
+The baseline is a committed JSON file listing findings that are known
+and tolerated.  A baselined finding is keyed on ``(path, code, message)``
+— deliberately *not* on line numbers, so unrelated edits above a finding
+do not resurrect it.
+
+The shipped baseline (``LINT_BASELINE.json`` at the repo root) is empty:
+every pre-existing finding in this tree was fixed rather than grand-
+fathered.  The machinery exists so future rules can land with a
+temporary debt list instead of blocking on a tree-wide cleanup.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, List, Set, Tuple
+
+from .findings import Finding
+
+__all__ = [
+    "BASELINE_VERSION",
+    "default_baseline_path",
+    "load_baseline",
+    "save_baseline",
+    "baseline_keys",
+]
+
+BASELINE_VERSION = 1
+
+BaselineKey = Tuple[str, str, str]  # (path, code, message)
+
+
+def default_baseline_path() -> Path:
+    """``LINT_BASELINE.json`` at the repository root (src/../..)."""
+    return Path(__file__).resolve().parents[3] / "LINT_BASELINE.json"
+
+
+def baseline_keys(findings: Iterable[Finding]) -> Set[BaselineKey]:
+    return {(f.path, f.code, f.message) for f in findings}
+
+
+def load_baseline(path: Path) -> Set[BaselineKey]:
+    """Read a baseline file; a missing file is an empty baseline."""
+    if not path.exists():
+        return set()
+    data = json.loads(path.read_text(encoding="utf-8"))
+    if not isinstance(data, dict) or "findings" not in data:
+        raise ValueError(f"{path}: not a simlint baseline file")
+    keys: Set[BaselineKey] = set()
+    for entry in data["findings"]:
+        keys.add((entry["path"], entry["code"], entry["message"]))
+    return keys
+
+
+def save_baseline(path: Path, findings: Iterable[Finding]) -> None:
+    """Write ``findings`` as the new accepted baseline (sorted, stable)."""
+    entries: List[dict] = [
+        {"path": p, "code": c, "message": m}
+        for p, c, m in sorted(baseline_keys(findings))
+    ]
+    payload = {"version": BASELINE_VERSION, "findings": entries}
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")

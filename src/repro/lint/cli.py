@@ -1,0 +1,80 @@
+"""Command-line entry point for simlint.
+
+Exposed as ``python -m repro lint`` (see :mod:`repro.cli`) and also
+reachable through ``python -m repro verify --lint``.
+
+Exit codes: 0 clean, 1 findings, 2 usage/configuration error.
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+from typing import List, Optional
+
+from .baseline import default_baseline_path, load_baseline, save_baseline
+from .framework import LintResult, default_lint_root, lint_paths
+from .report import render_json, render_rule_list, render_text
+
+__all__ = ["add_lint_arguments", "run_lint", "lint_tree"]
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("paths", nargs="*", type=Path,
+                        help="files or directories to lint "
+                             "(default: the whole repro package)")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit the machine-readable JSON report")
+    parser.add_argument("--baseline", type=Path, default=None,
+                        help="baseline file of accepted findings "
+                             "(default: LINT_BASELINE.json at the repo root)")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore the baseline file entirely")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="write current findings to the baseline "
+                             "and exit 0")
+    parser.add_argument("--only", action="append", default=None,
+                        metavar="CODE",
+                        help="run only these rule codes (repeatable)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="list registered rules and exit")
+
+
+def lint_tree(paths: Optional[List[Path]] = None,
+              only: Optional[List[str]] = None,
+              baseline_path: Optional[Path] = None,
+              use_baseline: bool = True) -> LintResult:
+    """Lint the tree the way the CLI does; importable for tests/verify."""
+    baseline = None
+    if use_baseline:
+        baseline = load_baseline(baseline_path or default_baseline_path())
+    return lint_paths(paths=paths or None, only=only, baseline=baseline)
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    if args.list_rules:
+        print(render_rule_list())
+        return 0
+    baseline_path = args.baseline or default_baseline_path()
+    try:
+        result = lint_tree(paths=list(args.paths) or None,
+                           only=args.only,
+                           baseline_path=baseline_path,
+                           use_baseline=not args.no_baseline)
+    except KeyError as exc:
+        print(f"lint: {exc.args[0]}")
+        return 2
+    except ValueError as exc:
+        print(f"lint: {exc}")
+        return 2
+    if args.update_baseline:
+        save_baseline(baseline_path, result.all_findings())
+        print(f"lint: wrote {len(result.all_findings())} finding(s) "
+              f"to {baseline_path}")
+        return 0
+    root = str(default_lint_root())
+    if args.as_json:
+        print(render_json(result, root=root))
+    else:
+        print(render_text(result, root=root))
+    return 0 if result.clean else 1

@@ -1,0 +1,72 @@
+"""Finding and suppression primitives for simlint.
+
+A :class:`Finding` pins one rule violation to a file and line.  Findings
+are plain data: hashable, sortable, and round-trippable through JSON, so
+the baseline file and the ``--json`` reporter share one representation.
+
+Inline suppressions use the conventional comment form::
+
+    frobnicate(time.time())  # simlint: disable=SIM101
+    # simlint: disable=SIM104,SIM302   (several codes)
+    # simlint: disable                 (every code on this line)
+
+A suppression applies to findings anchored on its physical line.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+__all__ = ["Finding", "parse_suppressions", "is_suppressed"]
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*simlint:\s*disable(?:=(?P<codes>[A-Z0-9, ]+))?")
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str       # posix path relative to the lint root, e.g. "repro/cli.py"
+    line: int       # 1-based
+    col: int        # 0-based, as reported by ast
+    code: str       # e.g. "SIM104"
+    message: str
+
+    def to_dict(self) -> dict:
+        return {"path": self.path, "line": self.line, "col": self.col,
+                "code": self.code, "message": self.message}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Finding":
+        return cls(path=data["path"], line=int(data["line"]),
+                   col=int(data.get("col", 0)), code=data["code"],
+                   message=data["message"])
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+def parse_suppressions(source: str) -> Dict[int, Optional[Set[str]]]:
+    """Map line number -> suppressed codes (``None`` = every code)."""
+    out: Dict[int, Optional[Set[str]]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(line)
+        if not match:
+            continue
+        codes = match.group("codes")
+        if codes is None:
+            out[lineno] = None
+        else:
+            out[lineno] = {c.strip() for c in codes.split(",") if c.strip()}
+    return out
+
+
+def is_suppressed(finding: Finding,
+                  suppressions: Dict[int, Optional[Set[str]]]) -> bool:
+    codes = suppressions.get(finding.line, "missing")
+    if codes == "missing":
+        return False
+    return codes is None or finding.code in codes

@@ -1,0 +1,152 @@
+"""SIM4xx — telemetry-hygiene rules.
+
+The telemetry layer (PR 2) promises that instrumented runs stay
+bit-identical and that every metric lands in one canonical snapshot.
+That holds only while names are well-formed, unique, and spans are
+closed:
+
+* SIM401 — metric/tracer name literals must be lowercase dotted
+  identifiers (MetricsRegistry rejects malformed names at runtime; the
+  lint catches them before any simulation runs, and also covers tracer
+  point/span names the registry never sees).
+* SIM402 — registering the same literal name twice on the same
+  namespace raises at runtime; statically visible duplicates are flagged
+  at lint time.
+* SIM403 — a ``tracer.begin(...)`` with no ``.end(...)`` anywhere in the
+  same function leaks an open span: Chrome-trace exports render it as a
+  dangling "B" event and duration queries silently drop it.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, List, Tuple
+
+from .framework import FileContext, Rule, register_rule
+
+__all__ = []
+
+_NAME_RE = re.compile(r"^[a-z0-9_]+(\.[a-z0-9_]+)*$")
+
+_REGISTER_METHODS = {
+    "register_counter", "register_gauge", "register_histogram",
+    "register_utilization", "register_time_weighted", "namespace",
+}
+_TRACER_NAME_METHODS = {"point", "begin"}
+
+
+def _receiver_source(node: ast.AST) -> str:
+    try:
+        return ast.unparse(node)
+    except Exception:  # pragma: no cover - unparse is total on 3.9+
+        return "<expr>"
+
+
+def _is_tracer_receiver(node: ast.AST) -> bool:
+    """True for ``tracer``, ``self.tracer``, ``foo.tracer`` receivers."""
+    if isinstance(node, ast.Name):
+        return node.id.endswith("tracer")
+    if isinstance(node, ast.Attribute):
+        return node.attr.endswith("tracer")
+    return False
+
+
+@register_rule
+class MetricNameRule(Rule):
+    code = "SIM401"
+    name = "malformed-metric-name"
+    rationale = ("Metric and tracer names key the canonical snapshot and "
+                 "trace exports; MetricsRegistry rejects malformed names "
+                 "at runtime — catch them before a simulation pays for it.")
+
+    def visit_Call(self, node: ast.Call, ctx: FileContext) -> None:
+        if not isinstance(node.func, ast.Attribute):
+            return
+        method = node.func.attr
+        name_arg = None
+        if method in _REGISTER_METHODS and node.args:
+            name_arg = node.args[0]
+        elif method in _TRACER_NAME_METHODS and len(node.args) >= 2 \
+                and _is_tracer_receiver(node.func.value):
+            name_arg = node.args[1]
+        if name_arg is None or not isinstance(name_arg, ast.Constant) \
+                or not isinstance(name_arg.value, str):
+            return  # dynamic names are checked at runtime by _check_name
+        if not _NAME_RE.match(name_arg.value):
+            self.report(ctx, name_arg,
+                        f"metric/tracer name {name_arg.value!r} is not a "
+                        f"lowercase dotted identifier "
+                        f"([a-z0-9_]+(.[a-z0-9_]+)*)")
+
+
+@register_rule
+class NamespaceCollisionRule(Rule):
+    code = "SIM402"
+    name = "metric-name-collision"
+    rationale = ("Registering a name twice raises ValueError mid-run; "
+                 "duplicates visible in one function body are caught at "
+                 "lint time instead.")
+
+    def visit_FunctionDef(self, node: ast.FunctionDef,
+                          ctx: FileContext) -> None:
+        seen: Dict[Tuple[str, str], ast.AST] = {}
+        for sub in ast.walk(node):
+            if not isinstance(sub, ast.Call) \
+                    or not isinstance(sub.func, ast.Attribute) \
+                    or sub.func.attr not in _REGISTER_METHODS \
+                    or sub.func.attr == "namespace" \
+                    or not sub.args:
+                continue
+            name_arg = sub.args[0]
+            if not isinstance(name_arg, ast.Constant) \
+                    or not isinstance(name_arg.value, str):
+                continue
+            key = (_receiver_source(sub.func.value), name_arg.value)
+            if key in seen:
+                self.report(ctx, sub,
+                            f"metric {name_arg.value!r} registered twice on "
+                            f"{key[0]} in {node.name!r}; the second "
+                            f"registration raises at runtime")
+            else:
+                seen[key] = sub
+
+
+@register_rule
+class OpenSpanRule(Rule):
+    code = "SIM403"
+    name = "span-never-closed"
+    rationale = ("An un-ended span exports as a dangling begin event and "
+                 "is invisible to span_durations(); every begin needs an "
+                 "end on every path through the function.")
+
+    def visit_FunctionDef(self, node: ast.FunctionDef,
+                          ctx: FileContext) -> None:
+        # Nodes under nested defs are visited when that def is; exclude
+        # them so a span opened there is not attributed to this scope too.
+        nested = set()
+        for sub in ast.walk(node):
+            if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)) \
+                    and sub is not node:
+                nested.update(id(n) for n in ast.walk(sub) if n is not sub)
+        begins: List[Tuple[ast.Call, str]] = []
+        enders = set()
+        for sub in ast.walk(node):
+            if id(sub) in nested:
+                continue
+            if not isinstance(sub, ast.Call) \
+                    or not isinstance(sub.func, ast.Attribute):
+                continue
+            if not _is_tracer_receiver(sub.func.value):
+                continue
+            receiver = _receiver_source(sub.func.value)
+            if sub.func.attr == "begin":
+                begins.append((sub, receiver))
+            elif sub.func.attr == "end":
+                enders.add(receiver)
+        for call, receiver in begins:
+            if receiver not in enders:
+                self.report(ctx, call,
+                            f"span opened on {receiver} in {node.name!r} "
+                            f"but no .end() call in the same function; the "
+                            f"span leaks open")

@@ -30,7 +30,7 @@ Example
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Generator, Iterable, List, Optional
+from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
 
 __all__ = [
     "Environment",
@@ -55,7 +55,7 @@ class Interrupt(Exception):
     :meth:`Process.interrupt`.
     """
 
-    def __init__(self, cause: Any = None):
+    def __init__(self, cause: Any = None) -> None:
         super().__init__(cause)
         self.cause = cause
 
@@ -77,7 +77,7 @@ class Event:
 
     __slots__ = ("env", "callbacks", "_value", "_state", "_ok")
 
-    def __init__(self, env: "Environment"):
+    def __init__(self, env: "Environment") -> None:
         self.env = env
         self.callbacks: List[Callable[["Event"], None]] = []
         self._value: Any = None
@@ -152,7 +152,7 @@ class Timeout(Event):
 
     __slots__ = ("delay",)
 
-    def __init__(self, env: "Environment", delay: int, value: Any = None):
+    def __init__(self, env: "Environment", delay: int, value: Any = None) -> None:
         if delay < 0:
             raise SimulationError(f"negative timeout delay: {delay}")
         super().__init__(env)
@@ -168,7 +168,7 @@ class Process(Event):
     __slots__ = ("generator", "_waiting_on", "name")
 
     def __init__(self, env: "Environment", generator: Generator,
-                 name: str = ""):
+                 name: str = "") -> None:
         super().__init__(env)
         self.generator = generator
         self.name = name or getattr(generator, "__name__", "process")
@@ -237,7 +237,7 @@ class AllOf(Event):
 
     __slots__ = ("_events", "_remaining")
 
-    def __init__(self, env: "Environment", events: Iterable[Event]):
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
         super().__init__(env)
         self._events = list(events)
         self._remaining = len(self._events)
@@ -266,7 +266,7 @@ class AnyOf(Event):
 
     __slots__ = ("_events",)
 
-    def __init__(self, env: "Environment", events: Iterable[Event]):
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
         super().__init__(env)
         self._events = list(events)
         if not self._events:
@@ -289,11 +289,15 @@ class Environment:
     Time is an integer count of nanoseconds since the start of the run.
     """
 
-    def __init__(self):
+    # Heap entries: (time, seq, event-or-None, callable-or-None); exactly
+    # one of the last two is set.
+    _HeapEntry = Tuple[int, int, Optional[Event], Optional[Callable[[], None]]]
+
+    def __init__(self) -> None:
         self._now: int = 0
-        self._heap: List = []
+        self._heap: List[Environment._HeapEntry] = []
         self._seq: int = 0  # tie-breaker preserving FIFO order at equal times
-        self._monitors: List = []
+        self._monitors: List[Any] = []
 
     @property
     def now(self) -> int:
@@ -302,7 +306,7 @@ class Environment:
 
     # -- monitoring --------------------------------------------------------
 
-    def add_monitor(self, monitor) -> None:
+    def add_monitor(self, monitor: Any) -> None:
         """Attach an execution monitor.
 
         A monitor is anything with an ``on_step(now, item)`` method; it is
@@ -316,7 +320,7 @@ class Environment:
         if monitor not in self._monitors:
             self._monitors.append(monitor)
 
-    def remove_monitor(self, monitor) -> None:
+    def remove_monitor(self, monitor: Any) -> None:
         """Detach a previously attached monitor (no-op if absent)."""
         try:
             self._monitors.remove(monitor)
@@ -377,6 +381,7 @@ class Environment:
         if event is not None:
             event._run_callbacks()
         else:
+            assert fn is not None  # heap entries carry one of the two
             fn()
         if self._monitors:
             item = event if event is not None else fn

@@ -23,7 +23,7 @@ class Store:
     succeeds immediately.  Otherwise ``put`` blocks while full.
     """
 
-    def __init__(self, env: Environment, capacity: Optional[int] = None):
+    def __init__(self, env: Environment, capacity: Optional[int] = None) -> None:
         if capacity is not None and capacity <= 0:
             raise SimulationError("capacity must be positive or None")
         self.env = env
@@ -103,7 +103,7 @@ class PriorityStore(Store):
     Items must be orderable; ties resolve by insertion order.
     """
 
-    def __init__(self, env: Environment, capacity: Optional[int] = None):
+    def __init__(self, env: Environment, capacity: Optional[int] = None) -> None:
         super().__init__(env, capacity)
         self._counter = 0
 
@@ -128,7 +128,7 @@ class PriorityStore(Store):
             # keep it simple: PriorityStore stores (item, seq) and getters
             # receive (item, seq); unwrap here for the immediate path and in
             # get_value for the deferred path.
-            def unwrap(ev, _orig=original):
+            def unwrap(ev: Event, _orig: Event = original) -> None:
                 ev._value = ev._value[0]
 
             event.callbacks.insert(0, unwrap)
@@ -149,7 +149,7 @@ class Resource:
         resource.release()
     """
 
-    def __init__(self, env: Environment, capacity: int = 1):
+    def __init__(self, env: Environment, capacity: int = 1) -> None:
         if capacity <= 0:
             raise SimulationError("capacity must be positive")
         self.env = env

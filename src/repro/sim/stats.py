@@ -43,7 +43,7 @@ class Counter:
 
     __slots__ = ("name", "value")
 
-    def __init__(self, name: str = ""):
+    def __init__(self, name: str = "") -> None:
         self.name = name
         self.value = 0
 
@@ -66,7 +66,7 @@ class Histogram:
     list per query made that path O(n log n) each time.
     """
 
-    def __init__(self, name: str = ""):
+    def __init__(self, name: str = "") -> None:
         self.name = name
         self._samples: List[float] = []
         self._sorted: Optional[List[float]] = None
@@ -137,7 +137,7 @@ class Histogram:
 class TimeWeighted:
     """Tracks the time-weighted average of a piecewise-constant value."""
 
-    def __init__(self, env: Environment, initial: float = 0.0):
+    def __init__(self, env: Environment, initial: float = 0.0) -> None:
         self.env = env
         self._value = initial
         self._last_change = env.now
@@ -175,7 +175,7 @@ class UtilizationTracker:
     a polling sidecore is 100% busy but may be mostly useless.
     """
 
-    def __init__(self, env: Environment):
+    def __init__(self, env: Environment) -> None:
         self.env = env
         self._busy_since: Optional[int] = None
         self._busy_ns = 0
@@ -231,7 +231,7 @@ class UtilizationTracker:
 class TimeSeries:
     """Periodic samples of a callable, e.g. utilization over time."""
 
-    def __init__(self, name: str = ""):
+    def __init__(self, name: str = "") -> None:
         self.name = name
         self.times: List[int] = []
         self.values: List[float] = []

@@ -60,7 +60,7 @@ class Span:
 class Tracer:
     """Collects spans and events, indexable by trace id."""
 
-    def __init__(self, env: Environment, capacity: int = 100_000):
+    def __init__(self, env: Environment, capacity: int = 100_000) -> None:
         if capacity <= 0:
             raise ValueError(f"tracer capacity must be positive: {capacity}")
         self.env = env

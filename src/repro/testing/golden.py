@@ -18,9 +18,10 @@ from __future__ import annotations
 
 import json
 import math
-import os
 from pathlib import Path
 from typing import Dict, List, Union
+
+from ..envvars import REGEN_GOLDENS_ENV, regen_goldens_requested
 
 __all__ = [
     "REGEN_ENV",
@@ -33,7 +34,7 @@ __all__ = [
     "GoldenMismatch",
 ]
 
-REGEN_ENV = "REPRO_REGEN_GOLDENS"
+REGEN_ENV = REGEN_GOLDENS_ENV  # re-exported name used in error messages
 FLOAT_RTOL = 1e-9
 
 Metrics = Dict[str, float]
@@ -124,7 +125,7 @@ def assert_matches_golden(name: str, metrics: Metrics,
     * Golden missing: fail with the regeneration command.
     * Mismatch: fail listing every differing metric.
     """
-    if os.environ.get(REGEN_ENV):
+    if regen_goldens_requested():
         save_golden(name, metrics, directory)
         return
     path = golden_path(name, directory)

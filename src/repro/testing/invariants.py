@@ -113,7 +113,8 @@ def check_core(core: Core, now: int) -> List[InvariantViolation]:
         out.append(InvariantViolation(
             "core-accounting", core.name,
             f"busy_ns={busy} exceeds wall time {now} ns"))
-    tag_sum = sum(core.cycles_by_tag.values())
+    tag_sum = sum(core.cycles_by_tag[tag]
+                  for tag in sorted(core.cycles_by_tag))
     if tag_sum != core.total_cycles:
         out.append(InvariantViolation(
             "cycle-ledger", core.name,
@@ -170,7 +171,7 @@ def check_event_stats(stats: IoEventStats) -> List[InvariantViolation]:
             out.append(InvariantViolation(
                 "counter-sign", f"stats {stats.name or 'io'}",
                 f"{column}={value}"))
-    if stats.total() != sum(snapshot.values()):
+    if stats.total() != sum(snapshot[key] for key in sorted(snapshot)):
         out.append(InvariantViolation(
             "stats-sum", f"stats {stats.name or 'io'}",
             f"total() {stats.total()} != sum of columns"))
