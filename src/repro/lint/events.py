@@ -11,6 +11,11 @@ ugly:
   fires it, every closure sees the final iteration's value.  The fix is
   the default-argument binding idiom (``lambda v=vm: ...``), which this
   rule recognizes and accepts.
+* SIM303 — code outside ``repro/sim/`` reaching into the scheduler's
+  internals (``_heap``, ``_cal``, ``_seq``, ``_ready``).  The engine's
+  fast path deliberately couples to those fields *inside* the kernel;
+  anything else poking them bypasses the FIFO tie-break and freelist
+  lifecycle and silently corrupts the schedule.
 """
 
 from __future__ import annotations
@@ -150,3 +155,33 @@ class LateBoundLoopCaptureRule(Rule):
                                 f"comprehension builds lambdas capturing "
                                 f"{', '.join(captured)} late-bound; bind "
                                 f"them as default arguments")
+
+
+# Scheduler internals owned by repro/sim: the event heap/calendar, the
+# FIFO tie-break counter, and the zero-delay ready lane.
+_SCHEDULER_INTERNALS = frozenset({"_heap", "_cal", "_seq", "_ready"})
+
+
+@register_rule
+class SchedulerInternalsRule(Rule):
+    code = "SIM303"
+    name = "scheduler-internals-poke"
+    rationale = ("The scheduler's queue state (_heap/_cal/_seq/_ready) is "
+                 "owned by repro/sim; outside pokes bypass the (time, seq) "
+                 "FIFO tie-break and the entry freelist lifecycle and "
+                 "silently corrupt the schedule.  Go through the public "
+                 "Environment API (call_soon, timeout, run, peek).")
+
+    def visit_Attribute(self, node: ast.Attribute, ctx: FileContext) -> None:
+        if node.attr not in _SCHEDULER_INTERNALS:
+            return
+        if ctx.path.startswith("repro/sim/"):
+            return  # the kernel's own (documented) coupling
+        # An object's own private state is fine (e.g. a recorder keeping
+        # its own self._seq); what's flagged is reaching into *another*
+        # object's scheduler fields.
+        if isinstance(node.value, ast.Name) and node.value.id == "self":
+            return
+        self.report(ctx, node,
+                    f"access to scheduler-internal field {node.attr!r} "
+                    f"outside repro/sim; use the public Environment API")

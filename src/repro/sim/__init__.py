@@ -1,6 +1,8 @@
 """Discrete-event simulation kernel used by the whole reproduction."""
 
+from .calqueue import CalendarQueue
 from .engine import (
+    SCHEDULERS,
     AllOf,
     AnyOf,
     Environment,
@@ -9,6 +11,9 @@ from .engine import (
     Process,
     SimulationError,
     Timeout,
+    default_scheduler,
+    scheduler_override,
+    set_default_scheduler,
 )
 from .queues import PriorityStore, Resource, Store
 from .rng import RngRegistry
@@ -39,8 +44,9 @@ from .units import (
 )
 
 __all__ = [
-    "AllOf", "AnyOf", "Environment", "Event", "Interrupt", "Process",
-    "SimulationError", "Timeout",
+    "AllOf", "AnyOf", "CalendarQueue", "Environment", "Event", "Interrupt",
+    "Process", "SCHEDULERS", "SimulationError", "Timeout",
+    "default_scheduler", "scheduler_override", "set_default_scheduler",
     "PriorityStore", "Resource", "Store",
     "RngRegistry",
     "Tracer", "Span", "TraceEvent",

@@ -6,7 +6,7 @@ that event ordering is exact and runs are bit-reproducible.
 
 The core concepts:
 
-* :class:`Environment` owns the clock and the pending-event heap.
+* :class:`Environment` owns the clock and the pending-event queue.
 * :class:`Event` is a one-shot waitable.  Processes wait on events by
   yielding them.
 * :class:`Process` wraps a generator.  Each ``yield`` suspends the process
@@ -14,6 +14,23 @@ The core concepts:
   the ``yield`` expression.  A process is itself an event that triggers when
   the generator returns (with the generator's return value).
 * :class:`Timeout` is an event that triggers after a fixed delay.
+
+Scheduler
+---------
+The default scheduler splits pending work across two structures:
+
+* a plain FIFO deque of *ready* items — events triggered at the current
+  time and zero-delay ``call_soon`` entries (the bulk of per-packet
+  traffic: descriptor completions, queue hand-offs);
+* a :class:`~repro.sim.calqueue.CalendarQueue` of future timers.
+
+At any timestamp every calendar entry precedes every ready entry in the
+legacy heap's ``(time, seq)`` order — calendar entries at time ``t`` were
+scheduled before the clock reached ``t``, ready entries only after — so
+draining "calendar at ``t``, then ready" reproduces the heap's schedule
+exactly.  The pre-overhaul binary-heap scheduler is retained behind
+``Environment(scheduler="heap")`` and is the reference implementation for
+the differential test suite.
 
 Example
 -------
@@ -30,7 +47,12 @@ Example
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
+from collections import deque
+from contextlib import contextmanager
+from typing import (Any, Callable, Deque, Generator, Iterable, Iterator,
+                    List, Optional, Tuple, Union)
+
+from .calqueue import CalendarQueue
 
 __all__ = [
     "Environment",
@@ -41,6 +63,10 @@ __all__ = [
     "AllOf",
     "AnyOf",
     "SimulationError",
+    "SCHEDULERS",
+    "default_scheduler",
+    "set_default_scheduler",
+    "scheduler_override",
 ]
 
 
@@ -73,13 +99,21 @@ class Event:
     *triggers* it, scheduling its callbacks to run at the current simulation
     time.  Waiting on an already-processed event resumes the waiter
     immediately (on the next scheduling step) with the stored value.
+
+    Callbacks live in a flyweight pair — a single inline slot (``_cb0``,
+    the common case: one waiter per event) plus an overflow list that is
+    only allocated for the second waiter — so the per-packet event churn
+    does not allocate a list per event.  Use :meth:`add_callback`,
+    :meth:`prepend_callback` and :meth:`_discard_callback` to manage them;
+    the :attr:`callbacks` view is read-only.
     """
 
-    __slots__ = ("env", "callbacks", "_value", "_state", "_ok")
+    __slots__ = ("env", "_cb0", "_cbs", "_value", "_state", "_ok")
 
     def __init__(self, env: "Environment") -> None:
         self.env = env
-        self.callbacks: List[Callable[["Event"], None]] = []
+        self._cb0: Optional[Callable[["Event"], None]] = None
+        self._cbs: Optional[List[Callable[["Event"], None]]] = None
         self._value: Any = None
         self._state = _PENDING
         self._ok = True
@@ -108,6 +142,17 @@ class Event:
             raise SimulationError("event value not yet available")
         return self._value
 
+    @property
+    def callbacks(self) -> Tuple[Callable[["Event"], None], ...]:
+        """Read-only view of the pending callbacks, in firing order."""
+        first = self._cb0
+        rest = self._cbs
+        if first is None:
+            return tuple(rest) if rest else ()
+        if rest:
+            return (first,) + tuple(rest)
+        return (first,)
+
     # -- triggering --------------------------------------------------------
 
     def succeed(self, value: Any = None) -> "Event":
@@ -133,9 +178,15 @@ class Event:
 
     def _run_callbacks(self) -> None:
         self._state = _PROCESSED
-        callbacks, self.callbacks = self.callbacks, []
-        for callback in callbacks:
-            callback(self)
+        cb = self._cb0
+        if cb is not None:
+            self._cb0 = None
+            cb(self)
+        cbs = self._cbs
+        if cbs is not None:
+            self._cbs = None
+            for cb in cbs:
+                cb(self)
 
     def add_callback(self, callback: Callable[["Event"], None]) -> None:
         """Run ``callback(event)`` when the event is processed."""
@@ -143,8 +194,36 @@ class Event:
             # Already done: deliver on the next scheduling step to preserve
             # run-to-completion semantics.
             self.env.call_soon(lambda: callback(self))
+        elif self._cbs is not None:
+            self._cbs.append(callback)
+        elif self._cb0 is None:
+            self._cb0 = callback
         else:
-            self.callbacks.append(callback)
+            self._cbs = [callback]
+
+    def prepend_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Register ``callback`` to fire before any already-registered one."""
+        first = self._cb0
+        if first is None and not self._cbs:
+            self._cb0 = callback
+            return
+        cbs = self._cbs if self._cbs is not None else []
+        if first is not None:
+            cbs.insert(0, first)
+        self._cbs = cbs
+        self._cb0 = callback
+
+    def _discard_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Remove one registration of ``callback`` (no-op if absent)."""
+        if self._cb0 == callback:
+            self._cb0 = None
+            return
+        cbs = self._cbs
+        if cbs is not None:
+            try:
+                cbs.remove(callback)
+            except ValueError:
+                pass
 
 
 class Timeout(Event):
@@ -155,11 +234,16 @@ class Timeout(Event):
     def __init__(self, env: "Environment", delay: int, value: Any = None) -> None:
         if delay < 0:
             raise SimulationError(f"negative timeout delay: {delay}")
-        super().__init__(env)
-        self.delay = delay
+        # Inlined Event.__init__: timeouts are the per-packet allocation
+        # hot spot, and they are born triggered.
+        self.env = env
+        self._cb0 = None
+        self._cbs = None
         self._value = value
         self._state = _TRIGGERED
-        env._schedule_event(self, delay)
+        self._ok = True
+        self.delay = delay
+        env._schedule_timeout(self, delay)
 
 
 class Process(Event):
@@ -188,10 +272,7 @@ class Process(Event):
         waiting = self._waiting_on
         if waiting is not None:
             # Detach from the event we were waiting on.
-            try:
-                waiting.callbacks.remove(self._on_event)
-            except ValueError:
-                pass
+            waiting._discard_callback(self._on_event)
             self._waiting_on = None
         self.env.call_soon(lambda: self._resume(None, Interrupt(cause)))
 
@@ -248,9 +329,14 @@ class AllOf(Event):
             event.add_callback(self._on_child)
 
     def _on_child(self, event: Event) -> None:
-        if self.triggered:
+        if self._state != _PENDING:
             return
         if not event.ok:
+            # Detach from the still-outstanding children so a settled AllOf
+            # holds no callbacks on long-lived events.
+            for ev in self._events:
+                if ev is not event:
+                    ev._discard_callback(self._on_child)
             self.fail(event.value)
             return
         self._remaining -= 1
@@ -275,29 +361,95 @@ class AnyOf(Event):
             event.add_callback(self._on_child)
 
     def _on_child(self, event: Event) -> None:
-        if self.triggered:
+        if self._state != _PENDING:
             return
+        # Detach from the losers: without this every losing event keeps the
+        # settled AnyOf's callback registered forever, pinning it (and
+        # firing into it) long after the race is decided.
+        for ev in self._events:
+            if ev is not event:
+                ev._discard_callback(self._on_child)
         if event.ok:
             self.succeed((event, event.value))
         else:
             self.fail(event.value)
 
 
+SCHEDULERS = ("calendar", "heap")
+
+_DEFAULT_SCHEDULER: List[str] = ["calendar"]
+
+
+def default_scheduler() -> str:
+    """The scheduler new :class:`Environment` instances use by default."""
+    return _DEFAULT_SCHEDULER[0]
+
+
+def set_default_scheduler(name: str) -> str:
+    """Set the process-wide default scheduler; returns the previous one."""
+    if name not in SCHEDULERS:
+        raise SimulationError(
+            f"unknown scheduler {name!r}; expected one of {SCHEDULERS}")
+    previous = _DEFAULT_SCHEDULER[0]
+    _DEFAULT_SCHEDULER[0] = name
+    return previous
+
+
+@contextmanager
+def scheduler_override(name: str) -> Iterator[None]:
+    """Force every :class:`Environment` built in this block onto ``name``.
+
+    The differential test harness uses this to steer scenario builders —
+    which construct their own environments internally — onto the legacy
+    heap scheduler without threading a parameter through every layer.
+    """
+    previous = set_default_scheduler(name)
+    try:
+        yield
+    finally:
+        set_default_scheduler(previous)
+
+
 class Environment:
     """The simulation clock and scheduler.
 
     Time is an integer count of nanoseconds since the start of the run.
+
+    ``scheduler`` selects the pending-queue implementation: ``"calendar"``
+    (default) is the bucket-queue fast path, ``"heap"`` the pre-overhaul
+    binary heap kept as the differential-testing reference.  Both produce
+    byte-identical schedules.
     """
 
     # Heap entries: (time, seq, event-or-None, callable-or-None); exactly
     # one of the last two is set.
     _HeapEntry = Tuple[int, int, Optional[Event], Optional[Callable[[], None]]]
 
-    def __init__(self) -> None:
+    def __init__(self, scheduler: Optional[str] = None) -> None:
+        if scheduler is None:
+            scheduler = _DEFAULT_SCHEDULER[0]
+        if scheduler not in SCHEDULERS:
+            raise SimulationError(
+                f"unknown scheduler {scheduler!r}; expected one of {SCHEDULERS}")
         self._now: int = 0
-        self._heap: List[Environment._HeapEntry] = []
         self._seq: int = 0  # tie-breaker preserving FIFO order at equal times
         self._monitors: List[Any] = []
+        self.scheduler = scheduler
+        if scheduler == "heap":
+            self._heap: List[Environment._HeapEntry] = []
+            # Route every scheduling/execution entry point to the legacy
+            # implementations; the calendar structures are never created.
+            self._schedule_event = self._schedule_event_heap  # type: ignore[method-assign]
+            self._schedule_timeout = self._schedule_timeout_heap  # type: ignore[method-assign]
+            self.call_soon = self._call_soon_heap  # type: ignore[method-assign]
+            self.step = self._step_heap  # type: ignore[method-assign]
+            self.run = self._run_heap  # type: ignore[method-assign]
+            self.peek = self._peek_heap  # type: ignore[method-assign]
+        else:
+            # Ready lane: items due at the current time, in FIFO order —
+            # triggered events and zero-delay call_soon entries.
+            self._ready: Deque[Union[Event, Callable[[], None]]] = deque()
+            self._cal = CalendarQueue()
 
     @property
     def now(self) -> int:
@@ -312,10 +464,11 @@ class Environment:
         A monitor is anything with an ``on_step(now, item)`` method; it is
         called after every scheduler step with the (possibly advanced)
         clock and the processed item — an :class:`Event` or, for
-        ``call_soon`` entries, the bare callable.  Monitors cost one truth
-        test per step while none are attached, so production runs are
-        unaffected; the verification harness uses them to audit clock
-        monotonicity and event flow.
+        ``call_soon`` entries, the bare callable.  The run loop is
+        specialized at attach/detach time: with no monitors attached the
+        engine runs a loop containing no monitor test at all, so
+        production runs pay nothing.  Attaching mid-run takes effect at
+        the next clock advance.
         """
         if monitor not in self._monitors:
             self._monitors.append(monitor)
@@ -329,14 +482,89 @@ class Environment:
 
     # -- scheduling --------------------------------------------------------
 
+    # The three scheduling entry points below duplicate CalendarQueue.push's
+    # common case (a future bucket within the horizon, ahead of the scan) to
+    # save the extra call frame on the per-timer hot path; anything else
+    # falls through to the real push.  The condition mirrors push() exactly.
+
     def _schedule_event(self, event: Event, delay: int = 0) -> None:
-        self._seq += 1
-        heapq.heappush(self._heap, (self._now + delay, self._seq, event, None))
+        if delay:
+            seq = self._seq + 1
+            self._seq = seq
+            time = self._now + delay
+            cal = self._cal
+            bidx = time >> cal._shift
+            if cal._cursor < bidx < cal._floor + cal._nbuckets:
+                free = cal._free
+                if free:
+                    e = free.pop()
+                    e[0] = time
+                    e[1] = seq
+                    e[2] = event
+                else:
+                    e = [time, seq, event]
+                cal._buckets[bidx & cal._mask].append(e)
+                count = cal._count + 1
+                cal._count = count
+                if count > cal._grow_at:
+                    cal._maybe_grow(count)
+                return
+            cal.push(time, seq, event)
+        else:
+            self._ready.append(event)
+
+    def _schedule_timeout(self, event: Event, delay: int) -> None:
+        if delay:
+            seq = self._seq + 1
+            self._seq = seq
+            time = self._now + delay
+            cal = self._cal
+            bidx = time >> cal._shift
+            if cal._cursor < bidx < cal._floor + cal._nbuckets:
+                free = cal._free
+                if free:
+                    e = free.pop()
+                    e[0] = time
+                    e[1] = seq
+                    e[2] = event
+                else:
+                    e = [time, seq, event]
+                cal._buckets[bidx & cal._mask].append(e)
+                count = cal._count + 1
+                cal._count = count
+                if count > cal._grow_at:
+                    cal._maybe_grow(count)
+                return
+            cal.push(time, seq, event)
+        else:
+            self._ready.append(event)
 
     def call_soon(self, fn: Callable[[], None], delay: int = 0) -> None:
         """Run ``fn()`` after ``delay`` ns (0 = this time step, FIFO)."""
-        self._seq += 1
-        heapq.heappush(self._heap, (self._now + delay, self._seq, None, fn))
+        if delay:
+            seq = self._seq + 1
+            self._seq = seq
+            time = self._now + delay
+            cal = self._cal
+            bidx = time >> cal._shift
+            if cal._cursor < bidx < cal._floor + cal._nbuckets:
+                free = cal._free
+                if free:
+                    e = free.pop()
+                    e[0] = time
+                    e[1] = seq
+                    e[2] = fn
+                else:
+                    e = [time, seq, fn]
+                cal._buckets[bidx & cal._mask].append(e)
+                count = cal._count + 1
+                cal._count = count
+                if count > cal._grow_at:
+                    cal._maybe_grow(count)
+                return
+            cal.push(time, seq, fn)
+        else:
+            self._ready.append(fn)
 
     def schedule_at(self, at_ns: int, fn: Callable[[], None]) -> None:
         """Run ``fn()`` at the absolute time ``at_ns``.
@@ -374,6 +602,235 @@ class Environment:
 
     def step(self) -> None:
         """Process the single next scheduled item."""
+        cal = self._cal
+        when = cal.min_time()
+        if when is not None and when == self._now:
+            # Calendar entries at the current time precede every ready
+            # item in (time, seq) order (see the module docstring).
+            item = cal.pop()[2]
+        elif self._ready:
+            when = self._now
+            item = self._ready.popleft()
+        elif when is None:
+            raise IndexError("step from an empty schedule")
+        else:
+            if when < self._now:
+                raise SimulationError("time went backwards")
+            self._now = when
+            item = cal.pop()[2]
+        if isinstance(item, Event):
+            item._run_callbacks()
+        else:
+            item()
+        if self._monitors:
+            for monitor in self._monitors:
+                monitor.on_step(when, item)
+
+    def run(self, until: Optional[int] = None) -> None:
+        """Run until the schedule empties or the clock would pass ``until``.
+
+        When ``until`` is given the clock is left exactly at ``until`` and
+        any events scheduled for later remain pending.
+        """
+        if until is not None and until < self._now:
+            raise SimulationError("cannot run backwards in time")
+        while True:
+            if self._monitors:
+                if self._run_monitored(until):
+                    return
+            elif self._run_fast(until):
+                return
+
+    def _run_fast(self, until: Optional[int]) -> bool:
+        """Monitor-free run loop; returns False to switch loops.
+
+        This is the engine's hot path, and it deliberately reaches into
+        :class:`CalendarQueue` internals: after ``min_time()`` positions
+        the cursor bucket, the whole run of entries at that timestamp is
+        consumed straight out of the bucket list with zero per-item call
+        frames.  The coupling is one-way and confined to this method (plus
+        the invariants spelled out below); everything outside ``repro.sim``
+        goes through the public API (enforced by simlint).
+
+        Invariants honored while draining inline:
+
+        * ``cal._pos``/``cal._count`` are updated *before* each dispatch —
+          callbacks may push into the active bucket (``insort`` keyed off
+          ``_pos``) or trigger a rebuild (which compacts ``b[:_pos]``).
+        * A rebuild during dispatch replaces ``cal._buckets``; the identity
+          check detects it and re-derives the position via ``min_time()``.
+        * No push can land at the draining timestamp (delays are strictly
+          positive; zero-delay work goes to the ready deque), so the run's
+          extent is fixed once entered — ready items produced by the
+          dispatches run strictly after the run, preserving heap order.
+        """
+        ready = self._ready
+        cal = self._cal
+        min_time = cal.min_time
+        monitors = self._monitors
+        while True:
+            while ready:
+                item = ready.popleft()
+                if isinstance(item, Event):
+                    # Inlined Event._run_callbacks.
+                    item._state = _PROCESSED
+                    cb = item._cb0
+                    if cb is not None:
+                        item._cb0 = None
+                        cb(item)
+                    cbs = item._cbs
+                    if cbs is not None:
+                        item._cbs = None
+                        for cb in cbs:
+                            cb(item)
+                else:
+                    item()
+            if monitors:
+                return False
+            # Inlined min_time() fast path: the cursor bucket is mid-drain
+            # and its head is not preempted by the overflow heap.  When it
+            # applies, the drain loop below reuses the derived position.
+            t = None
+            if cal._active:
+                b = cal._buckets[cal._cursor & cal._mask]
+                pos = cal._pos
+                if pos < len(b):
+                    far = cal._far
+                    t0 = b[pos][0]
+                    if not far or far[0][0] > t0:
+                        t = t0
+            if t is None:
+                t = min_time()
+                if t is None:
+                    if until is not None:
+                        self._now = until
+                    return True
+            if until is not None and t > until:
+                self._now = until
+                return True
+            if t < self._now:
+                raise SimulationError("time went backwards")
+            self._now = t
+            while True:
+                cal._floor = cal._cursor
+                bref = cal._buckets
+                b = bref[cal._cursor & cal._mask]
+                pos = cal._pos
+                n = len(b)
+                clean = True
+                while pos < n:
+                    e = b[pos]
+                    if e[0] != t:
+                        break
+                    pos += 1
+                    cal._pos = pos
+                    cal._count -= 1
+                    item = e[2]
+                    if isinstance(item, Event):
+                        item._state = _PROCESSED
+                        cb = item._cb0
+                        if cb is not None:
+                            item._cb0 = None
+                            cb(item)
+                        cbs = item._cbs
+                        if cbs is not None:
+                            item._cbs = None
+                            for cb in cbs:
+                                cb(item)
+                    else:
+                        item()
+                    if cal._buckets is not bref:
+                        # A push during dispatch rebuilt the queue; local
+                        # position state is stale.
+                        clean = False
+                        break
+                    n = len(b)
+                if clean or min_time() != t:
+                    break
+
+    def _run_monitored(self, until: Optional[int]) -> bool:
+        """Per-step run loop notifying monitors; returns False to switch.
+
+        Cal time steps are retired in bulk with ``drain_due`` — delays
+        are strictly positive, so nothing dispatched from the batch can
+        land at the drained timestamp — then dispatched one item at a
+        time with a per-step monitor notification.  The global dispatch
+        order (cal entries at the current timestamp before ready
+        entries, FIFO within each) is identical to the fast loop's.
+        """
+        ready = self._ready
+        cal = self._cal
+        min_time = cal.min_time
+        drain_due = cal.drain_due
+        monitors = self._monitors
+        batch: List[Any] = []
+        while monitors:
+            t = min_time()
+            if t is not None and t <= self._now:
+                if t < self._now:
+                    raise SimulationError("time went backwards")
+                drain_due(None, batch)
+            elif ready:
+                item = ready.popleft()
+                if isinstance(item, Event):
+                    item._run_callbacks()
+                else:
+                    item()
+                when = self._now
+                for monitor in monitors:
+                    monitor.on_step(when, item)
+                continue
+            elif t is None:
+                if until is not None:
+                    self._now = until
+                return True
+            else:
+                if until is not None and t > until:
+                    self._now = until
+                    return True
+                self._now = t
+                drain_due(None, batch)
+            when = t
+            # Dispatch the whole batch even if a callback detaches the
+            # last monitor mid-way; the notification check per item keeps
+            # attach/detach-during-dispatch semantics exact.
+            for item in batch:
+                if isinstance(item, Event):
+                    item._run_callbacks()
+                else:
+                    item()
+                if monitors:
+                    for monitor in monitors:
+                        monitor.on_step(when, item)
+            del batch[:]
+        return False
+
+    def peek(self) -> Optional[int]:
+        """Time of the next scheduled item, or None if none is pending."""
+        if self._ready:
+            return self._now
+        return self._cal.min_time()
+
+    # -- legacy heap scheduler ---------------------------------------------
+    # The pre-overhaul implementation, byte-for-byte semantics, selected
+    # with Environment(scheduler="heap").  It is the reference model the
+    # differential suite runs every scenario against.
+
+    def _schedule_event_heap(self, event: Event, delay: int = 0) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (self._now + delay, self._seq, event, None))
+
+    def _schedule_timeout_heap(self, event: Event, delay: int) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (self._now + delay, self._seq, event, None))
+
+    def _call_soon_heap(self, fn: Callable[[], None], delay: int = 0) -> None:
+        """Run ``fn()`` after ``delay`` ns (0 = this time step, FIFO)."""
+        self._seq += 1
+        heapq.heappush(self._heap, (self._now + delay, self._seq, None, fn))
+
+    def _step_heap(self) -> None:
+        """Process the single next scheduled item."""
         when, _seq, event, fn = heapq.heappop(self._heap)
         if when < self._now:
             raise SimulationError("time went backwards")
@@ -384,27 +841,24 @@ class Environment:
             assert fn is not None  # heap entries carry one of the two
             fn()
         if self._monitors:
-            item = event if event is not None else fn
+            item: Any = event if event is not None else fn
             for monitor in self._monitors:
                 monitor.on_step(when, item)
 
-    def run(self, until: Optional[int] = None) -> None:
-        """Run until the heap empties or the clock would pass ``until``.
-
-        When ``until`` is given the clock is left exactly at ``until`` and
-        any events scheduled for later remain pending.
-        """
+    def _run_heap(self, until: Optional[int] = None) -> None:
+        """Run until the heap empties or the clock would pass ``until``."""
         if until is not None and until < self._now:
             raise SimulationError("cannot run backwards in time")
         heap = self._heap
+        step = self.step
         while heap:
             if until is not None and heap[0][0] > until:
                 self._now = until
                 return
-            self.step()
+            step()
         if until is not None:
             self._now = until
 
-    def peek(self) -> Optional[int]:
+    def _peek_heap(self) -> Optional[int]:
         """Time of the next scheduled item, or None if the heap is empty."""
         return self._heap[0][0] if self._heap else None

@@ -131,7 +131,7 @@ class PriorityStore(Store):
             def unwrap(ev: Event, _orig: Event = original) -> None:
                 ev._value = ev._value[0]
 
-            event.callbacks.insert(0, unwrap)
+            event.prepend_callback(unwrap)
         return event
 
     def _sort(self) -> None:

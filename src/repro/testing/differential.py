@@ -1,0 +1,163 @@
+"""Differential scheduler harness: prove the schedulers interchangeable.
+
+The calendar-queue scheduler earns its keep only if nothing observable
+changes: the legacy heap (``Environment(scheduler="heap")``) is the
+reference model, and this module runs the *same* scenario under each
+registered scheduler and compares everything an artifact consumer can
+see:
+
+* the canonical metrics dictionary, serialized to JSON — compared
+  byte-for-byte;
+* the committed golden fingerprint — both schedulers must match it, not
+  merely each other;
+* optionally the telemetry exports — the metrics snapshot and the
+  Chrome ``trace_event`` JSON, again byte-for-byte.
+
+``diff_scenario`` returns a list of human-readable problems (empty =
+equivalent); ``diff_all`` sweeps the whole scenario registry.  The
+fault-injection scenarios in the registry ride along, so scheduler
+equivalence is proven through failover/recovery schedules too.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable, Dict, Iterable, List, Optional
+
+from ..sim import SCHEDULERS, scheduler_override
+
+__all__ = [
+    "REFERENCE_SCHEDULER",
+    "metrics_json",
+    "normalize_chrome_trace",
+    "run_under",
+    "diff_scenario",
+    "diff_all",
+]
+
+REFERENCE_SCHEDULER = "heap"
+
+
+def normalize_chrome_trace(doc: Dict[str, Any]) -> Dict[str, Any]:
+    """Rewrite raw trace ids to dense first-appearance indexes.
+
+    Message/request ids come from process-global counters, so their
+    absolute values depend on how many runs preceded this one in the
+    process — not on the scheduler.  The export already maps each id to
+    a dense ``tid``; this rewrites the raw copy kept in ``args`` the
+    same way so two runs of the same schedule compare byte-identical.
+    """
+    ids: Dict[str, str] = {}
+    events = []
+    for record in doc.get("traceEvents", []):
+        args = record.get("args", {})
+        raw = args.get("trace_id")
+        if raw is not None:
+            args = dict(args,
+                        trace_id=ids.setdefault(raw, str(len(ids) + 1)))
+            record = dict(record, args=args)
+        events.append(record)
+    return dict(doc, traceEvents=events)
+
+
+def metrics_json(metrics: Dict[str, Any]) -> str:
+    """Canonical byte representation of a scenario's metrics."""
+    return json.dumps(metrics, sort_keys=True, separators=(",", ":"))
+
+
+def run_under(scheduler: str, name: str, seed: int = 0,
+              telemetry: bool = False) -> Dict[str, Optional[str]]:
+    """Run scenario ``name`` under ``scheduler``; return its observables.
+
+    The result maps observable kind to its canonical byte string:
+    ``metrics`` always; ``telemetry_metrics`` and ``chrome_trace`` when
+    ``telemetry`` is set (None when the testbed never bound a session).
+    """
+    from .scenarios import run_scenario
+
+    out: Dict[str, Optional[str]] = {}
+    if telemetry:
+        from ..telemetry import TelemetrySession
+
+        with scheduler_override(scheduler):
+            with TelemetrySession() as session:
+                result = run_scenario(name, seed=seed)
+        bound = session.for_testbed(result.testbed)
+        if bound is None:
+            out["telemetry_metrics"] = None
+            out["chrome_trace"] = None
+        else:
+            out["telemetry_metrics"] = json.dumps(
+                bound.snapshot(), sort_keys=True, default=str)
+            out["chrome_trace"] = json.dumps(
+                normalize_chrome_trace(bound.chrome_trace()),
+                sort_keys=True, default=str)
+    else:
+        with scheduler_override(scheduler):
+            result = run_scenario(name, seed=seed)
+    out["metrics"] = metrics_json(result.metrics)
+    return out
+
+
+def diff_scenario(name: str, seed: int = 0,
+                  schedulers: Optional[Iterable[str]] = None,
+                  telemetry: bool = False,
+                  check_golden: bool = True) -> List[str]:
+    """Compare one scenario across schedulers; return problem strings."""
+    from .golden import GoldenMismatch, assert_matches_golden, golden_path
+
+    names = list(schedulers) if schedulers is not None else sorted(SCHEDULERS)
+    if REFERENCE_SCHEDULER not in names:
+        names.insert(0, REFERENCE_SCHEDULER)
+    problems: List[str] = []
+    runs = {sched: run_under(sched, name, seed=seed, telemetry=telemetry)
+            for sched in names}
+    reference = runs[REFERENCE_SCHEDULER]
+    for sched in names:
+        if sched == REFERENCE_SCHEDULER:
+            continue
+        for kind, expected in reference.items():
+            actual = runs[sched][kind]
+            if actual != expected:
+                problems.append(
+                    f"{name}: {kind} under {sched!r} differs from "
+                    f"{REFERENCE_SCHEDULER!r} ({_first_delta(expected, actual)})")
+    if check_golden and golden_path(name).exists():
+        from .scenarios import run_scenario
+
+        for sched in names:
+            with scheduler_override(sched):
+                result = run_scenario(name, seed=seed)
+            try:
+                assert_matches_golden(name, result.metrics)
+            except GoldenMismatch as exc:
+                problems.append(
+                    f"{name}: golden mismatch under {sched!r}: {exc}")
+    return problems
+
+
+def _first_delta(expected: Optional[str], actual: Optional[str]) -> str:
+    """Locate the first differing byte for a readable failure message."""
+    if expected is None or actual is None:
+        return f"expected {'present' if expected else 'None'}, " \
+               f"got {'present' if actual else 'None'}"
+    limit = min(len(expected), len(actual))
+    for i in range(limit):
+        if expected[i] != actual[i]:
+            lo = max(0, i - 30)
+            return (f"first difference at byte {i}: "
+                    f"...{expected[lo:i + 30]!r} vs ...{actual[lo:i + 30]!r}")
+    return f"length {len(expected)} vs {len(actual)}"
+
+
+def diff_all(seed: int = 0, telemetry: bool = False,
+             progress: Optional[Callable[[str], None]] = None) -> List[str]:
+    """Run :func:`diff_scenario` over the whole registry."""
+    from .scenarios import scenario_names
+
+    problems: List[str] = []
+    for name in scenario_names():
+        if progress is not None:
+            progress(name)
+        problems.extend(diff_scenario(name, seed=seed, telemetry=telemetry))
+    return problems

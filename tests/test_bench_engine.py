@@ -1,0 +1,184 @@
+"""The engine benchmark: schema, regression gate, CLI wiring.
+
+Timing-sensitive assertions are avoided: the regression gate is
+exercised with fabricated payloads, and the one real subprocess run
+only checks exit status and schema, never absolute rates.
+"""
+
+import copy
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.bench_engine import (
+    DEFAULT_OUT,
+    HEADLINE_TARGET,
+    SCHEMA,
+    check_regression,
+    validate_payload,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _payload(cal_b32=4_000_000.0, cal_replay=900_000.0):
+    """A minimal, schema-valid fabricated payload."""
+    def row(name, mode, cal, batch=None):
+        return {
+            "name": name, "mode": mode, "path": "fig12", "lanes": 64,
+            "events": 2_000_000, "background": 1_000_000, "batch": batch,
+            "events_per_sec": {"heap": 600_000.0, "calendar": cal},
+            "speedup": round(cal / 600_000.0, 3),
+        }
+
+    rows = [row("completion_storm_b32", "poll-batch-storm", cal_b32, 32),
+            row("replay_fig12", "captured-replay", cal_replay)]
+    return {
+        "schema": SCHEMA,
+        "quick": False,
+        "python": "3.11.7",
+        "rows": rows,
+        "artifacts": [{
+            "scenario": "fig12:apache/vrio", "path": "fig12",
+            "kind": "figure-point",
+            "wall_s": {"heap": 0.6, "calendar": 0.6},
+            "speedup": 1.0, "identical_metrics": True,
+        }],
+        "headline": {"row": "completion_storm_b32",
+                     "speedup": rows[0]["speedup"],
+                     "target_x": HEADLINE_TARGET,
+                     "pass": rows[0]["speedup"] >= HEADLINE_TARGET},
+    }
+
+
+# -- regression gate (fabricated, no timing) ---------------------------------
+
+
+def test_gate_passes_on_equal_rates():
+    assert check_regression(_payload(), _payload()) == []
+
+
+def test_gate_passes_on_improvement_and_small_dip():
+    baseline = _payload(cal_b32=4_000_000.0)
+    assert check_regression(_payload(cal_b32=5_000_000.0), baseline) == []
+    # A 5% dip is inside the 10% tolerance.
+    assert check_regression(_payload(cal_b32=3_800_000.0), baseline) == []
+
+
+def test_gate_fails_on_regression_beyond_tolerance():
+    baseline = _payload(cal_b32=4_000_000.0)
+    problems = check_regression(_payload(cal_b32=3_500_000.0), baseline)
+    assert len(problems) == 1
+    assert "completion_storm_b32" in problems[0]
+    # The other row did not regress and is not reported.
+    assert "replay_fig12" not in problems[0]
+
+
+def test_gate_reports_rows_missing_from_current():
+    baseline = _payload()
+    current = _payload()
+    current["rows"] = [r for r in current["rows"]
+                      if r["name"] != "replay_fig12"]
+    problems = check_regression(current, baseline)
+    assert any("replay_fig12" in p and "not measured" in p for p in problems)
+
+
+def test_gate_skips_rows_at_different_scale():
+    baseline = _payload(cal_b32=4_000_000.0)
+    current = _payload(cal_b32=1_000_000.0)  # would regress hard ...
+    for row in current["rows"]:
+        row["events"] = 200_000  # ... but at quick scale: not comparable
+    assert check_regression(current, baseline) == []
+
+
+def test_gate_tolerance_is_configurable():
+    baseline = _payload(cal_b32=4_000_000.0)
+    current = _payload(cal_b32=3_800_000.0)
+    assert check_regression(current, baseline, tolerance=0.01) != []
+
+
+# -- schema validation -------------------------------------------------------
+
+
+def test_validate_accepts_fabricated_payload():
+    assert validate_payload(_payload()) == []
+
+
+@pytest.mark.parametrize("mutate,needle", [
+    (lambda p: p.update(schema="bogus/v9"), "schema"),
+    (lambda p: p.update(rows=[]), "rows"),
+    (lambda p: p.pop("headline"), "headline"),
+    (lambda p: p["rows"][0].pop("events_per_sec"), "events_per_sec"),
+    (lambda p: p["rows"][0]["events_per_sec"].update(calendar=0),
+     "events_per_sec"),
+    (lambda p: p["artifacts"][0].update(identical_metrics=False),
+     "metrics differ"),
+    (lambda p: p["headline"].update(row="nonexistent"), "not in rows"),
+])
+def test_validate_flags_broken_payloads(mutate, needle):
+    payload = copy.deepcopy(_payload())
+    mutate(payload)
+    problems = validate_payload(payload)
+    assert any(needle in p for p in problems), problems
+
+
+def test_committed_baseline_is_valid_and_meets_target():
+    path = REPO_ROOT / DEFAULT_OUT
+    assert path.exists(), f"{DEFAULT_OUT} must be committed"
+    payload = json.loads(path.read_text())
+    assert validate_payload(payload) == []
+    assert payload["quick"] is False
+    assert payload["headline"]["pass"] is True
+    assert payload["headline"]["speedup"] >= HEADLINE_TARGET
+
+
+# -- CLI wiring --------------------------------------------------------------
+
+
+def test_bench_check_without_engine_is_a_usage_error():
+    from repro.cli import main
+    assert main(["bench", "--check"]) == 2
+
+
+def test_bench_engine_rejects_artifact_arguments():
+    from repro.cli import main
+    assert main(["bench", "fig12", "--engine"]) == 2
+
+
+def test_check_mode_fails_against_inflated_baseline(tmp_path, monkeypatch):
+    # The gate path end-to-end, without running the bench: feed
+    # check_regression via main() against an impossible baseline.
+    from repro import bench_engine
+
+    inflated = _payload(cal_b32=4e12, cal_replay=4e12)
+    baseline_file = tmp_path / "BENCH_engine.json"
+    baseline_file.write_text(json.dumps(inflated))
+    monkeypatch.setattr(bench_engine, "run_engine_bench",
+                        lambda quick=False, progress=None: _payload())
+    assert bench_engine.main(["--check", "--out", str(baseline_file)]) == 1
+    # And a sane baseline passes; the file is left untouched in --check.
+    baseline_file.write_text(json.dumps(_payload()))
+    before = baseline_file.read_text()
+    assert bench_engine.main(["--check", "--out", str(baseline_file)]) == 0
+    assert baseline_file.read_text() == before
+
+
+def test_quick_bench_subprocess_smoke(tmp_path):
+    out = tmp_path / "bench.json"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "bench", "--engine", "--quick",
+         "--out", str(out)],
+        cwd=tmp_path, env=env, capture_output=True, text=True, timeout=600)
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    payload = json.loads(out.read_text())
+    assert validate_payload(payload) == []
+    assert payload["quick"] is True
+    names = {r["name"] for r in payload["rows"]}
+    assert {"completion_storm_b32", "replay_fig12", "replay_fig13"} <= names
+    assert all(a["identical_metrics"] for a in payload["artifacts"])

@@ -1,0 +1,212 @@
+"""Property-based tests: CalendarQueue against a heapq reference model.
+
+Random interleavings of push / pop / pop_at / drain_due / peek /
+min_time are mirrored into a plain ``heapq`` of ``(time, seq, item)``
+tuples — the reference implementation whose semantics the calendar
+queue must reproduce exactly, including the FIFO ``(time, seq)``
+tie-break, bucket-resize boundaries, overflow-heap migration, and the
+behind-floor rewind path.
+"""
+
+import heapq
+import random
+
+import pytest
+
+from repro.sim import CalendarQueue
+from repro.testing import run_property
+
+
+class HeapModel:
+    """The reference: a binary heap of (time, seq, item) tuples."""
+
+    def __init__(self):
+        self.heap = []
+
+    def __len__(self):
+        return len(self.heap)
+
+    def push(self, time, seq, item):
+        heapq.heappush(self.heap, (time, seq, item))
+
+    def min_time(self):
+        return self.heap[0][0] if self.heap else None
+
+    def peek(self):
+        return self.heap[0][:2] if self.heap else None
+
+    def pop(self):
+        return heapq.heappop(self.heap)
+
+    def pop_at(self, time):
+        if self.heap and self.heap[0][0] == time:
+            return heapq.heappop(self.heap)[2]
+        return None
+
+    def drain_due(self, until, out):
+        if not self.heap:
+            return None
+        t = self.heap[0][0]
+        if until is not None and t > until:
+            return None
+        while self.heap and self.heap[0][0] == t:
+            out.append(heapq.heappop(self.heap)[2])
+        return t
+
+
+def _interleave(rng, cal, model, n_ops, time_scale, now=0, seq=0):
+    """Drive both queues through one random op sequence; compare views."""
+    for _ in range(n_ops):
+        op = rng.random()
+        if op < 0.55 or not len(model):
+            # Pushes cluster near `now` with a heavy far tail, crossing
+            # bucket-width, horizon, and grow boundaries.
+            r = rng.random()
+            if r < 0.4:
+                delay = rng.randrange(1, 64)            # same/near bucket
+            elif r < 0.7:
+                delay = rng.randrange(1, time_scale)    # in-ring
+            elif r < 0.9:
+                delay = rng.randrange(time_scale, time_scale * 64)
+            else:
+                delay = rng.randrange(time_scale * 64, time_scale * 4096)
+            seq += 1
+            burst = rng.randrange(1, 5)  # FIFO ties share a timestamp
+            for _ in range(burst):
+                cal.push(now + delay, seq, seq)
+                model.push(now + delay, seq, seq)
+                seq += 1
+        elif op < 0.75:
+            expected = model.pop()
+            assert cal.pop() == expected
+            now = max(now, expected[0])
+        elif op < 0.85:
+            t = model.min_time()
+            assert cal.min_time() == t
+            if t is not None and rng.random() < 0.8:
+                assert cal.pop_at(t) == model.pop_at(t)
+                now = max(now, t)
+        elif op < 0.95:
+            got, want = [], []
+            until = None if rng.random() < 0.5 else \
+                now + rng.randrange(0, time_scale * 8)
+            t_cal = cal.drain_due(until, got)
+            t_model = model.drain_due(until, want)
+            assert t_cal == t_model
+            assert got == want
+            if t_cal is not None:
+                now = max(now, t_cal)
+        else:
+            assert cal.peek() == model.peek()
+            assert len(cal) == len(model)
+    return now, seq
+
+
+def test_random_interleavings_match_heap_reference():
+    def prop(rng, _case):
+        cal = CalendarQueue(shift=rng.choice((0, 4, 10)))
+        model = HeapModel()
+        _interleave(rng, cal, model, n_ops=rng.randrange(50, 400),
+                    time_scale=rng.choice((64, 1024, 100_000)))
+        # Drain to empty: total order must agree to the last entry.
+        while len(model):
+            assert cal.pop() == model.pop()
+        assert cal.min_time() is None and cal.peek() is None
+        assert len(cal) == 0
+
+    run_property(prop, n_cases=150, seed=13)
+
+
+def test_fifo_ties_preserved_across_resize():
+    def prop(rng, _case):
+        cal = CalendarQueue(shift=4)
+        model = HeapModel()
+        t = rng.randrange(1, 1 << 20)
+        # Enough same-timestamp entries to cross the grow threshold
+        # (mean occupancy > 64 over 64 buckets) mid-sequence.
+        n = rng.randrange(100, 6000)
+        for seq in range(1, n + 1):
+            cal.push(t, seq, seq)
+            model.push(t, seq, seq)
+        out = []
+        assert cal.drain_due(None, out) == t
+        assert out == list(range(1, n + 1))  # exact FIFO order
+
+    run_property(prop, n_cases=30, seed=5)
+
+
+def test_far_overflow_and_rebuild_agree():
+    def prop(rng, _case):
+        cal = CalendarQueue(shift=0)  # 1 ns buckets: tiny horizon
+        model = HeapModel()
+        seq = 0
+        # Far-future pushes overflow the horizon immediately; interleave
+        # pops so entries migrate back through rebuilds and _pull_far.
+        for _ in range(rng.randrange(20, 200)):
+            seq += 1
+            t = rng.randrange(1, 1 << rng.choice((4, 10, 20, 30)))
+            cal.push(t, seq, seq)
+            model.push(t, seq, seq)
+            if rng.random() < 0.3:
+                assert cal.pop() == model.pop()
+        while len(model):
+            assert cal.pop() == model.pop()
+
+    run_property(prop, n_cases=100, seed=7)
+
+
+def test_behind_floor_push_still_ordered():
+    # Pushing earlier than an already-popped time (scheduler misuse,
+    # e.g. a negative delay) must still come back in sorted order so
+    # the Environment can detect it and raise time-went-backwards.
+    cal = CalendarQueue(shift=4)
+    cal.push(1_000, 1, "late")
+    assert cal.pop() == (1_000, 1, "late")
+    cal.push(10, 2, "early")
+    cal.push(2_000, 3, "future")
+    assert cal.pop() == (10, 2, "early")
+    assert cal.pop() == (2_000, 3, "future")
+    with pytest.raises(IndexError):
+        cal.pop()
+
+
+def test_pop_at_misses_do_not_disturb_order():
+    cal = CalendarQueue()
+    cal.push(500, 1, "a")
+    assert cal.pop_at(499) is None
+    assert cal.pop_at(501) is None
+    assert cal.pop_at(500) == "a"
+    assert cal.pop_at(500) is None
+
+
+def test_run_until_equivalence_through_environment():
+    """run(until=...) schedules identically under both schedulers."""
+    from repro.sim import Environment
+
+    def drive(scheduler, rng):
+        env = Environment(scheduler=scheduler)
+        log = []
+
+        def tick(tag, delay):
+            def cb():
+                log.append((env.now, tag))
+                nxt = rng.randrange(0, 2000)
+                if len(log) < 400:
+                    if nxt:
+                        env.call_soon(tick(tag, nxt), nxt)
+                    else:
+                        env.call_soon(tick(tag, nxt))
+            return cb
+
+        for lane in range(8):
+            env.call_soon(tick(lane, 1 + lane), 1 + lane)
+        env.run(until=50_000)
+        return env.now, log
+
+    def prop(rng, case):
+        seed = rng.randrange(1 << 30)
+        heap_result = drive("heap", random.Random(seed))
+        cal_result = drive("calendar", random.Random(seed))
+        assert heap_result == cal_result
+
+    run_property(prop, n_cases=25, seed=3)

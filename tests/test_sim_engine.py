@@ -270,3 +270,77 @@ def test_deterministic_two_runs_identical():
         return order
 
     assert build() == build()
+
+
+# -- scheduler selection and combinator callback hygiene ---------------------
+
+
+def test_anyof_detaches_losers_on_trigger():
+    # Regression: a settled AnyOf must unhook from the losing events, or
+    # every long-lived event accumulates dead callbacks (and fires into
+    # settled races) for the rest of the run.
+    env = Environment()
+    fast = env.timeout(10, value="fast")
+    slow = env.timeout(1_000_000, value="slow")
+    race = env.any_of([fast, slow])
+    env.run(until=20)
+    assert race.ok and race.value == (fast, "fast")
+    assert slow.callbacks == ()
+    env.run(until=2_000_000)  # the loser still fires without incident
+    assert slow.ok
+
+
+def test_allof_detaches_outstanding_on_failure():
+    env = Environment()
+    doomed = Event(env)
+    pending = env.timeout(1_000_000)
+    both = env.all_of([doomed, pending])
+    doomed.fail(RuntimeError("boom"))
+    env.run(until=10)
+    assert both.triggered and not both.ok
+    assert pending.callbacks == ()
+
+
+def test_anyof_losers_detached_under_heap_scheduler_too():
+    env = Environment(scheduler="heap")
+    fast = env.timeout(1, value="a")
+    slow = env.timeout(500, value="b")
+    race = env.any_of([fast, slow])
+    env.run(until=5)
+    assert race.value == (fast, "a")
+    assert slow.callbacks == ()
+
+
+def test_environment_rejects_unknown_scheduler():
+    with pytest.raises(SimulationError):
+        Environment(scheduler="splay-tree")
+
+
+def test_scheduler_override_scopes_default():
+    from repro.sim import default_scheduler, scheduler_override
+
+    assert default_scheduler() == "calendar"
+    with scheduler_override("heap"):
+        assert default_scheduler() == "heap"
+        assert Environment().scheduler == "heap"
+    assert default_scheduler() == "calendar"
+    assert Environment().scheduler == "calendar"
+
+
+def test_heap_and_calendar_schedules_identical():
+    def drive(scheduler):
+        env = Environment(scheduler=scheduler)
+        log = []
+
+        def proc(env, tag, delay):
+            for i in range(20):
+                yield env.timeout(delay + (i % 3))
+                log.append((env.now, tag))
+
+        for tag in range(6):
+            env.process(proc(env, tag, tag + 1))
+        env.call_soon(lambda: log.append((env.now, "soon")))
+        env.run()
+        return log
+
+    assert drive("heap") == drive("calendar")

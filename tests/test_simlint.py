@@ -97,6 +97,13 @@ CASES = {
                   "        env.call_soon(lambda: vm.kick())\n"},
         "at": ("repro/cluster/sched.py", 3),
     },
+    "SIM303": {
+        "files": {"repro/experiments/poke.py":
+                  "def drain(env):\n"
+                  "    while env._heap:\n"
+                  "        env.step()\n"},
+        "at": ("repro/experiments/poke.py", 2),
+    },
     "SIM401": {
         "files": {"repro/telemetry/names.py":
                   "def bind(registry):\n"
@@ -307,6 +314,43 @@ def test_cli_lint_json_smoke():
     payload = json.loads(proc.stdout)
     assert payload["clean"] is True
     assert payload["findings"] == []
+
+
+# ---------------------------------------------------------------------------
+# SIM303 boundaries: the kernel and an object's own state are exempt.
+# ---------------------------------------------------------------------------
+
+def test_sim303_allows_the_kernel_its_own_coupling():
+    result = lint_sources({
+        "repro/sim/fastpath.py":
+            "def drain(env):\n"
+            "    cal = env._cal\n"
+            "    env._seq += 1\n"
+            "    return env._ready\n"}, only=["SIM303"])
+    assert result.findings == []
+
+
+def test_sim303_allows_own_private_state():
+    # telemetry/flight.py keeps its own self._seq entry counter; owning
+    # a field with one of these names is not a scheduler poke.
+    result = lint_sources({
+        "repro/telemetry/recorder.py":
+            "class Recorder:\n"
+            "    def __init__(self):\n"
+            "        self._seq = 0\n"
+            "    def record(self):\n"
+            "        self._seq += 1\n"}, only=["SIM303"])
+    assert result.findings == []
+
+
+def test_sim303_flags_every_internal_field():
+    src = ("def meddle(env):\n"
+           "    env._heap.clear()\n"
+           "    env._cal.push(1, 1, None)\n"
+           "    env._seq = 0\n"
+           "    env._ready.clear()\n")
+    result = lint_sources({"repro/cluster/meddle.py": src}, only=["SIM303"])
+    assert sorted(f.line for f in result.findings) == [2, 3, 4, 5]
 
 
 # ---------------------------------------------------------------------------
