@@ -12,6 +12,10 @@ engine byte-for-byte) on three kinds of rows and writes the results to
   virtio descriptor batches (rings are 128-256 deep), and it is where
   the calendar queue's O(1) zero-delay lane pays off most.  The batch-32
   storm is the headline row for the >=5x acceptance criterion.
+* **Timeline-bound storm** — the batch-32 storm re-run with a live
+  windowed :class:`~repro.telemetry.timeline.Timeline` attached as an
+  engine advance monitor, reporting events/sec bound vs unbound and the
+  resulting overhead fraction: the cost of ``repro observe --timeline``.
 * **Captured-profile replays** — lanes replaying the *measured*
   step-time profile of the fig12 (``apache_vrio``) and fig13
   (``scalability_vrio``) scenarios: for each run-length-encoded
@@ -62,6 +66,9 @@ _BG_STRIDE = 37
 _RUN_UNTIL = 400_000_000
 _STORM_LANES = 64
 _REPLAY_LANES = 64
+# Window width for the timeline-overhead row: 1 ms keeps window closes
+# frequent relative to the storm's ~30 ms of simulated activity.
+_BENCH_WINDOW_NS = 1_000_000
 
 _SCHEDULERS = ("heap", "calendar")
 
@@ -185,6 +192,30 @@ def _storm_rate(scheduler: str, events: int, background: int,
     return events / _timed_run(env, _RUN_UNTIL)
 
 
+def _timeline_storm_rate(scheduler: str, events: int, background: int,
+                         batch: int) -> float:
+    """The batch-``batch`` storm with a live windowed timeline bound.
+
+    Binding flips the engine onto the monitored run loop and pays one
+    window close per ``_BENCH_WINDOW_NS`` of simulated time — the real
+    cost of ``repro observe --timeline`` relative to an unbound run.
+    """
+    from .telemetry import Timeline
+
+    env = Environment(scheduler=scheduler)
+    timeline = Timeline(_BENCH_WINDOW_NS)
+    progress = [0.0]
+    timeline.watch_rate("storm_events", lambda: progress[0])
+    env.add_monitor(timeline)
+    _fill_background(env, background)
+    per_lane = events // _STORM_LANES
+    for i in range(_STORM_LANES):
+        env.call_soon(_PollLane(env, per_lane, batch), 1 + i)
+    rate = events / _timed_run(env, _RUN_UNTIL)
+    timeline.flush(env.now)
+    return rate
+
+
 def _replay_rate(scheduler: str, pattern: Sequence[Tuple[int, int]],
                  events: int, background: int) -> float:
     env = Environment(scheduler=scheduler)
@@ -305,6 +336,30 @@ def run_engine_bench(quick: bool = False,
             note=(f"{_STORM_LANES} pollers each completing {batch} zero-delay "
                   "descriptor hand-offs per tick over a deep background "
                   "timer population (virtio ring completion shape)")))
+    say("timeline-bound completion storm, batch 32 ...")
+    unbound = next(r for r in rows if r["name"] == "completion_storm_b32")
+    bound = {sched: _timeline_storm_rate(sched, storm_events, background, 32)
+             for sched in _SCHEDULERS}
+    rows.append({
+        "name": "timeline_storm_b32",
+        "mode": "timeline-storm",
+        "path": "observe",
+        "lanes": _STORM_LANES,
+        "events": storm_events,
+        "background": background,
+        "batch": 32,
+        "events_per_sec": {k: round(v, 1) for k, v in bound.items()},
+        "speedup": round(bound["calendar"] / bound["heap"], 3),
+        "unbound_events_per_sec": dict(unbound["events_per_sec"]),
+        "timeline_overhead": {
+            sched: round(
+                1.0 - bound[sched] / unbound["events_per_sec"][sched], 4)
+            for sched in _SCHEDULERS},
+        "note": ("the batch-32 storm with a live windowed timeline bound "
+                 f"({_BENCH_WINDOW_NS} ns windows): monitored-loop + "
+                 "window-close cost of repro observe --timeline vs the "
+                 "unbound fast loop"),
+    })
     for name, path, pattern in (
             ("replay_fig12", "fig12", fig12_pattern),
             ("replay_fig13", "fig13", fig13_pattern)):
@@ -441,6 +496,10 @@ def validate_payload(payload: Dict[str, Any]) -> List[str]:
             rate = eps.get(sched)
             if not isinstance(rate, (int, float)) or rate <= 0:
                 problems.append(f"row {name}: bad events_per_sec[{sched!r}]")
+        if row.get("mode") == "timeline-storm":
+            for key in ("unbound_events_per_sec", "timeline_overhead"):
+                if not isinstance(row.get(key), dict):
+                    problems.append(f"row {name}: missing {key!r}")
     artifacts = payload.get("artifacts")
     if not isinstance(artifacts, list) or not artifacts:
         problems.append("artifacts missing or empty")
@@ -474,10 +533,14 @@ def write_payload(payload: Dict[str, Any], path: str) -> None:
 def _print_report(payload: Dict[str, Any], out=sys.stdout) -> None:
     for row in payload["rows"]:
         eps = row["events_per_sec"]
-        out.write(
+        line = (
             f"  {row['name']:<24} heap {eps['heap'] / 1e6:6.3f} M/s  "
             f"calendar {eps['calendar'] / 1e6:6.3f} M/s  "
-            f"speedup {row['speedup']:.2f}x\n")
+            f"speedup {row['speedup']:.2f}x")
+        overhead = row.get("timeline_overhead")
+        if overhead is not None:
+            line += f"  timeline overhead {overhead['calendar'] * 100:.1f}%"
+        out.write(line + "\n")
     for art in payload["artifacts"]:
         wall = art["wall_s"]
         flag = "" if art["identical_metrics"] else "  METRICS DIFFER"

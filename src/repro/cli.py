@@ -41,9 +41,17 @@ faults [CAMPAIGN ...] [--all] [--list] [--seed N] [--jobs N]
     the fault.  Reports are byte-identical per seed and cache/parallelize
     like any sweep.  ``verify --faults`` runs the quick smoke variant.
 observe SCENARIO [--seed N] [--trace PATH] [--json FILE] [--csv FILE]
-    Run one scenario under full telemetry: print the per-stage latency
-    breakdown and key metrics, and write a Chrome ``trace_event`` JSON
-    file viewable in chrome://tracing or Perfetto.
+        [--timeline] [--window NS] [--timeline-json FILE]
+        [--timeline-csv FILE] [--attribution] [--flamegraph BASE]
+        [--slo] [--slo-p99-us US] [--slo-floor OPS] [--slo-downtime-us US]
+    Run one scenario (or a figure alias like ``fig12``) under full
+    telemetry: print the per-stage latency breakdown and key metrics and
+    write a Chrome ``trace_event`` JSON file.  ``--timeline`` adds the
+    windowed sparkline dashboard (exportable as schema-validated JSON /
+    CSV), ``--attribution`` the queueing-vs-service decomposition with
+    the p99-dominating stage, ``--flamegraph`` folded-stack + speedscope
+    profiles, and the ``--slo`` family evaluates a declarative SLO probe
+    per window.  Unknown scenarios exit 2 with the valid listing.
 bench [ARTIFACT ...] [--quick] [--jobs N] [--out PATH]
     Time each artifact's regeneration three ways — serial cold, parallel
     cold, and warm-cache — and write the timings to ``BENCH_sweep.json``.
@@ -346,6 +354,10 @@ def _verify_command(args) -> int:
         issue = _engine_smoke_line()
         if issue is not None:
             failures += 1
+    if args.observe:
+        issue = _observe_smoke_line()
+        if issue is not None:
+            failures += 1
     if failures:
         print(f"\n{failures} of {len(names)} scenario(s) FAILED")
         return 1
@@ -389,6 +401,64 @@ def _engine_smoke_line() -> Optional[str]:
         print(f"{'engine':24s} {'ok':>10s}")
     else:
         print(f"{'engine':24s} {'FAILED':>10s}")
+        print(f"    {issue}")
+    return issue
+
+
+def _observe_smoke(name: str = "rr_vrio", seed: int = 0) -> Optional[str]:
+    """Validate the windowed-telemetry stack on one scenario.
+
+    Checks that binding a timeline leaves the run's metrics untouched
+    (reference-registration: observation must not perturb the schedule),
+    that the timeline payload passes its schema validator, that every
+    trace's stage decomposition tiles exactly to its end-to-end latency,
+    and that the speedscope export is structurally valid.
+    """
+    from .telemetry import (
+        DEFAULT_WINDOW_NS,
+        TelemetrySession,
+        to_speedscope,
+        validate_speedscope,
+        validate_timeline,
+    )
+    from .testing import run_scenario
+
+    reference = run_scenario(name, seed=seed)
+    with TelemetrySession(timeline_width_ns=DEFAULT_WINDOW_NS) as session:
+        observed = run_scenario(name, seed=seed)
+    if observed.metrics != reference.metrics:
+        return "timeline-bound run diverged from the reference metrics"
+    telemetry = session.for_testbed(observed.testbed)
+    timeline = telemetry.timeline
+    if not timeline.windows:
+        return "timeline closed no windows"
+    try:
+        validate_timeline(timeline.to_payload())
+    except ValueError as exc:
+        return f"timeline payload invalid: {exc}"
+    attribution = telemetry.attribution()
+    if not attribution.traces:
+        return "no traces were attributed"
+    for trace in attribution.traces:
+        total = sum(duration for _stage, duration in trace.stages)
+        if total != trace.end_to_end:
+            return (f"stage decomposition does not tile trace "
+                    f"{trace.trace_id}: {total} != {trace.end_to_end}")
+    try:
+        validate_speedscope(to_speedscope(attribution, name=name))
+        validate_speedscope(to_speedscope(observed.testbed, name=name))
+    except ValueError as exc:
+        return f"speedscope export invalid: {exc}"
+    return None
+
+
+def _observe_smoke_line() -> Optional[str]:
+    """Run the windowed-telemetry smoke and print its verdict row."""
+    issue = _observe_smoke()
+    if issue is None:
+        print(f"{'observe':24s} {'ok':>10s}")
+    else:
+        print(f"{'observe':24s} {'FAILED':>10s}")
         print(f"    {issue}")
     return issue
 
@@ -508,27 +578,112 @@ def _bench_command(args) -> int:
     return 0
 
 
+# Figure artifacts accepted by `repro observe` as aliases for the
+# scenario reproducing that figure's shape.
+_OBSERVE_ALIASES = {
+    "fig7": "rr_vrio",
+    "fig9": "stream_vrio",
+    "fig12": "apache_vrio",
+    "fig13": "scalability_vrio",
+    "fig14": "filebench_vrio",
+}
+
+
+def _observe_slo_spec(args, scenario: str, width_ns: int):
+    """Build the SloSpec requested by the --slo family of flags.
+
+    With no clause flags the probe defaults to a liveness objective
+    (``max_downtime_ns=0``): any window with zero workload throughput is
+    a violation.
+    """
+    from .telemetry import SloSpec
+
+    p99 = args.slo_p99_us * 1000.0 if args.slo_p99_us is not None else None
+    floor = args.slo_floor
+    downtime = (int(args.slo_downtime_us * 1000)
+                if args.slo_downtime_us is not None else None)
+    if p99 is None and floor is None and downtime is None:
+        downtime = 0
+    return SloSpec(name=f"{scenario}_slo",
+                   p99_latency_ceiling_ns=p99,
+                   throughput_floor_per_s=floor,
+                   max_downtime_ns=downtime,
+                   latency_metric="workload.",
+                   throughput_metric="workload.",
+                   window_ns=width_ns)
+
+
 def _observe_command(args) -> int:
     """Run one scenario under full telemetry and report what it did."""
     import json
 
     from .telemetry import (
+        DEFAULT_WINDOW_NS,
         TelemetrySession,
+        render_dashboard,
         to_chrome_trace_json,
+        to_folded_stacks,
         to_metrics_csv,
         to_metrics_json,
+        to_speedscope,
+        to_timeline_csv,
+        to_timeline_json,
+        validate_speedscope,
+        validate_timeline,
     )
     from .testing import SCENARIOS, run_scenario, scenario_names
 
-    if args.scenario not in SCENARIOS:
-        print(f"unknown scenario: {args.scenario}")
-        print(f"known: {', '.join(scenario_names())}")
-        return 1
-    with TelemetrySession() as session:
-        result = run_scenario(args.scenario, seed=args.seed)
+    name = _OBSERVE_ALIASES.get(args.scenario, args.scenario)
+    if name not in SCENARIOS:
+        print(f"unknown scenario: {args.scenario}", file=sys.stderr)
+        print(f"valid scenarios: {', '.join(scenario_names())}",
+              file=sys.stderr)
+        print("figure aliases: "
+              + ", ".join(f"{k}={v}"
+                          for k, v in sorted(_OBSERVE_ALIASES.items())),
+              file=sys.stderr)
+        return 2
+
+    width_ns = args.window or DEFAULT_WINDOW_NS
+    want_slo = (args.slo or args.slo_p99_us is not None
+                or args.slo_floor is not None
+                or args.slo_downtime_us is not None)
+    want_timeline = (args.timeline or want_slo
+                     or args.timeline_json or args.timeline_csv)
+    slos = [_observe_slo_spec(args, name, width_ns)] if want_slo else []
+    with TelemetrySession(
+            timeline_width_ns=width_ns if want_timeline else None,
+            slos=slos) as session:
+        result = run_scenario(name, seed=args.seed)
     telemetry = session.for_testbed(result.testbed)
-    print(telemetry.report(title=f"{args.scenario} (seed {args.seed})"))
-    trace_path = args.trace or f"{args.scenario}.trace.json"
+    print(telemetry.report(title=f"{name} (seed {args.seed})"))
+
+    timeline = telemetry.timeline
+    if timeline is not None:
+        print()
+        print(render_dashboard(timeline))
+    for probe in telemetry.probes:
+        print()
+        spec = probe.spec
+        if probe.violations:
+            print(f"SLO {spec.name}: {len(probe.violations)} violation(s) "
+                  f"in {probe.windows_evaluated} window(s)")
+            for v in probe.violations[:8]:
+                print(f"  {v.kind:12s} window #{v.window_index} "
+                      f"[{v.start_ns}-{v.end_ns})ns observed "
+                      f"{v.observed:.6g} vs limit {v.limit:.6g}")
+            extra = len(probe.violations) - 8
+            if extra > 0:
+                print(f"  ... {extra} more")
+        else:
+            print(f"SLO {spec.name}: met in all "
+                  f"{probe.windows_evaluated} window(s)")
+    if args.attribution:
+        attribution = telemetry.attribution()
+        print()
+        print(attribution.format())
+
+    trace_path = args.trace or f"{name}.trace.json"
     with open(trace_path, "w") as fh:
         fh.write(to_chrome_trace_json(telemetry.tracer))
     print(f"\nchrome trace written to {trace_path} "
@@ -541,6 +696,34 @@ def _observe_command(args) -> int:
         with open(args.csv, "w") as fh:
             fh.write(to_metrics_csv(telemetry.snapshot()))
         print(f"metrics CSV written to {args.csv}")
+    if args.timeline_json:
+        validate_timeline(timeline.to_payload())
+        with open(args.timeline_json, "w") as fh:
+            fh.write(to_timeline_json(timeline))
+        print(f"timeline JSON written to {args.timeline_json} "
+              f"({len(timeline.windows)} windows, schema-validated)")
+    if args.timeline_csv:
+        with open(args.timeline_csv, "w") as fh:
+            fh.write(to_timeline_csv(timeline))
+        print(f"timeline CSV written to {args.timeline_csv}")
+    if args.flamegraph:
+        attribution = telemetry.attribution()
+        outputs = [
+            (f"{args.flamegraph}.folded", attribution.to_folded()),
+            (f"{args.flamegraph}.cycles.folded",
+             to_folded_stacks(result.testbed)),
+        ]
+        for source, suffix in ((attribution, "speedscope.json"),
+                               (result.testbed, "cycles.speedscope.json")):
+            document = to_speedscope(source, name=name)
+            validate_speedscope(document)
+            outputs.append((f"{args.flamegraph}.{suffix}",
+                            json.dumps(document, indent=2, sort_keys=True)
+                            + "\n"))
+        for path, text in outputs:
+            with open(path, "w") as fh:
+                fh.write(text)
+            print(f"flamegraph written to {path}")
     return 0
 
 
@@ -618,6 +801,13 @@ def _main(argv: Optional[list] = None) -> int:
                                     "heap on the storm shape and the "
                                     "committed BENCH_engine.json must be "
                                     "schema-valid")
+    verify_parser.add_argument("--observe", action="store_true",
+                               help="also run the windowed-telemetry smoke: "
+                                    "timeline binding must not perturb the "
+                                    "run, the timeline/speedscope exports "
+                                    "must be schema-valid, and stage "
+                                    "attribution must tile each trace's "
+                                    "end-to-end latency exactly")
     lint_parser = sub.add_parser(
         "lint", help="run simlint static analysis over the source tree")
     from .lint import add_lint_arguments
@@ -638,7 +828,9 @@ def _main(argv: Optional[list] = None) -> int:
     observe_parser = sub.add_parser(
         "observe", help="run one scenario under full telemetry")
     observe_parser.add_argument("scenario", metavar="SCENARIO",
-                                help="scenario name (see verify --list)")
+                                help="scenario name (see verify --list) or "
+                                     "a figure alias (fig7, fig9, fig12, "
+                                     "fig13, fig14)")
     observe_parser.add_argument("--seed", type=int, default=0,
                                 help="master RNG seed for the run")
     observe_parser.add_argument("--trace", metavar="PATH", default=None,
@@ -648,6 +840,46 @@ def _main(argv: Optional[list] = None) -> int:
                                 help="also dump the metrics snapshot as JSON")
     observe_parser.add_argument("--csv", metavar="FILE", default=None,
                                 help="also dump the metrics snapshot as CSV")
+    observe_parser.add_argument("--timeline", action="store_true",
+                                help="bind a windowed timeline and print the "
+                                     "per-window sparkline dashboard")
+    observe_parser.add_argument("--window", type=int, default=None,
+                                metavar="NS",
+                                help="timeline window width in simulated ns "
+                                     "(default: 500us)")
+    observe_parser.add_argument("--timeline-json", metavar="FILE",
+                                default=None,
+                                help="dump the windowed timeline as JSON "
+                                     "(schema repro-timeline/v1)")
+    observe_parser.add_argument("--timeline-csv", metavar="FILE",
+                                default=None,
+                                help="dump the windowed timeline as "
+                                     "long-form CSV")
+    observe_parser.add_argument("--attribution", action="store_true",
+                                help="print the queueing-vs-service latency "
+                                     "attribution per pipeline stage and "
+                                     "the stage dominating the p99 tail")
+    observe_parser.add_argument("--flamegraph", metavar="BASE", default=None,
+                                help="write BASE.folded / BASE.speedscope"
+                                     ".json (latency attribution) and "
+                                     "BASE.cycles.* (simulated cycles per "
+                                     "component) flamegraph files")
+    observe_parser.add_argument("--slo", action="store_true",
+                                help="evaluate an SLO probe per window "
+                                     "(default clause: no zero-throughput "
+                                     "window allowed)")
+    observe_parser.add_argument("--slo-p99-us", type=float, default=None,
+                                metavar="US",
+                                help="SLO clause: workload p99 latency "
+                                     "ceiling, in microseconds")
+    observe_parser.add_argument("--slo-floor", type=float, default=None,
+                                metavar="OPS",
+                                help="SLO clause: workload throughput floor, "
+                                     "ops/sec per window")
+    observe_parser.add_argument("--slo-downtime-us", type=float, default=None,
+                                metavar="US",
+                                help="SLO clause: max tolerated consecutive "
+                                     "zero-throughput time, in microseconds")
     bench_parser = sub.add_parser(
         "bench", help="time artifact regeneration (serial/parallel/cached)")
     bench_parser.add_argument("artifacts", metavar="ARTIFACT", nargs="*",

@@ -27,7 +27,7 @@ from ..hw.storage import BlockRequest
 from ..iomodels.costs import DEFAULT_COSTS
 from ..iomodels.vrio.reliability import BlockDeviceError
 from ..sim import ms
-from ..telemetry import FlightRecorder
+from ..telemetry import FlightRecorder, SloProbe, SloSpec, Timeline
 from ..workloads import NetperfRR
 from .plan import FaultPlan, FaultSpec
 
@@ -51,6 +51,16 @@ _FAST_BLK = dict(blk_initial_timeout_ns=500_000,
                  blk_max_retransmissions=3,
                  blk_max_timeout_ns=2_000_000)
 
+# Recovery-curve resolution: every campaign's run is windowed into this
+# many timeline windows (the sanctioned width source for SIM405).
+_RECOVERY_WINDOWS = 24
+
+
+def _campaign_window_ns(campaign: "Campaign") -> int:
+    if campaign.slo is not None and campaign.slo.window_ns:
+        return campaign.slo.window_ns
+    return campaign.run_ns // _RECOVERY_WINDOWS
+
 
 @dataclass(frozen=True)
 class Campaign:
@@ -63,6 +73,7 @@ class Campaign:
     run_ns: int = ms(20)
     streams: int = 3            # block streams per VM
     io_bytes: int = 4096
+    slo: Optional[SloSpec] = None
 
 
 @dataclass
@@ -180,6 +191,19 @@ def execute_campaign(campaign: Campaign, seed: int = 0,
     extra = instrument(testbed) if instrument is not None else None
     drivers, workloads, count_ops = _start_workload(campaign, testbed)
 
+    # Recovery-curve timeline: the run chopped into fixed windows, each
+    # reporting completed ops and ops/s.  The timeline is an *advance*
+    # monitor riding the already-monitored campaign run (the flight
+    # recorder keeps the engine on the monitored loop), so the schedule
+    # — and the phase-mark detection/downtime numbers below — are
+    # byte-identical with or without it.
+    timeline = Timeline(_campaign_window_ns(campaign))
+    timeline.watch_rate("ops", count_ops)
+    testbed.env.add_monitor(timeline)
+    probe = None
+    if campaign.slo is not None:
+        probe = SloProbe(campaign.slo, recorder=recorder).attach(timeline)
+
     # Phase marks: ops counts captured exactly at the first injection and
     # at the first recovery/window-clear (deterministic scheduled events,
     # not samplers).
@@ -198,6 +222,7 @@ def execute_campaign(campaign: Campaign, seed: int = 0,
         injector.on_clear.append(mark_recover)
 
     testbed.env.run(until=campaign.run_ns)
+    timeline.flush(testbed.env.now)
 
     total_ops = count_ops()
     end_ns = testbed.env.now
@@ -221,6 +246,12 @@ def execute_campaign(campaign: Campaign, seed: int = 0,
 
     reliability = _reliability_totals(testbed)
     unrecovered = len(injector.unrecovered) if injector is not None else 0
+    recovery_curve = [
+        {"window": w["index"], "start_ns": w["start_ns"],
+         "end_ns": w["end_ns"], "ops": w["rates"]["ops"]["delta"],
+         "ops_per_sec": w["rates"]["ops"]["rate_per_s"]}
+        for w in timeline.windows]
+    violations = len(probe.violations) if probe is not None else 0
     report = {
         "campaign": campaign.name,
         "description": campaign.description,
@@ -238,9 +269,11 @@ def execute_campaign(campaign: Campaign, seed: int = 0,
             **reliability,
         },
         "throughput": {"before": before, "during": during, "after": after},
+        "recovery_curve": recovery_curve,
+        "slo": probe.to_dict() if probe is not None else None,
         "unrecovered": unrecovered,
         "flight": (recorder.dump(last=48).splitlines()
-                   if unrecovered else []),
+                   if unrecovered or violations else []),
     }
     return CampaignResult(report=canonicalize(report), testbed=testbed,
                           workloads=workloads, instrument=extra)
@@ -266,7 +299,14 @@ def _build_campaigns() -> Dict[str, Campaign]:
                 fault_plan=_plan(FaultSpec(
                     kind="iohost_crash", at_ns=ms(8),
                     params={"recover": "fallback", "replica": True}))),
-            workload="block", run_ns=ms(24)),
+            workload="block", run_ns=ms(24),
+            # Failover downtime is bounded by the §4.5 detection timeouts;
+            # anything past 4 ms of dead windows is an SLO breach.
+            slo=SloSpec(
+                name="iohost_failover_slo",
+                max_downtime_ns=4_000_000,
+                throughput_metric="ops",
+                window_ns=ms(24) // _RECOVERY_WINDOWS)),
         Campaign(
             name="link_loss",
             description=("40% frame loss on the VMhost-IOhost channel for "
@@ -314,7 +354,16 @@ def _build_campaigns() -> Dict[str, Campaign]:
                 fault_plan=_plan(FaultSpec(
                     kind="storage_error_burst", at_ns=ms(6),
                     duration_ns=ms(3)))),
-            workload="block", run_ns=ms(18)),
+            workload="block", run_ns=ms(18),
+            # The error burst stalls completions for ~3 ms, so both
+            # clauses must fire: idle windows breach the 1.5 ms downtime
+            # budget, and the ramp windows breach the throughput floor.
+            slo=SloSpec(
+                name="storage_block_slo",
+                throughput_floor_per_s=2_000.0,
+                max_downtime_ns=1_500_000,
+                throughput_metric="ops",
+                window_ns=ms(18) // _RECOVERY_WINDOWS)),
         Campaign(
             name="sidecore_stall",
             description=("the (only) vRIO worker is pinned for 2 ms; "
@@ -416,6 +465,33 @@ def format_report(report: dict) -> str:
     lines.append("  throughput (ops/s): " + "  ".join(
         f"{name}={phases[name]['ops_per_sec']:.0f}"
         for name in ("before", "during", "after")))
+    curve = report.get("recovery_curve") or []
+    if curve:
+        from ..telemetry import sparkline
+        width = curve[0]["end_ns"] - curve[0]["start_ns"]
+        lines.append(
+            f"  recovery curve ({len(curve)} windows × "
+            f"{width / 1e3:.0f} us): "
+            + sparkline([w["ops_per_sec"] for w in curve]))
+    slo = report.get("slo")
+    if slo is not None:
+        violations = slo["violations"]
+        if violations:
+            lines.append(f"  slo {slo['spec']['name']}: "
+                         f"{len(violations)} violation(s)")
+            for violation in violations[:6]:
+                lines.append(
+                    f"    window #{violation['window_index']} "
+                    f"[{violation['start_ns'] / 1e6:.2f}-"
+                    f"{violation['end_ns'] / 1e6:.2f} ms] "
+                    f"{violation['kind']}: observed "
+                    f"{violation['observed']:.0f} vs limit "
+                    f"{violation['limit']:.0f}")
+            if len(violations) > 6:
+                lines.append(f"    ... {len(violations) - 6} more")
+        else:
+            lines.append(f"  slo {slo['spec']['name']}: met in all "
+                         f"{slo['windows_evaluated']} windows")
     if report["unrecovered"]:
         lines.append(f"  result: UNRECOVERED ({report['unrecovered']} fault(s))")
         lines.extend(f"    {line}" for line in report["flight"])

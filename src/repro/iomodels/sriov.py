@@ -79,6 +79,9 @@ class OptimumModel:
 
     def _tx_path(self, vm: Vm, message: NetMessage):
         c = self.costs
+        if self.tracer:
+            self.tracer.point(message.message_id, "guest_tx",
+                              vm=vm.name, bytes=message.size_bytes)
         cycles = int(c.guest_net_per_msg_cycles
                      + c.guest_net_per_byte_cycles * message.size_bytes
                      + c.ring_op_cycles)
@@ -111,5 +114,8 @@ class OptimumModel:
             extra = int(c.guest_net_per_msg_cycles
                         + c.guest_net_per_byte_cycles * message.size_bytes)
             yield vm.deliver_interrupt_exitless(extra_cycles=extra)
+            if self.tracer:
+                self.tracer.point(message.message_id, "guest_deliver",
+                                  vm=vm.name)
             port.deliver(message)
         vf.rearm()

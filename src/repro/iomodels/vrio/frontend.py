@@ -586,6 +586,13 @@ class VrioModel:
                      xmit_id: int):
         c = self.costs
         client = self._clients[client_id]
+        if self.tracer:
+            # Same trace id as the op's channel packets and device_io
+            # span, so one block request reads as one trace: guest ring
+            # -> IOhost sidecore -> device -> completion.
+            self.tracer.point(xmit_id << 20, "guest_tx",
+                              client=client_id, op=request.op,
+                              bytes=request.size_bytes)
         op = BlockChannelOp(request=request, xmit_id=xmit_id,
                             device_id=request.meta["device_id"])
         packets = self._chunk_packets(client_id, "to_iohost", op,
@@ -661,6 +668,9 @@ class VrioModel:
                             packet: ChannelPacket) -> None:
         if packet.chunk_index != packet.chunk_count - 1:
             return
+        if self.tracer:
+            self.tracer.point(resp.xmit_id << 20, "guest_deliver",
+                              client=client.client_id, ok=resp.ok)
         if resp.ok:
             client.reliable.on_response(resp.request_id, resp.xmit_id, resp)
         else:

@@ -15,6 +15,15 @@ closed:
 * SIM403 — a ``tracer.begin(...)`` with no ``.end(...)`` anywhere in the
   same function leaks an open span: Chrome-trace exports render it as a
   dangling "B" event and duration queries silently drop it.
+* SIM404 — a ``Timeline`` constructed but never flushed drops its final
+  partial window; an ``SloProbe`` constructed but never ``.attach()``-ed
+  never evaluates a single window.  Handing the object off (returning
+  it, storing it on an attribute, or binding via ``bind_timeline()`` —
+  whose receiver flushes in ``finish()``) transfers that duty.
+* SIM405 — window widths are configuration, not code: a numeric literal
+  passed as ``width_ns=`` / ``window_ns=`` (or positionally to
+  ``Timeline``) must instead come from ``DEFAULT_WINDOW_NS``, an
+  ``SloSpec`` (the sanctioned carrier, exempt), or a named constant.
 """
 
 from __future__ import annotations
@@ -150,3 +159,117 @@ class OpenSpanRule(Rule):
                             f"span opened on {receiver} in {node.name!r} "
                             f"but no .end() call in the same function; the "
                             f"span leaks open")
+
+
+def _callee_name(node: ast.Call) -> str:
+    if isinstance(node.func, ast.Name):
+        return node.func.id
+    if isinstance(node.func, ast.Attribute):
+        return node.func.attr
+    return ""
+
+
+def _own_nodes(node: ast.FunctionDef) -> List[ast.AST]:
+    """Nodes of ``node``'s body excluding those under nested defs."""
+    nested = set()
+    for sub in ast.walk(node):
+        if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)) \
+                and sub is not node:
+            nested.update(id(n) for n in ast.walk(sub) if n is not sub)
+    return [sub for sub in ast.walk(node) if id(sub) not in nested]
+
+
+@register_rule
+class UnflushedTimelineRule(Rule):
+    code = "SIM404"
+    name = "telemetry-never-consumed"
+    rationale = ("A timeline that is never flushed silently drops its "
+                 "final partial window, and an SLO probe that is never "
+                 "attached evaluates nothing; both read as coverage that "
+                 "does not exist.")
+
+    def visit_FunctionDef(self, node: ast.FunctionDef,
+                          ctx: FileContext) -> None:
+        own = _own_nodes(node)
+        # Names a timeline/probe creation is assigned to, keyed by kind.
+        timelines: Dict[str, ast.Call] = {}
+        probes: Dict[str, ast.Call] = {}
+        flushed = set()
+        attached = set()
+        escaped = set()
+        for sub in own:
+            if isinstance(sub, ast.Assign) and isinstance(sub.value, ast.Call):
+                callee = _callee_name(sub.value)
+                target = sub.targets[0] if len(sub.targets) == 1 else None
+                if not isinstance(target, ast.Name):
+                    continue  # attribute/tuple target: ownership escapes
+                # Only direct constructions: bind_timeline() stores the
+                # timeline on its receiver, whose finish() flushes it.
+                if callee == "Timeline" and isinstance(sub.value.func,
+                                                      ast.Name):
+                    timelines[target.id] = sub.value
+                elif callee == "SloProbe":
+                    probes[target.id] = sub.value
+            elif isinstance(sub, ast.Call) \
+                    and isinstance(sub.func, ast.Attribute) \
+                    and isinstance(sub.func.value, ast.Name):
+                if sub.func.attr in ("flush", "finish"):
+                    flushed.add(sub.func.value.id)
+                elif sub.func.attr == "attach":
+                    attached.add(sub.func.value.id)
+            elif isinstance(sub, ast.Return) \
+                    and isinstance(sub.value, ast.Name):
+                escaped.add(sub.value.id)
+        for name, call in timelines.items():
+            if name not in flushed and name not in escaped:
+                self.report(ctx, call,
+                            f"timeline {name!r} bound in {node.name!r} but "
+                            f"never flushed (no .flush()/.finish() and not "
+                            f"handed off); its final partial window is lost")
+        for name, call in probes.items():
+            # A chained SloProbe(...).attach(...) never lands in `probes`
+            # because the Assign value is the .attach call, not SloProbe.
+            if name not in attached and name not in escaped:
+                self.report(ctx, call,
+                            f"SLO probe {name!r} created in {node.name!r} "
+                            f"but never .attach()-ed to a timeline; it will "
+                            f"evaluate no windows")
+
+
+# Keyword names that carry a window width; SloSpec is the sanctioned
+# declarative carrier, so literals inside an SloSpec(...) call are fine.
+_WIDTH_KWARGS = {"width_ns", "window_ns", "timeline_width_ns"}
+
+
+@register_rule
+class HardCodedWindowRule(Rule):
+    code = "SIM405"
+    name = "hard-coded-window-width"
+    rationale = ("Window widths are configuration: inline numeric widths "
+                 "drift apart across call sites and defeat SloSpec-driven "
+                 "sizing; route them through DEFAULT_WINDOW_NS, an "
+                 "SloSpec, or a named constant.")
+
+    def visit_Call(self, node: ast.Call, ctx: FileContext) -> None:
+        callee = _callee_name(node)
+        if callee == "SloSpec":
+            return
+        for kw in node.keywords:
+            if kw.arg in _WIDTH_KWARGS \
+                    and isinstance(kw.value, ast.Constant) \
+                    and isinstance(kw.value.value, (int, float)) \
+                    and not isinstance(kw.value.value, bool):
+                self.report(ctx, kw.value,
+                            f"hard-coded window width {kw.value.value!r} "
+                            f"passed as {kw.arg}= to {callee or '<call>'}; "
+                            f"use DEFAULT_WINDOW_NS, an SloSpec, or a "
+                            f"named constant")
+        if callee in ("Timeline", "bind_timeline") and node.args:
+            first = node.args[0]
+            if isinstance(first, ast.Constant) \
+                    and isinstance(first.value, (int, float)) \
+                    and not isinstance(first.value, bool):
+                self.report(ctx, first,
+                            f"hard-coded window width {first.value!r} "
+                            f"passed to {callee}; use DEFAULT_WINDOW_NS, "
+                            f"an SloSpec, or a named constant")

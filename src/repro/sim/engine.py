@@ -434,6 +434,11 @@ class Environment:
         self._now: int = 0
         self._seq: int = 0  # tie-breaker preserving FIFO order at equal times
         self._monitors: List[Any] = []
+        # Split views of _monitors by capability; add_monitor/remove_monitor
+        # keep all three in sync.  _monitors stays the union because its
+        # emptiness drives the fast/monitored loop switch.
+        self._step_monitors: List[Any] = []
+        self._advance_monitors: List[Any] = []
         self.scheduler = scheduler
         if scheduler == "heap":
             self._heap: List[Environment._HeapEntry] = []
@@ -461,24 +466,34 @@ class Environment:
     def add_monitor(self, monitor: Any) -> None:
         """Attach an execution monitor.
 
-        A monitor is anything with an ``on_step(now, item)`` method; it is
-        called after every scheduler step with the (possibly advanced)
-        clock and the processed item — an :class:`Event` or, for
-        ``call_soon`` entries, the bare callable.  The run loop is
-        specialized at attach/detach time: with no monitors attached the
-        engine runs a loop containing no monitor test at all, so
-        production runs pay nothing.  Attaching mid-run takes effect at
-        the next clock advance.
+        A monitor exposes either or both of two hooks.  ``on_step(now,
+        item)`` is called after every scheduler step with the (possibly
+        advanced) clock and the processed item — an :class:`Event` or,
+        for ``call_soon`` entries, the bare callable.  ``on_advance(now)``
+        is called whenever the clock strictly advances, *before* any item
+        at the new timestamp dispatches — the hook windowed-telemetry
+        timelines hang off, guaranteeing every observed sample is
+        strictly older than ``now``.  The run loop is specialized at
+        attach/detach time: with no monitors attached the engine runs a
+        loop containing no monitor test at all, so production runs pay
+        nothing.  Attaching mid-run takes effect at the next clock
+        advance.
         """
         if monitor not in self._monitors:
             self._monitors.append(monitor)
+            if hasattr(monitor, "on_step"):
+                self._step_monitors.append(monitor)
+            if hasattr(monitor, "on_advance"):
+                self._advance_monitors.append(monitor)
 
     def remove_monitor(self, monitor: Any) -> None:
         """Detach a previously attached monitor (no-op if absent)."""
-        try:
-            self._monitors.remove(monitor)
-        except ValueError:
-            pass
+        for group in (self._monitors, self._step_monitors,
+                      self._advance_monitors):
+            try:
+                group.remove(monitor)
+            except ValueError:
+                pass
 
     # -- scheduling --------------------------------------------------------
 
@@ -617,13 +632,15 @@ class Environment:
             if when < self._now:
                 raise SimulationError("time went backwards")
             self._now = when
+            for monitor in self._advance_monitors:
+                monitor.on_advance(when)
             item = cal.pop()[2]
         if isinstance(item, Event):
             item._run_callbacks()
         else:
             item()
-        if self._monitors:
-            for monitor in self._monitors:
+        if self._step_monitors:
+            for monitor in self._step_monitors:
                 monitor.on_step(when, item)
 
     def run(self, until: Optional[int] = None) -> None:
@@ -763,6 +780,8 @@ class Environment:
         min_time = cal.min_time
         drain_due = cal.drain_due
         monitors = self._monitors
+        step_monitors = self._step_monitors
+        advance_monitors = self._advance_monitors
         batch: List[Any] = []
         while monitors:
             t = min_time()
@@ -777,18 +796,28 @@ class Environment:
                 else:
                     item()
                 when = self._now
-                for monitor in monitors:
+                for monitor in step_monitors:
                     monitor.on_step(when, item)
                 continue
             elif t is None:
-                if until is not None:
+                if until is not None and until > self._now:
                     self._now = until
+                    for monitor in advance_monitors:
+                        monitor.on_advance(until)
                 return True
             else:
                 if until is not None and t > until:
-                    self._now = until
+                    if until > self._now:
+                        self._now = until
+                        for monitor in advance_monitors:
+                            monitor.on_advance(until)
                     return True
                 self._now = t
+                # Advance hooks fire before anything at t dispatches, so
+                # a timeline closing windows here sees only state produced
+                # strictly before t.
+                for monitor in advance_monitors:
+                    monitor.on_advance(t)
                 drain_due(None, batch)
             when = t
             # Dispatch the whole batch even if a callback detaches the
@@ -800,7 +829,7 @@ class Environment:
                 else:
                     item()
                 if monitors:
-                    for monitor in monitors:
+                    for monitor in step_monitors:
                         monitor.on_step(when, item)
             del batch[:]
         return False
@@ -834,15 +863,18 @@ class Environment:
         when, _seq, event, fn = heapq.heappop(self._heap)
         if when < self._now:
             raise SimulationError("time went backwards")
-        self._now = when
+        if when > self._now:
+            self._now = when
+            for monitor in self._advance_monitors:
+                monitor.on_advance(when)
         if event is not None:
             event._run_callbacks()
         else:
             assert fn is not None  # heap entries carry one of the two
             fn()
-        if self._monitors:
+        if self._step_monitors:
             item: Any = event if event is not None else fn
-            for monitor in self._monitors:
+            for monitor in self._step_monitors:
                 monitor.on_step(when, item)
 
     def _run_heap(self, until: Optional[int] = None) -> None:
@@ -853,11 +885,18 @@ class Environment:
         step = self.step
         while heap:
             if until is not None and heap[0][0] > until:
-                self._now = until
+                self._advance_clock(until)
                 return
             step()
         if until is not None:
-            self._now = until
+            self._advance_clock(until)
+
+    def _advance_clock(self, t: int) -> None:
+        """Advance the clock to ``t`` (end of run), notifying advance hooks."""
+        if t > self._now:
+            self._now = t
+            for monitor in self._advance_monitors:
+                monitor.on_advance(t)
 
     def _peek_heap(self) -> Optional[int]:
         """Time of the next scheduled item, or None if the heap is empty."""

@@ -9,8 +9,15 @@ those numbers:
   register their existing counters/histograms/utilization trackers into;
 * :mod:`.instrument` — walks a testbed and registers everything;
 * :mod:`.stages` — per-request stage-latency breakdown from the Tracer;
-* :mod:`.exporters` — Chrome ``trace_event`` JSON, metrics JSON/CSV, and
-  a human-readable text report;
+* :mod:`.timeline` — fixed-width simulated-time windows turning counters
+  into rates, sampling gauges, and computing rolling percentiles, driven
+  by the engine's ``on_advance`` monitor hook (zero-cost unbound);
+* :mod:`.attribution` — queueing-vs-service decomposition of each traced
+  request plus cycles-per-component flamegraph exports;
+* :mod:`.slo` — declarative :class:`SloSpec` probes evaluated per
+  window, with violations mirrored into the flight recorder;
+* :mod:`.exporters` — Chrome ``trace_event`` JSON, metrics JSON/CSV,
+  timeline JSON/CSV, speedscope profiles, and a text report;
 * :mod:`.flight` — a bounded ring buffer of recent engine steps, dumped
   when an invariant breaks;
 * :mod:`.session` — :class:`TelemetrySession`, a context manager that
@@ -20,13 +27,24 @@ those numbers:
 Driven from the command line by ``python -m repro observe <scenario>``.
 """
 
+from .attribution import (
+    LatencyAttribution,
+    attribute,
+    stage_kind,
+    to_folded_stacks,
+    to_speedscope,
+)
 from .exporters import (
     text_report,
     to_chrome_trace_json,
     to_metrics_csv,
     to_metrics_json,
+    to_timeline_csv,
+    to_timeline_json,
     validate_chrome_trace,
     validate_metrics,
+    validate_speedscope,
+    validate_timeline,
 )
 from .flight import FlightEntry, FlightRecorder
 from .instrument import (
@@ -43,15 +61,28 @@ from .session import (
     active_session,
     bind_testbed,
 )
+from .slo import SloProbe, SloSpec, SloViolation
 from .stages import StageBreakdown, stage_breakdown, trace_markers
+from .timeline import (
+    DEFAULT_WINDOW_NS,
+    Timeline,
+    render_dashboard,
+    sparkline,
+)
 
 __all__ = [
     "MetricsRegistry", "MetricsNamespace",
     "instrument_testbed", "register_core", "register_nic",
     "register_storage_device", "sample_utilization",
     "StageBreakdown", "stage_breakdown", "trace_markers",
+    "LatencyAttribution", "attribute", "stage_kind",
+    "to_folded_stacks", "to_speedscope",
+    "DEFAULT_WINDOW_NS", "Timeline", "render_dashboard", "sparkline",
+    "SloSpec", "SloProbe", "SloViolation",
     "to_metrics_json", "to_metrics_csv", "to_chrome_trace_json",
+    "to_timeline_json", "to_timeline_csv",
     "text_report", "validate_metrics", "validate_chrome_trace",
+    "validate_timeline", "validate_speedscope",
     "FlightRecorder", "FlightEntry",
     "TelemetrySession", "TestbedTelemetry", "bind_testbed",
     "active_session",

@@ -32,11 +32,15 @@ def _describe(item) -> Tuple[str, str]:
 class FlightRecorder:
     """Remembers the last N scheduler steps and explicit annotations."""
 
+    # Pinned annotations kept outside the ring (see note(pin=True)).
+    PINNED_CAPACITY = 64
+
     def __init__(self, capacity: int = 256):
         if capacity <= 0:
             raise ValueError(f"recorder capacity must be positive: {capacity}")
         self.capacity = capacity
         self._entries: Deque[FlightEntry] = deque(maxlen=capacity)
+        self._pinned: List[FlightEntry] = []
         self._seq = 0
         self._env = None
 
@@ -59,10 +63,20 @@ class FlightRecorder:
 
     # -- explicit annotations ----------------------------------------------
 
-    def note(self, at_ns: int, source: str, detail: str = "") -> None:
-        """Record a component-level annotation alongside engine steps."""
+    def note(self, at_ns: int, source: str, detail: str = "",
+             pin: bool = False) -> None:
+        """Record a component-level annotation alongside engine steps.
+
+        ``pin=True`` additionally keeps the entry outside the ring (up
+        to ``PINNED_CAPACITY`` of them), so rare milestone annotations —
+        SLO violations, fault marks — survive the churn of ordinary
+        steps and still show up in an end-of-run dump.
+        """
         self._seq += 1
-        self._entries.append((self._seq, at_ns, str(source), str(detail)))
+        entry = (self._seq, at_ns, str(source), str(detail))
+        self._entries.append(entry)
+        if pin and len(self._pinned) < self.PINNED_CAPACITY:
+            self._pinned.append(entry)
 
     # -- inspection --------------------------------------------------------
 
@@ -72,9 +86,16 @@ class FlightRecorder:
         return self._seq
 
     def entries(self, last: Optional[int] = None) -> List[FlightEntry]:
+        """The most recent ``last`` ring entries, with every pinned
+        annotation merged back in (in sequence order) regardless of age."""
         items = list(self._entries)
         if last is not None:
             items = items[-last:]
+        if self._pinned:
+            seen = {entry[0] for entry in items}
+            items = [entry for entry in self._pinned
+                     if entry[0] not in seen] + items
+            items.sort(key=lambda entry: entry[0])
         return items
 
     def dump(self, last: Optional[int] = None) -> str:

@@ -16,21 +16,33 @@ I/O models, and a flight recorder watching the engine.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
-from ..sim import Tracer
+from ..sim import Histogram, Tracer
+from .attribution import LatencyAttribution, attribute
 from .exporters import text_report
 from .flight import FlightRecorder
 from .instrument import instrument_testbed
 from .registry import MetricsRegistry
+from .slo import SloProbe, SloSpec
 from .stages import StageBreakdown, stage_breakdown
+from .timeline import DEFAULT_WINDOW_NS, Timeline
 
 __all__ = ["TelemetrySession", "TestbedTelemetry", "bind_testbed",
            "active_session"]
 
+# Monotone workload progress counters worth a per-window rate series.
+_WORKLOAD_PROGRESS_ATTRS = ("transactions", "operations", "chunks_received")
+
 
 class TestbedTelemetry:
-    """One testbed's registry + tracer + flight recorder bundle."""
+    """One testbed's registry + tracer + flight recorder bundle.
+
+    A windowed :class:`Timeline` and per-window SLO probes are opt-in via
+    :meth:`bind_timeline` / :meth:`add_slo` (or the session's
+    ``timeline_width_ns`` / ``slos`` arguments); without them the engine
+    keeps its monitor-free fast path.
+    """
 
     def __init__(self, testbed, tracer_capacity: int = 100_000,
                  flight_capacity: int = 256):
@@ -39,17 +51,75 @@ class TestbedTelemetry:
         self.tracer = Tracer(testbed.env, capacity=tracer_capacity)
         self.recorder = FlightRecorder(capacity=flight_capacity)
         self.recorder.attach(testbed.env)
+        self.timeline: Optional[Timeline] = None
+        self.probes: List[SloProbe] = []
         instrument_testbed(testbed, self.registry)
         for model in testbed.models:
             if hasattr(model, "tracer") and model.tracer is None:
                 model.tracer = self.tracer
         testbed.telemetry = self
 
+    # -- timeline / SLO ----------------------------------------------------
+
+    def bind_timeline(self, width_ns: Optional[int] = None) -> Timeline:
+        """Attach a windowed timeline over this testbed's registry.
+
+        Binding registers the timeline as an engine advance monitor,
+        which switches the run loop to the monitored path; reads stay
+        reference-only, so the run is bit-identical either way.
+        """
+        if self.timeline is not None:
+            return self.timeline
+        env = self.testbed.env
+        self.timeline = Timeline(width_ns or DEFAULT_WINDOW_NS,
+                                 registry=self.registry, start_ns=env.now)
+        env.add_monitor(self.timeline)
+        return self.timeline
+
+    def add_slo(self, spec: SloSpec) -> SloProbe:
+        """Attach an SLO probe (binding a timeline first if needed)."""
+        timeline = self.bind_timeline(spec.window_ns or None)
+        probe = SloProbe(spec, recorder=self.recorder).attach(timeline)
+        self.probes.append(probe)
+        return probe
+
+    def finish(self) -> None:
+        """Flush the timeline's final partial window at end of run."""
+        if self.timeline is not None:
+            self.timeline.flush(self.testbed.env.now)
+
+    def register_workloads(self, workloads: Sequence[object]) -> None:
+        """Register workload-side instruments (latency histograms and
+        progress counters) so timelines and SLO probes can window them.
+
+        Called by the scenario builders right after workload creation;
+        reference-only, so unobserved runs are unchanged.
+        """
+        for index, workload in enumerate(workloads):
+            prefix = f"workload.{index}"
+            latency = getattr(workload, "latency_ns", None)
+            if isinstance(latency, Histogram):
+                self.registry.register_histogram(
+                    f"{prefix}.latency_ns", latency)
+            for attr in _WORKLOAD_PROGRESS_ATTRS:
+                if hasattr(workload, attr):
+                    read = (lambda w=workload, a=attr:
+                            float(getattr(w, a)))
+                    self.registry.register_gauge(f"{prefix}.{attr}", read)
+                    if self.timeline is not None:
+                        self.timeline.watch_rate(f"{prefix}.{attr}", read)
+
+    # -- reading -----------------------------------------------------------
+
     def snapshot(self) -> dict:
         return self.registry.snapshot()
 
     def stages(self) -> StageBreakdown:
         return stage_breakdown(self.tracer)
+
+    def attribution(self) -> LatencyAttribution:
+        """Queueing-vs-service latency attribution over every trace."""
+        return attribute(self.tracer)
 
     def chrome_trace(self) -> dict:
         return self.tracer.to_chrome_trace()
@@ -62,12 +132,21 @@ _active: List["TelemetrySession"] = []
 
 
 class TelemetrySession:
-    """Context manager scoping telemetry onto every testbed built within."""
+    """Context manager scoping telemetry onto every testbed built within.
+
+    ``timeline_width_ns`` binds a windowed timeline onto every testbed
+    built inside the session; ``slos`` attaches the given
+    :class:`SloSpec` probes as well (binding a timeline if needed).
+    """
 
     def __init__(self, tracer_capacity: int = 100_000,
-                 flight_capacity: int = 256):
+                 flight_capacity: int = 256,
+                 timeline_width_ns: Optional[int] = None,
+                 slos: Optional[Sequence[SloSpec]] = None):
         self.tracer_capacity = tracer_capacity
         self.flight_capacity = flight_capacity
+        self.timeline_width_ns = timeline_width_ns
+        self.slos = list(slos) if slos else []
         self.bound: List[TestbedTelemetry] = []
 
     def __enter__(self) -> "TelemetrySession":
@@ -76,11 +155,17 @@ class TelemetrySession:
 
     def __exit__(self, *exc_info) -> None:
         _active.remove(self)
+        for telemetry in self.bound:
+            telemetry.finish()
 
     def bind(self, testbed) -> TestbedTelemetry:
         telemetry = TestbedTelemetry(testbed,
                                      tracer_capacity=self.tracer_capacity,
                                      flight_capacity=self.flight_capacity)
+        if self.timeline_width_ns is not None:
+            telemetry.bind_timeline(self.timeline_width_ns)
+        for spec in self.slos:
+            telemetry.add_slo(spec)
         self.bound.append(telemetry)
         return telemetry
 

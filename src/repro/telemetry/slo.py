@@ -1,0 +1,216 @@
+"""Declarative SLO probes evaluated per timeline window.
+
+An :class:`SloSpec` states a service-level objective in three optional
+clauses — a p99 latency ceiling, a throughput floor, and a maximum
+tolerable downtime — plus the metric series each clause reads.  An
+:class:`SloProbe` attaches the spec to a :class:`~repro.telemetry
+.timeline.Timeline` and evaluates it at every window close, emitting one
+violation record per breached clause with the offending window's full
+context embedded, and mirroring each violation into a
+:class:`~repro.telemetry.flight.FlightRecorder` (when given one) so a
+post-mortem dump shows the SLO breach in line with the surrounding
+engine activity.
+
+``SloProbe.on_violation`` callbacks are the subscription point the
+future elastic control plane (ROADMAP item 4) hangs off: a violation is
+the signal to re-balance sidecores or migrate clients.
+
+Matching: a clause's metric name selects a window series exactly, or —
+when it ends with ``"."`` — aggregates every series under that dotted
+prefix (latency clauses merge the windows' sample digests by worst p99;
+throughput clauses sum rates).
+
+Downtime is measured as consecutive windows with zero throughput: a run
+of empty windows longer than ``max_downtime_ns`` emits one violation per
+window once the budget is exceeded, so an outage spanning window
+boundaries is still caught even though each individual window looks
+merely idle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+__all__ = ["SloSpec", "SloProbe", "SloViolation"]
+
+
+@dataclass(frozen=True)
+class SloSpec:
+    """A declarative service-level objective.
+
+    Clauses left at ``None`` are not evaluated.  ``window_ns`` is the
+    sanctioned carrier for window widths (simlint SIM405): build the
+    timeline from ``spec.window_ns`` rather than an inline literal.
+    """
+
+    name: str
+    p99_latency_ceiling_ns: Optional[float] = None
+    throughput_floor_per_s: Optional[float] = None
+    max_downtime_ns: Optional[int] = None
+    latency_metric: str = ""
+    throughput_metric: str = ""
+    window_ns: int = 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "p99_latency_ceiling_ns": self.p99_latency_ceiling_ns,
+            "throughput_floor_per_s": self.throughput_floor_per_s,
+            "max_downtime_ns": self.max_downtime_ns,
+            "latency_metric": self.latency_metric,
+            "throughput_metric": self.throughput_metric,
+            "window_ns": self.window_ns,
+        }
+
+
+@dataclass
+class SloViolation:
+    """One breached clause in one window."""
+
+    slo: str
+    kind: str  # "p99_latency" | "throughput" | "downtime"
+    window_index: int
+    start_ns: int
+    end_ns: int
+    observed: float
+    limit: float
+    window: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "slo": self.slo,
+            "kind": self.kind,
+            "window_index": self.window_index,
+            "start_ns": self.start_ns,
+            "end_ns": self.end_ns,
+            "observed": self.observed,
+            "limit": self.limit,
+            "window": self.window,
+        }
+
+
+def _match(series: Dict[str, Any], metric: str) -> List[str]:
+    if not metric:
+        return []
+    if metric.endswith("."):
+        return sorted(n for n in series if n.startswith(metric))
+    return [metric] if metric in series else []
+
+
+class SloProbe:
+    """Evaluates one :class:`SloSpec` at every timeline window close."""
+
+    def __init__(self, spec: SloSpec, recorder: Optional[Any] = None) -> None:
+        self.spec = spec
+        self.recorder = recorder
+        self.violations: List[SloViolation] = []
+        self.windows_evaluated = 0
+        self._downtime_ns = 0
+        self._callbacks: List[Callable[[SloViolation], None]] = []
+
+    def attach(self, timeline) -> "SloProbe":
+        """Subscribe to ``timeline``; evaluation then runs per window."""
+        timeline.subscribe(self._on_window)
+        return self
+
+    def on_violation(self, fn: Callable[[SloViolation], None]) -> None:
+        """Register a callback fired on every violation — the hook the
+        elastic control plane subscribes to."""
+        self._callbacks.append(fn)
+
+    # -- evaluation --------------------------------------------------------
+
+    def _on_window(self, timeline, window: Dict[str, Any]) -> None:
+        self.windows_evaluated += 1
+        spec = self.spec
+        if spec.p99_latency_ceiling_ns is not None:
+            p99 = self._window_p99(window)
+            if p99 is not None and p99 > spec.p99_latency_ceiling_ns:
+                self._emit("p99_latency", window, p99,
+                           spec.p99_latency_ceiling_ns)
+        throughput = self._window_throughput(window)
+        if (spec.throughput_floor_per_s is not None
+                and throughput is not None
+                and throughput < spec.throughput_floor_per_s):
+            self._emit("throughput", window, throughput,
+                       spec.throughput_floor_per_s)
+        if spec.max_downtime_ns is not None and throughput is not None:
+            if throughput > 0.0:
+                self._downtime_ns = 0
+            else:
+                self._downtime_ns += window["end_ns"] - window["start_ns"]
+                if self._downtime_ns > spec.max_downtime_ns:
+                    self._emit("downtime", window,
+                               float(self._downtime_ns),
+                               float(spec.max_downtime_ns))
+
+    def _window_p99(self, window: Dict[str, Any]) -> Optional[float]:
+        """Worst windowed p99 across the matched histogram series.
+
+        Empty windows (no samples landed) return None: an SLO says
+        nothing about latency nobody observed.
+        """
+        worst: Optional[float] = None
+        for name in _match(window["histograms"], self.spec.latency_metric):
+            digest = window["histograms"][name]
+            if digest["count"]:
+                p99 = digest["p99"]
+                if worst is None or p99 > worst:
+                    worst = p99
+        return worst
+
+    def _window_throughput(self, window: Dict[str, Any]) -> Optional[float]:
+        """Summed per-second rate across matched counter/rate series."""
+        metric = self.spec.throughput_metric
+        matched = False
+        total = 0.0
+        for group in ("rates", "counters"):
+            for name in _match(window[group], metric):
+                total += window[group][name]["rate_per_s"]
+                matched = True
+        return total if matched else None
+
+    def _emit(self, kind: str, window: Dict[str, Any], observed: float,
+              limit: float) -> None:
+        violation = SloViolation(
+            slo=self.spec.name, kind=kind,
+            window_index=window["index"],
+            start_ns=window["start_ns"], end_ns=window["end_ns"],
+            observed=observed, limit=limit,
+            window=window)
+        self.violations.append(violation)
+        if self.recorder is not None:
+            self.recorder.note(
+                window["end_ns"], "slo",
+                f"{self.spec.name} {kind} violated: observed "
+                f"{observed:.6g} vs limit {limit:.6g} in window "
+                f"#{window['index']} "
+                f"[{window['start_ns']}-{window['end_ns']})ns "
+                f"context={_window_context(window)}",
+                pin=True)
+        for fn in self._callbacks:
+            fn(violation)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "spec": self.spec.to_dict(),
+            "windows_evaluated": self.windows_evaluated,
+            "violations": [v.to_dict() for v in self.violations],
+        }
+
+
+def _window_context(window: Dict[str, Any]) -> str:
+    """Compact one-line rendering of a window's non-empty series."""
+    parts: List[str] = []
+    for name, cell in sorted(window["rates"].items()):
+        parts.append(f"{name}={cell['delta']:g}")
+    for name, cell in sorted(window["counters"].items()):
+        if cell["delta"]:
+            parts.append(f"{name}={cell['delta']:g}")
+    for name, digest in sorted(window["histograms"].items()):
+        if digest["count"]:
+            parts.append(f"{name}.p99={digest['p99']:g}")
+    if not parts:
+        return "(idle window)"
+    return " ".join(parts[:12])

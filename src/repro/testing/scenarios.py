@@ -95,6 +95,18 @@ def _finish(name: str, testbed, workloads, monitor: EngineMonitor,
                           monitor=monitor, metrics=metrics)
 
 
+def _bind_workloads(testbed, workloads) -> None:
+    """Expose workload instruments to an active telemetry binding.
+
+    No-op outside a :class:`~repro.telemetry.TelemetrySession`; with one
+    active, the workloads' latency histograms and progress counters
+    become registry (and timeline) series.  Reference-only either way.
+    """
+    telemetry = getattr(testbed, "telemetry", None)
+    if telemetry is not None:
+        telemetry.register_workloads(workloads)
+
+
 # -- scenario builders -------------------------------------------------------
 
 _RR_RUN_NS = ms(6)
@@ -111,6 +123,7 @@ def _rr_scenario(model_name: str, n_vms: int = 2):
                       warmup_ns=_RR_WARMUP_NS,
                       rng=tb.rng.stream(f"rr-client-{i}"))
             for i in range(n_vms)]
+        _bind_workloads(tb, workloads)
         tb.env.run(until=_RR_RUN_NS)
         transactions = sum(w.transactions for w in workloads)
         extra = {
@@ -131,6 +144,7 @@ def _stream_scenario(model_name: str):
         monitor = EngineMonitor.attach(tb.env)
         workloads = [NetperfStream(tb.env, tb.ports[0], tb.clients[0],
                                    tb.costs, warmup_ns=_RR_WARMUP_NS)]
+        _bind_workloads(tb, workloads)
         tb.env.run(until=_RR_RUN_NS)
         extra = {
             "stream.gbps": workloads[0].throughput_gbps(),
@@ -150,6 +164,7 @@ def _apache_scenario(model_name: str, n_vms: int = 2):
         workloads = [ApacheBench(tb.env, tb.clients[i], tb.ports[i],
                                  tb.costs, warmup_ns=_RR_WARMUP_NS)
                      for i in range(n_vms)]
+        _bind_workloads(tb, workloads)
         tb.env.run(until=ms(8))
         extra = {
             "apache.transactions": sum(w.transactions for w in workloads),
@@ -176,6 +191,7 @@ def _filebench_scenario(model_name: str, channel_loss: float = 0.0,
         workloads = [FilebenchRandomIO(
             tb.env, tb.vms[0], handle, rng=tb.rng.stream("filebench"),
             costs=tb.costs, readers=2, writers=1, warmup_ns=_RR_WARMUP_NS)]
+        _bind_workloads(tb, workloads)
         tb.env.run(until=run_ns)
         extra = {
             "filebench.operations": workloads[0].operations,
@@ -202,6 +218,7 @@ def _scalability_scenario():
                       warmup_ns=_RR_WARMUP_NS,
                       rng=tb.rng.stream(f"rr-client-{i}"))
             for i in range(len(tb.vms))]
+        _bind_workloads(tb, workloads)
         tb.env.run(until=_RR_RUN_NS)
         extra = {
             "rr.transactions": sum(w.transactions for w in workloads),

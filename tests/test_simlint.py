@@ -123,6 +123,19 @@ CASES = {
                   "    tracer.begin(now, 'request.service')\n"},
         "at": ("repro/iomodels/span.py", 2),
     },
+    "SIM404": {
+        "files": {"repro/faults/tlbind.py":
+                  "def bind(env):\n"
+                  "    timeline = Timeline(WIDTH)\n"
+                  "    env.add_monitor(timeline)\n"},
+        "at": ("repro/faults/tlbind.py", 2),
+    },
+    "SIM405": {
+        "files": {"repro/faults/win.py":
+                  "def bind(telemetry):\n"
+                  "    return telemetry.bind_timeline(width_ns=250000)\n"},
+        "at": ("repro/faults/win.py", 2),
+    },
 }
 
 
@@ -205,6 +218,31 @@ def test_closed_span_passes_sim403():
               "    tracer.end(now + 5, 'request.service')\n")
     assert lint_sources({"repro/x.py": source},
                         only=["SIM403"]).findings == []
+
+
+def test_flushed_and_handed_off_timelines_pass_sim404():
+    source = ("def flushed(env, now):\n"
+              "    timeline = Timeline(WIDTH)\n"
+              "    env.add_monitor(timeline)\n"
+              "    timeline.flush(now)\n"
+              "def handoff():\n"
+              "    timeline = Timeline(WIDTH)\n"
+              "    return timeline\n"
+              "def chained(spec, timeline, recorder):\n"
+              "    probe = SloProbe(spec, recorder=recorder).attach(timeline)\n"
+              "    return probe\n")
+    assert lint_sources({"repro/x.py": source},
+                        only=["SIM404"]).findings == []
+
+
+def test_slospec_and_named_widths_pass_sim405():
+    source = ("WIDTH = 500000\n"
+              "def spec():\n"
+              "    return SloSpec(name='x', window_ns=250000)\n"
+              "def named():\n"
+              "    return Timeline(WIDTH)\n")
+    assert lint_sources({"repro/x.py": source},
+                        only=["SIM405"]).findings == []
 
 
 def test_cost_model_charge_attribute_passes_sim202():

@@ -349,11 +349,15 @@ def test_observe_cli_optional_dumps(tmp_path, capsys):
     assert mcsv.read_text().startswith("metric,value\n")
 
 
-def test_observe_cli_unknown_scenario(capsys):
+def test_observe_cli_unknown_scenario_exits_2(capsys):
     from repro.cli import main
 
-    assert main(["observe", "nonesuch"]) == 1
-    assert "unknown scenario" in capsys.readouterr().out
+    assert main(["observe", "nonesuch"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown scenario: nonesuch" in err
+    assert "valid scenarios:" in err
+    assert "rr_vrio" in err
+    assert "fig12=apache_vrio" in err
 
 
 def test_verify_cli_telemetry_column(capsys):
