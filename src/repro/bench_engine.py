@@ -133,6 +133,81 @@ class _ProfileLane:
         cs(self, gap)
 
 
+class _FabricBudget:
+    """Shared hop budget for one fabric storm measurement."""
+
+    __slots__ = ("left",)
+
+    def __init__(self, left: int) -> None:
+        self.left = left
+
+
+class _FabricHost:
+    """One relay host on a leaf: every received frame is immediately
+    re-sent to the next host around the ring, so each hop drives the
+    full leaf -> spine -> leaf switch datapath (ingress, MAC lookup,
+    batched egress flush, trunk serialization)."""
+
+    __slots__ = ("budget", "endpoint", "mac", "next_mac")
+
+    def __init__(self, budget: _FabricBudget, endpoint, mac,
+                 next_mac) -> None:
+        self.budget = budget
+        self.endpoint = endpoint
+        self.mac = mac
+        self.next_mac = next_mac
+
+    def __call__(self, frame) -> None:
+        from .net.frame import EthernetFrame
+
+        budget = self.budget
+        if budget.left <= 0:
+            return
+        budget.left -= 1
+        self.endpoint.transmit(EthernetFrame(
+            src=self.mac, dst=self.next_mac, payload=None,
+            payload_bytes=64, kind="storm"))
+
+
+_FABRIC_RACKS = 4
+_FABRIC_TOKENS = 256
+
+
+def _fabric_storm_rate(scheduler: str, hops: int) -> float:
+    """Relay-ring storm over a 4-leaf/1-spine fabric (dc_scale shape).
+
+    ``hops`` host-to-host messages, each crossing two leaves and the
+    spine; ~256 frames stay in flight so egress batching and the flush
+    freelist are continuously exercised.  Rate is hops/sec, not raw
+    engine events/sec — comparable release-to-release like every row.
+    """
+    from .hw.fabric import LeafSpineFabric
+    from .hw.link import Link
+    from .net.frame import EthernetFrame, MacAddress
+
+    env = Environment(scheduler=scheduler)
+    fabric = LeafSpineFabric(env, _FABRIC_RACKS, 1, downlinks_per_leaf=1,
+                             downlink_gbps=10.0, name="storm-fabric")
+    budget = _FabricBudget(hops)
+    macs = [MacAddress(f"storm-h{r}") for r in range(_FABRIC_RACKS)]
+    endpoints = []
+    for r in range(_FABRIC_RACKS):
+        link = Link(env, gbps=10.0, name=f"storm{r}")
+        end = fabric.host_port(r, link)
+        fabric.learn_host(r, macs[r], link)
+        endpoints.append(end)
+    for r in range(_FABRIC_RACKS):
+        host = _FabricHost(budget, endpoints[r], macs[r],
+                           macs[(r + 1) % _FABRIC_RACKS])
+        endpoints[r].attach_receiver(host)
+    for t in range(_FABRIC_TOKENS):
+        r = t % _FABRIC_RACKS
+        endpoints[r].transmit(EthernetFrame(
+            src=macs[r], dst=macs[(r + 1) % _FABRIC_RACKS], payload=None,
+            payload_bytes=64, kind="storm"))
+    return hops / _timed_run(env, _RUN_UNTIL)
+
+
 def _pattern_from_times(times: Sequence[int]) -> List[Tuple[int, int]]:
     """Run-length encode step times into ``(gap ns, zero-delay burst)``."""
     pattern: List[Tuple[int, int]] = []
@@ -360,6 +435,16 @@ def run_engine_bench(quick: bool = False,
                  "window-close cost of repro observe --timeline vs the "
                  "unbound fast loop"),
     })
+    fabric_hops = 50_000 if quick else 500_000
+    say("fabric relay storm, 4-leaf/1-spine ...")
+    rows.append(_row(
+        "fabric_storm_r4", "fabric-storm", "dc_scale",
+        lambda sched: _fabric_storm_rate(sched, fabric_hops),
+        events=fabric_hops, background=0, lanes=_FABRIC_RACKS,
+        note=(f"{_FABRIC_TOKENS} frames relayed around a "
+              f"{_FABRIC_RACKS}-leaf/1-spine ring; every hop crosses two "
+              "switches through the hoisted ingress closure and batched "
+              "egress flush (events = host-to-host hops)")))
     for name, path, pattern in (
             ("replay_fig12", "fig12", fig12_pattern),
             ("replay_fig13", "fig13", fig13_pattern)):

@@ -101,6 +101,14 @@ def _fig09(quick, **kw):
     return ex.format_fig09(points), points
 
 
+def _dc_scale(quick, **kw):
+    racks = (1, 2) if quick else (1, 2, 4)
+    users = (500, 2_000) if quick else (1_000, 10_000)
+    points = ex.run_dc_scale(rack_counts=racks, user_counts=users,
+                             run_ns=ms(4) if quick else ms(8), **kw)
+    return ex.format_dc_scale(points), points
+
+
 def _fig13(quick, **kw):
     vms = (4, 12, 28) if quick else (4, 8, 12, 16, 20, 24, 28)
     text = ex.format_fig13(ex.run_fig13a(total_vms=vms,
@@ -162,6 +170,8 @@ ARTIFACTS: Dict[str, Tuple[str, Callable]] = {
     "energy": ("mwait vs polling sidecores (extension)",
                lambda q, **kw: (ex.format_energy(ex.run_energy(
                    vm_counts=(1, 4, 7), run_ns=_quick_ns(q), **kw)), None)),
+    "dc_scale": ("multi-rack fabric under open-loop load (extension)",
+                 _dc_scale),
 }
 
 

@@ -59,7 +59,9 @@ __all__ = [
 ]
 
 MODEL_NAMES = ("baseline", "elvis", "optimum", "vrio", "vrio_nopoll")
-TOPOLOGIES = ("simple", "scalability", "switched", "consolidation")
+# TOPOLOGIES is derived from _TOPOLOGY_BUILDERS below — one registry,
+# so the error message for an unknown topology can never drift from the
+# set of builders that actually exist.
 
 
 @dataclass
@@ -128,8 +130,14 @@ class TestbedSpec:
     Fields that only some topologies consume (``channel_loss``,
     ``model_numa``, …) are ignored by the others, matching the historical
     builder signatures.  ``sidecores`` means: vRIO worker count (total, at
-    the IOhost), Elvis sidecore count / baseline I/O core count (per host
-    in the consolidation topology).
+    the IOhost; per rack in the racks topology), Elvis sidecore count /
+    baseline I/O core count (per host in the consolidation topology).
+
+    ``n_racks``/``n_spines``/``oversubscription`` shape the ``racks``
+    topology only: N racks of ``n_vmhosts`` VMhosts each, every rack with
+    its own IOhost and load generator hanging off a leaf switch, leaves
+    joined by ``n_spines`` spines with trunk bandwidth provisioned at the
+    given edge oversubscription ratio (see :mod:`repro.hw.fabric`).
     """
 
     model: str = "vrio"
@@ -146,6 +154,9 @@ class TestbedSpec:
     steering_policy: str = "affinity"
     worker_idle_policy: Optional[str] = None
     model_numa: bool = True
+    n_racks: int = 1
+    n_spines: int = 1
+    oversubscription: float = 1.0
     costs: Optional[CostModel] = None
     fault_plan: Optional[object] = None     # repro.faults.FaultPlan
 
@@ -174,6 +185,9 @@ class TestbedSpec:
             "steering_policy": self.steering_policy,
             "worker_idle_policy": self.worker_idle_policy,
             "model_numa": self.model_numa,
+            "n_racks": self.n_racks,
+            "n_spines": self.n_spines,
+            "oversubscription": self.oversubscription,
             "costs": None if self.costs is None else asdict(self.costs),
             "fault_plan": (None if self.fault_plan is None
                            else self.fault_plan.to_dict()),
@@ -208,11 +222,12 @@ def build_testbed(spec: TestbedSpec) -> Testbed:
     simulation events during the run.
     """
     _check_model_name(spec.model)
-    if spec.topology not in TOPOLOGIES:
+    if spec.topology not in _TOPOLOGY_BUILDERS:
         raise ValueError(
-            f"unknown topology {spec.topology!r}; expected one of "
-            f"{TOPOLOGIES}")
-    if spec.topology in ("scalability", "switched") and spec.model != "vrio":
+            f"unknown topology {spec.topology!r}; "
+            f"valid topologies: {', '.join(TOPOLOGIES)}")
+    if spec.topology in ("scalability", "switched", "racks") \
+            and spec.model != "vrio":
         raise ValueError(
             f"the {spec.topology} topology is vRIO-only, got {spec.model!r}")
     if spec.topology == "consolidation" and spec.model in ("optimum",
@@ -224,6 +239,15 @@ def build_testbed(spec: TestbedSpec) -> Testbed:
         raise ValueError("need positive host and VM counts")
     if spec.sidecores <= 0:
         raise ValueError(f"need at least one sidecore, got {spec.sidecores}")
+    if spec.topology == "racks":
+        if spec.n_racks <= 0 or spec.n_spines <= 0:
+            raise ValueError(
+                f"need positive rack and spine counts, got "
+                f"{spec.n_racks} racks × {spec.n_spines} spines")
+        if spec.oversubscription <= 0:
+            raise ValueError(
+                f"oversubscription ratio must be positive: "
+                f"{spec.oversubscription}")
 
     builder = _TOPOLOGY_BUILDERS[spec.topology]
     testbed = builder(spec)
@@ -559,12 +583,142 @@ def _build_consolidation(spec: TestbedSpec) -> Testbed:
                    _model_by_vm=model_by_vm)
 
 
+def _build_racks(spec: TestbedSpec) -> Testbed:
+    """The multi-rack datacenter topology (ROADMAP item 2, vRIO only).
+
+    ``n_racks`` racks, each a self-contained §5 rack: ``n_vmhosts``
+    VMhosts with direct channel links to the rack's own IOhost (its
+    workers come from ``sidecores``, interpreted per rack), plus a
+    per-rack load generator.  Each rack's IOhost-external NIC and load
+    generator hang off the rack's leaf switch; leaves are joined by a
+    :class:`repro.hw.fabric.LeafSpineFabric` with ``n_spines`` spines at
+    the spec's ``oversubscription`` ratio.
+
+    Clients for rack *r*'s VMs live on rack *(r+1) mod N*'s load
+    generator, so every request/response pair crosses the spine —
+    single-rack fabrics keep clients local, everything else exercises
+    the trunks.  Leaves statically know their locally attached MACs;
+    the trunk direction is dynamically learned from the first (flooded)
+    frames, exactly the L2 behaviour the fabric models.
+
+    Extras stashed on the returned testbed: ``testbed.fabric`` (the
+    :class:`LeafSpineFabric`) and ``testbed.iohosts`` (one per rack;
+    ``testbed.iohost`` stays ``None``).
+    """
+    from ..hw.fabric import LeafSpineFabric
+    from ..hw.nic import Nic
+
+    costs = spec.costs if spec.costs is not None else DEFAULT_COSTS
+    env = Environment()
+    rng = RngRegistry(spec.seed)
+    stats = IoEventStats("vrio")
+    n_racks = spec.n_racks
+
+    # Two host downlinks per leaf: the IOhost external NIC and the rack's
+    # load generator.
+    fabric = LeafSpineFabric(env, n_racks, spec.n_spines,
+                             downlinks_per_leaf=2,
+                             downlink_gbps=costs.link_gbps,
+                             oversubscription=spec.oversubscription)
+
+    vms: List[Vm] = []
+    ports: List[NetPort] = []
+    vmhosts: List[VmHostMachine] = []
+    iohosts: List[IoHostMachine] = []
+    loadgens: List[LoadGenHost] = []
+    models: List[object] = []
+    service_cores: List[Core] = []
+    links: Dict[str, Link] = {}
+    channels: List[object] = []
+    model_by_vm: Dict[str, object] = {}
+    rack_ports: List[List[NetPort]] = []
+    lg_links: List[Link] = []
+
+    for r in range(n_racks):
+        iohost = IoHostMachine(env, f"rack{r}/iohost", costs)
+        iohosts.append(iohost)
+        workers = [iohost.new_worker() for _ in range(spec.sidecores)]
+        service_cores.extend(workers)
+        model = VrioModel(env, workers, costs=costs, stats=stats)
+        models.append(model)
+
+        ext_link = Link(env, gbps=costs.link_gbps,
+                        propagation_ns=costs.propagation_ns,
+                        name=f"r{r}ext")
+        links[f"r{r}ext"] = ext_link
+        external_nic = iohost.new_nic("external")
+        external_nic.attach(fabric.host_port(r, ext_link))
+
+        lg_link = Link(env, gbps=costs.link_gbps,
+                       propagation_ns=costs.propagation_ns,
+                       name=f"r{r}lg")
+        links[f"r{r}lg"] = lg_link
+        lg_end = fabric.host_port(r, lg_link)
+        lg_nic = Nic(env, f"rack{r}/loadgen/nic", endpoint=lg_end)
+        loadgen = LoadGenHost(env, f"rack{r}/loadgen", lg_nic, costs,
+                              model_numa=spec.model_numa)
+        loadgens.append(loadgen)
+        lg_links.append(lg_link)
+
+        this_rack_ports: List[NetPort] = []
+        for h in range(spec.n_vmhosts):
+            vmhost = VmHostMachine(env, f"rack{r}/vmhost{h}", costs,
+                                   core_budget=8)
+            vmhosts.append(vmhost)
+            channel_link = Link(env, gbps=costs.channel_gbps,
+                                propagation_ns=costs.propagation_ns,
+                                name=f"r{r}channel{h}")
+            links[f"r{r}channel{h}"] = channel_link
+            vmhost_nic = vmhost.new_nic("channel")
+            vmhost_nic.attach(channel_link.side_a)
+            iohost_channel_nic = iohost.new_nic(f"channel{h}")
+            iohost_channel_nic.attach(channel_link.side_b)
+            channel = model.connect_vmhost(f"rack{r}/vmhost{h}", vmhost_nic,
+                                           iohost_channel_nic)
+            channels.append(channel)
+            for _ in range(spec.vms_per_host):
+                vm = vmhost.new_vm()
+                vms.append(vm)
+                port = model.attach_vm(vm, channel, external_nic)
+                ports.append(port)
+                this_rack_ports.append(port)
+                model_by_vm[vm.name] = model
+        rack_ports.append(this_rack_ports)
+        # The leaf statically knows the F addresses it serves locally;
+        # remote leaves learn them from the first response frames.
+        for port in this_rack_ports:
+            fabric.learn_host(r, port.mac, ext_link)
+
+    # Clients for rack r's VMs sit on rack (r+1) mod N's load generator,
+    # in the same global order as `ports`.
+    clients: List[ExternalEndpoint] = []
+    for r in range(n_racks):
+        q = (r + 1) % n_racks
+        for _ in rack_ports[r]:
+            client = loadgens[q].new_client_endpoint()
+            clients.append(client)
+            fabric.learn_host(q, client.mac, lg_links[q])
+
+    testbed = Testbed(env=env, costs=costs, model_name="vrio", vms=vms,
+                      ports=ports, clients=clients, stats=stats,
+                      service_cores=service_cores, rng=rng, vmhosts=vmhosts,
+                      iohost=None, loadgens=loadgens, models=models,
+                      links=links, channels=channels,
+                      _model_by_vm=model_by_vm)
+    testbed.fabric = fabric
+    testbed.iohosts = iohosts
+    return testbed
+
+
 _TOPOLOGY_BUILDERS = {
     "simple": _build_simple,
     "scalability": _build_scalability,
     "switched": _build_switched,
     "consolidation": _build_consolidation,
+    "racks": _build_racks,
 }
+
+TOPOLOGIES = tuple(sorted(_TOPOLOGY_BUILDERS))
 
 
 # -- historical builder names (shims over TestbedSpec) -----------------------

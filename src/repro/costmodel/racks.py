@@ -22,6 +22,7 @@ __all__ = [
     "server_table",
     "RackSetup",
     "rack_price_comparison",
+    "fleet_consolidation_row",
     "SSD_PRICES",
     "ssd_consolidation_ratio",
     "ssd_consolidation_sweep",
@@ -167,6 +168,29 @@ def rack_price_comparison() -> List[dict]:
             "vrio_vm_cores": vrio.vm_cores,
         })
     return rows
+
+
+def fleet_consolidation_row(n_racks: int) -> dict:
+    """§3 scaled to a fleet: ``n_racks`` racks of the 6-server transform.
+
+    A 6-server Elvis rack and its vRIO transform (4 VMhosts + 1 heavy
+    IOhost) deliver the same 288 VMcores, so per-rack savings multiply
+    straight through the fleet — the consolidation argument *is* a
+    fleet-scale argument, which is why ``dc_scale`` plots this next to
+    the simulated latency curves.
+    """
+    if n_racks <= 0:
+        raise ValueError(f"need at least one rack, got {n_racks}")
+    elvis = _elvis_rack(6)
+    vrio = _vrio_rack(6)
+    return {
+        "racks": n_racks,
+        "vm_cores": vrio.vm_cores * n_racks,
+        "elvis_price_usd": elvis.price * n_racks,
+        "vrio_price_usd": vrio.price * n_racks,
+        "savings_usd": (elvis.price - vrio.price) * n_racks,
+        "savings_percent": (1.0 - vrio.price / elvis.price) * 100.0,
+    }
 
 
 def _extra_nics_for_drives(v_drives: int) -> int:

@@ -15,6 +15,7 @@ from .consolidation_experiments import (
     run_fig16a,
     run_fig16b,
 )
+from .dc_scale import format_dc_scale, run_dc_scale
 from .energy_experiments import format_energy, run_energy
 from .costs_experiments import (
     format_fig01,
@@ -86,4 +87,5 @@ __all__ = [
     "run_fig15", "format_fig15",
     "run_fig16a", "format_fig16a", "run_fig16b", "format_fig16b",
     "run_energy", "format_energy",
+    "run_dc_scale", "format_dc_scale",
 ]

@@ -11,13 +11,15 @@ from .storage import (
     make_ramdisk,
     make_sata_ssd,
 )
-from .switch_fabric import Switch
+from .fabric import DEFAULT_TRUNK_PROPAGATION_NS, LeafSpineFabric
+from .switch_fabric import Switch, UnknownDestinationError
 
 __all__ = [
     "Core", "CpuSocket",
     "Link", "LinkEndpoint",
     "Nic", "NicFunction", "DEFAULT_RX_RING", "VRIO_TUNED_RX_RING",
-    "Switch",
+    "Switch", "UnknownDestinationError",
+    "LeafSpineFabric", "DEFAULT_TRUNK_PROPAGATION_NS",
     "BlockRequest", "StorageDevice", "SECTOR_BYTES",
     "make_ramdisk", "make_sata_ssd", "make_pcie_ssd",
 ]

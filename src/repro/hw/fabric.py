@@ -1,0 +1,157 @@
+"""Composable leaf/spine fabrics for multi-rack topologies.
+
+A :class:`LeafSpineFabric` grows the single rack :class:`Switch` into a
+two-tier Clos: one leaf (top-of-rack) switch per rack, ``n_spines``
+spine switches, and one trunk link per (leaf, spine) pair.  Each stage
+has its own forwarding latency, and all switches learn MACs dynamically
+from frame source addresses — the first frame toward a remote rack
+floods up through the designated spine, and the response teaches every
+switch on the path, after which traffic is unicast.
+
+Oversubscription maps directly to link provisioning: a leaf with ``d``
+host-facing downlinks of ``g`` Gbps carries ``d*g`` Gbps of edge
+bandwidth, and an oversubscription ratio ``o`` provisions ``d*g / o``
+Gbps of aggregate uplink, split evenly across the spines — so each
+trunk serializes at ``d*g / (o * n_spines)`` Gbps.  ``o=1`` is a
+non-blocking fabric; ``o=4`` is the classic 4:1 edge oversubscription.
+
+Loop freedom without spanning tree: each leaf designates its spine-0
+uplink for floods (uplinks to higher spines are ``no_flood`` — blocked
+like STP alternate paths, though static entries may still steer unicast
+over them); the spine relays a flood to every other leaf; and leaf
+split horizon (a flood that arrived on a trunk never leaves on another
+trunk) stops the copy from climbing back up.  Every host sees exactly
+one copy of a flood, and nothing cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..sim import Environment
+from .link import Link, LinkEndpoint
+from .switch_fabric import Switch
+
+__all__ = ["LeafSpineFabric", "DEFAULT_TRUNK_PROPAGATION_NS"]
+
+# Inter-rack cable runs are an order of magnitude longer than intra-rack
+# patch cables; 2 us is a few hundred meters of fiber plus patch panels.
+DEFAULT_TRUNK_PROPAGATION_NS = 2_000
+
+
+class LeafSpineFabric:
+    """A two-tier leaf/spine fabric: ``n_leaves`` racks, ``n_spines``
+    spines, one trunk per (leaf, spine) pair.
+
+    Parameters
+    ----------
+    downlinks_per_leaf / downlink_gbps:
+        The edge provisioning each leaf is sized for; with
+        ``oversubscription`` they determine the trunk serialization rate
+        (see the module docstring for the arithmetic).
+    leaf_latency_ns / spine_latency_ns:
+        Per-stage store-and-forward latency.
+    """
+
+    def __init__(self, env: Environment, n_leaves: int, n_spines: int = 1, *,
+                 downlinks_per_leaf: int = 2, downlink_gbps: float = 10.0,
+                 oversubscription: float = 1.0,
+                 leaf_latency_ns: int = 800, spine_latency_ns: int = 800,
+                 trunk_propagation_ns: int = DEFAULT_TRUNK_PROPAGATION_NS,
+                 name: str = "fabric") -> None:
+        if n_leaves < 1:
+            raise ValueError(f"need at least one leaf, got {n_leaves}")
+        if n_spines < 1:
+            raise ValueError(f"need at least one spine, got {n_spines}")
+        if downlinks_per_leaf < 1:
+            raise ValueError(
+                f"need at least one downlink per leaf, got {downlinks_per_leaf}")
+        if oversubscription <= 0:
+            raise ValueError(
+                f"oversubscription ratio must be positive: {oversubscription}")
+        self.env = env
+        self.name = name
+        self.oversubscription = oversubscription
+        self.trunk_gbps = (downlinks_per_leaf * downlink_gbps
+                           / (oversubscription * n_spines))
+        self.leaves: List[Switch] = [
+            Switch(env, f"{name}.leaf{r}", leaf_latency_ns, learning=True)
+            for r in range(n_leaves)]
+        self.spines: List[Switch] = [
+            # All spine ports are trunks; split horizon there would
+            # blackhole every flood the spine exists to relay.
+            Switch(env, f"{name}.spine{s}", spine_latency_ns, learning=True,
+                   split_horizon=False)
+            for s in range(n_spines)]
+        self.trunk_links: Dict[str, Link] = {}
+        self._trunk_ports: Dict[Tuple[int, int], LinkEndpoint] = {}
+        # Single-leaf fabrics are a plain ToR switch: no trunks needed,
+        # and a spine with one port would blackhole split-horizon floods.
+        if n_leaves > 1:
+            for r, leaf in enumerate(self.leaves):
+                for s, spine in enumerate(self.spines):
+                    trunk = Link(env, gbps=self.trunk_gbps,
+                                 propagation_ns=trunk_propagation_ns,
+                                 name=f"{name}.trunk-r{r}s{s}")
+                    self.trunk_links[trunk.name] = trunk
+                    # Floods climb only the designated spine-0 uplink.
+                    leaf.add_port(trunk, "a", trunk=True, no_flood=(s > 0))
+                    spine.add_port(trunk, "b", trunk=True)
+                    self._trunk_ports[(r, s)] = trunk.side_a
+
+    # -- wiring ------------------------------------------------------------
+
+    def host_port(self, rack: int, link: Link) -> LinkEndpoint:
+        """Attach a host link to rack ``rack``'s leaf; returns the
+        host-facing endpoint (the leaf takes ``link.side_a``)."""
+        return self.leaves[rack].add_port(link)
+
+    def learn_host(self, rack: int, mac, link: Link) -> None:
+        """Statically provision ``mac`` behind a host link on ``rack``'s
+        leaf (the builder knows placement; saves the first-frame flood)."""
+        self.leaves[rack].learn(mac, link.side_a)
+
+    def trunk_port(self, rack: int, spine: int) -> LinkEndpoint:
+        """The leaf-side endpoint of one trunk (for static uplink routes)."""
+        return self._trunk_ports[(rack, spine)]
+
+    # -- observation -------------------------------------------------------
+
+    @property
+    def switches(self) -> List[Switch]:
+        return self.leaves + self.spines
+
+    def counters(self) -> Dict[str, int]:
+        """Fabric-wide totals of every per-switch datapath counter."""
+        totals = {"ingress": 0, "forwarded": 0, "flooded": 0,
+                  "unknown_dst": 0, "filtered": 0}
+        for switch in self.switches:
+            for key in sorted(totals):
+                totals[key] += getattr(switch, key).value
+        return totals
+
+    def trunk_tx_bytes(self) -> int:
+        """Bytes serialized onto trunks, both directions, all pairs."""
+        total = 0
+        for trunk_name in sorted(self.trunk_links):
+            trunk = self.trunk_links[trunk_name]
+            total += trunk.side_a.tx_bytes + trunk.side_b.tx_bytes
+        return total
+
+    def check_conservation(self) -> List[str]:
+        """Per-switch frame conservation: every ingressed frame must be
+        accounted for as a unicast forward, a flood (>=1 copies), or an
+        explicitly filtered drop.  Returns violation strings (empty = ok).
+        """
+        problems: List[str] = []
+        for switch in self.switches:
+            accounted = (switch.forwarded.value + switch.flood_frames
+                         + switch.filtered.value)
+            if switch.frames_in != accounted:
+                problems.append(
+                    f"{switch.name}: {switch.frames_in} frames in but "
+                    f"{accounted} accounted "
+                    f"(forwarded={switch.forwarded.value} "
+                    f"flood_frames={switch.flood_frames} "
+                    f"filtered={switch.filtered.value})")
+        return problems

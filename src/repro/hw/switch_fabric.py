@@ -1,41 +1,140 @@
 """A rack top-of-rack Ethernet switch.
 
-Store-and-forward with a fixed forwarding latency and a static MAC table
-(hosts register the MACs reachable behind each port).  Egress contention is
-emergent: forwarded frames queue on the egress link's serializer.
+Store-and-forward with a fixed forwarding latency and a MAC table that is
+either static (hosts register the MACs reachable behind each port) or
+dynamically learned from frame source addresses (``learning=True``, the
+multi-rack fabric configuration).  Egress contention is emergent:
+forwarded frames queue on the egress link's serializer.
+
+Frames whose destination MAC has no table entry are *flooded* to every
+eligible port except the ingress — real L2 behaviour, and the failure
+signal a mis-wired fabric needs (a silent drop blackholes traffic with
+nothing but a counter).  ``strict=True`` turns an unlearned destination
+into an immediate :class:`UnknownDestinationError` instead, for
+topologies whose MAC tables are fully provisioned up front.
+
+Two fabric-specific port attributes keep a two-tier leaf/spine fabric
+loop-free without modelling spanning tree:
+
+* ``trunk`` ports connect switches; on a split-horizon switch (the
+  default — the leaf role) a frame that ingressed on a trunk is never
+  flooded back out another trunk, so floods fan out down the tree but
+  never cycle back up.  Spines are built with ``split_horizon=False``:
+  every spine port is a trunk, and a spine's whole job is to relay a
+  leaf's flood to the other leaves, whose own split horizon then stops
+  the loop;
+* ``no_flood`` marks redundant trunks (a leaf's uplinks to spines past
+  the designated one) as blocked for flooding, the way spanning tree
+  blocks redundant paths, while learned/static entries may still steer
+  unicast traffic over them.
+
+The egress path batches same-timestamp forwards to one port into a
+single scheduled callback (one :class:`_EgressFlush` per ``(port, due)``
+pair, recycled through a small freelist) instead of one ``call_soon``
+closure per frame — fabric stages sit on the engine hot path, and the
+per-frame lambda allocation dominated it.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
+from functools import partial
+from typing import Dict, List, Set, Tuple
 
 from ..sim import Counter, Environment
 from ..net.frame import EthernetFrame, MacAddress
 from .link import Link, LinkEndpoint
 
-__all__ = ["Switch"]
+__all__ = ["Switch", "UnknownDestinationError"]
+
+# Recycled egress-flush callables per switch; deeper pools just hold
+# garbage alive (a flush frees at its due time, so the live population is
+# bounded by distinct (port, due) pairs in one forwarding window).
+_FLUSH_POOL_LIMIT = 64
+
+
+class UnknownDestinationError(RuntimeError):
+    """A strict-mode switch saw a frame for an unlearned MAC."""
+
+
+class _EgressFlush:
+    """One scheduled egress batch: every frame forwarded to one port at
+    one due time, transmitted by a single engine callback."""
+
+    __slots__ = ("switch", "port", "due", "frames")
+
+    def __init__(self, switch: "Switch") -> None:
+        self.switch = switch
+        self.port: LinkEndpoint = None  # type: ignore[assignment]
+        self.due = 0
+        self.frames: List[EthernetFrame] = []
+
+    def __call__(self) -> None:
+        switch = self.switch
+        del switch._pending[(self.port, self.due)]
+        transmit = self.port.transmit
+        for frame in self.frames:
+            transmit(frame)
+        self.frames.clear()
+        self.port = None  # type: ignore[assignment]
+        pool = switch._flush_pool
+        if len(pool) < _FLUSH_POOL_LIMIT:
+            pool.append(self)
 
 
 class Switch:
     """An N-port switch; create ports with :meth:`add_port`."""
 
     def __init__(self, env: Environment, name: str = "switch",
-                 forwarding_latency_ns: int = 800) -> None:
+                 forwarding_latency_ns: int = 800, *,
+                 learning: bool = False, strict: bool = False,
+                 split_horizon: bool = True) -> None:
+        if learning and strict:
+            raise ValueError(
+                f"{name}: strict mode presumes a fully provisioned MAC "
+                "table; it cannot be combined with dynamic learning")
         self.env = env
         self.name = name
         self.forwarding_latency_ns = forwarding_latency_ns
+        self.learning = learning
+        self.strict = strict
+        self.split_horizon = split_horizon
         self._ports: List[LinkEndpoint] = []
+        self._trunks: Set[LinkEndpoint] = set()
+        self._no_flood: Set[LinkEndpoint] = set()
         self._mac_table: Dict[MacAddress, LinkEndpoint] = {}
+        self._pending: Dict[Tuple[LinkEndpoint, int], _EgressFlush] = {}
+        self._flush_pool: List[_EgressFlush] = []
+        self.ingress = Counter(f"{name}.ingress")
         self.forwarded = Counter(f"{name}.forwarded")
         self.unknown_dst = Counter(f"{name}.unknown_dst")
+        self.flooded = Counter(f"{name}.flooded")
+        self.filtered = Counter(f"{name}.filtered")
+        # Frames (not copies) that flooded to >= 1 port; closes the
+        # conservation identity frames_in == forwarded + flood_frames
+        # + filtered, which `flooded` (a copy count) cannot.
+        self._flood_frames = 0
 
-    def add_port(self, link: Link) -> LinkEndpoint:
-        """Attach the switch to ``link.side_a``; returns the host-facing
-        ``side_b`` endpoint for the device on the other end."""
-        port = link.side_a
-        port.attach_receiver(lambda frame, p=port: self._ingress(p, frame))
+    def add_port(self, link: Link, side: str = "a", *,
+                 trunk: bool = False, no_flood: bool = False) -> LinkEndpoint:
+        """Attach the switch to one side of ``link`` (default ``side_a``);
+        returns the far endpoint for the device on the other end.
+
+        ``trunk`` marks a switch-to-switch port (split-horizon flooding);
+        ``no_flood`` blocks the port for floods (redundant uplinks).
+        """
+        if side == "a":
+            port, far = link.side_a, link.side_b
+        elif side == "b":
+            port, far = link.side_b, link.side_a
+        else:
+            raise ValueError(f"side must be 'a' or 'b', got {side!r}")
+        port.attach_receiver(partial(self._ingress_frame, port))
         self._ports.append(port)
-        return link.side_b
+        if trunk:
+            self._trunks.add(port)
+        if no_flood:
+            self._no_flood.add(port)
+        return far
 
     def learn(self, mac: MacAddress, port: LinkEndpoint) -> None:
         """Statically map ``mac`` to a switch port."""
@@ -43,11 +142,87 @@ class Switch:
             raise ValueError(f"{port.name} is not a port of {self.name}")
         self._mac_table[mac] = port
 
-    def _ingress(self, in_port: LinkEndpoint, frame: EthernetFrame) -> None:
+    @property
+    def ports(self) -> List[LinkEndpoint]:
+        return list(self._ports)
+
+    def is_trunk(self, port: LinkEndpoint) -> bool:
+        return port in self._trunks
+
+    @property
+    def frames_in(self) -> int:
+        """Frames this switch ingressed (conservation bookkeeping)."""
+        return self.ingress.value
+
+    @property
+    def frames_out(self) -> int:
+        """Egress copies emitted: unicast forwards plus flood copies."""
+        return self.forwarded.value + self.flooded.value
+
+    @property
+    def frames_dropped(self) -> int:
+        """Frames that produced no egress copy: hairpin-filtered frames
+        plus unknown-destination frames with no eligible flood port."""
+        return self.filtered.value
+
+    @property
+    def flood_frames(self) -> int:
+        """Ingress frames that were flooded to at least one port."""
+        return self._flood_frames
+
+    def _ingress_frame(self, in_port: LinkEndpoint,
+                       frame: EthernetFrame) -> None:
+        self.ingress.add()
+        if self.learning:
+            self._mac_table[frame.src] = in_port
         out_port = self._mac_table.get(frame.dst)
         if out_port is None:
             self.unknown_dst.add()
+            if self.strict:
+                raise UnknownDestinationError(
+                    f"{self.name}: no MAC table entry for {frame.dst!r} "
+                    f"(frame from {frame.src!r} on {in_port.name})")
+            self._flood(in_port, frame)
+            return
+        if out_port is in_port:
+            # Destination is behind the ingress port: filter, no hairpin.
+            self.filtered.add()
             return
         self.forwarded.add()
-        self.env.call_soon(lambda: out_port.transmit(frame),
-                           delay=self.forwarding_latency_ns)
+        self._forward(out_port, frame)
+
+    def _flood(self, in_port: LinkEndpoint, frame: EthernetFrame) -> None:
+        """Real L2: copy the frame to every eligible port except ingress.
+
+        Split horizon for the two-tier fabric (leaf role only): a frame
+        that arrived on a trunk never goes back out another trunk, and
+        ``no_flood`` ports (blocked redundant uplinks) never carry
+        floods at all.
+        """
+        from_trunk = self.split_horizon and in_port in self._trunks
+        copies = 0
+        for port in self._ports:
+            if port is in_port or port in self._no_flood:
+                continue
+            if from_trunk and port in self._trunks:
+                continue
+            self._forward(port, frame)
+            copies += 1
+        if copies:
+            self.flooded.add(copies)
+            self._flood_frames += 1
+        else:
+            self.filtered.add()
+
+    def _forward(self, out_port: LinkEndpoint, frame: EthernetFrame) -> None:
+        due = self.env.now + self.forwarding_latency_ns
+        key = (out_port, due)
+        flush = self._pending.get(key)
+        if flush is None:
+            pool = self._flush_pool
+            flush = pool.pop() if pool else _EgressFlush(self)
+            flush.port = out_port
+            flush.due = due
+            self._pending[key] = flush
+            self.env.call_soon(flush, delay=self.forwarding_latency_ns)
+        flush.frames.append(frame)

@@ -5,7 +5,8 @@ campaign reports) assumes bit-identical runs.  These rules catch the
 constructs that historically break that promise:
 
 * SIM101 — wall-clock reads inside the simulation tree;
-* SIM102 — RNG streams not threaded from the seeded registry;
+* SIM102 — RNG streams not threaded from the seeded registry, and
+  ``.stream(...)`` substream names derived from ``id()``/``hash()``;
 * SIM103 — ``id()``/``hash()`` inside ordering keys (both vary per
   process: ``id`` is an address, ``hash`` of str is salted);
 * SIM104 — unordered iteration (``dict.values()``/``dict.items()``/sets)
@@ -85,7 +86,12 @@ class UnseededRandomRule(Rule):
 
     def visit_Call(self, node: ast.Call, ctx: FileContext) -> None:
         attr = _call_target(node)
-        if attr is None or _receiver_name(attr) != "random":
+        if attr is None:
+            return
+        if attr.attr == "stream":
+            self._check_stream_name(node, ctx)
+            return
+        if _receiver_name(attr) != "random":
             return
         if attr.attr != "Random":
             # random.random(), random.choice(), random.seed(), ... —
@@ -105,6 +111,21 @@ class UnseededRandomRule(Rule):
                         "random.Random(<constant seed>) creates a stream "
                         "divorced from the master seed; thread a "
                         "RngRegistry stream instead")
+
+    def _check_stream_name(self, node: ast.Call, ctx: FileContext) -> None:
+        """Substream names seed their streams: a name derived from id()
+        or hash() varies per process, so the draws (open-loop arrivals,
+        object sizes, fault schedules) silently stop replaying."""
+        for arg in list(node.args) + [kw.value for kw in node.keywords]:
+            for sub in ast.walk(arg):
+                if (isinstance(sub, ast.Call)
+                        and isinstance(sub.func, ast.Name)
+                        and sub.func.id in ("id", "hash")):
+                    self.report(ctx, sub,
+                                f"{sub.func.id}() inside a .stream(...) "
+                                f"substream name varies across processes; "
+                                f"derive the name from a stable label or "
+                                f"index instead")
 
 
 _ORDERING_CALLS = {"sorted", "min", "max", "sort"}

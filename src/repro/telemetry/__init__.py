@@ -52,6 +52,7 @@ from .instrument import (
     register_core,
     register_nic,
     register_storage_device,
+    register_switch,
     sample_utilization,
 )
 from .registry import MetricsNamespace, MetricsRegistry
@@ -73,7 +74,7 @@ from .timeline import (
 __all__ = [
     "MetricsRegistry", "MetricsNamespace",
     "instrument_testbed", "register_core", "register_nic",
-    "register_storage_device", "sample_utilization",
+    "register_storage_device", "register_switch", "sample_utilization",
     "StageBreakdown", "stage_breakdown", "trace_markers",
     "LatencyAttribution", "attribute", "stage_kind",
     "to_folded_stacks", "to_speedscope",

@@ -26,6 +26,7 @@ __all__ = [
     "register_core",
     "register_nic",
     "register_storage_device",
+    "register_switch",
     "sample_utilization",
 ]
 
@@ -53,6 +54,19 @@ def register_nic(registry: MetricsRegistry, prefix: str, nic) -> None:
         ns.register_gauge("link_tx_frames", lambda e=endpoint: e.tx_frames)
         ns.register_gauge("link_tx_bytes", lambda e=endpoint: e.tx_bytes)
         ns.register_gauge("link_tx_dropped", lambda e=endpoint: e.tx_dropped)
+
+
+def register_switch(registry: MetricsRegistry, prefix: str, switch) -> None:
+    """One switch's datapath counters.
+
+    ``unknown_dst``/``flooded`` are the mis-wiring signal: a fabric whose
+    MAC tables converged floods only its first frames, so a growing
+    flood rate mid-run means traffic is blackholing into broadcast.
+    """
+    ns = registry.namespace(prefix)
+    for counter in ("ingress", "forwarded", "unknown_dst", "flooded",
+                    "filtered"):
+        ns.register_counter(counter, getattr(switch, counter))
 
 
 def register_storage_device(registry: MetricsRegistry, device) -> None:
@@ -106,9 +120,19 @@ def instrument_testbed(testbed, registry: MetricsRegistry) -> MetricsRegistry:
     hosts = list(testbed.vmhosts)
     if testbed.iohost is not None:
         hosts.append(testbed.iohost)
+    hosts.extend(getattr(testbed, "iohosts", []))   # racks topology
     for host in hosts:
         for nic in host.nics:
             register_nic(registry, f"nic.{nic.name}", nic)
+
+    # The switched topology's rack switch / the racks topology's fabric.
+    switch = getattr(testbed, "switch", None)
+    if switch is not None:
+        register_switch(registry, f"switch.{switch.name}", switch)
+    fabric = getattr(testbed, "fabric", None)
+    if fabric is not None:
+        for stage in fabric.switches:
+            register_switch(registry, f"switch.{stage.name}", stage)
 
     for index, model in enumerate(testbed.models):
         hook = getattr(model, "register_telemetry", None)

@@ -22,7 +22,7 @@ from typing import Callable, Dict, List, Tuple
 
 from ..cluster import MODEL_NAMES, TestbedSpec, build_testbed
 from ..sim import ms
-from ..workloads import ApacheBench, NetperfRR, NetperfStream
+from ..workloads import ApacheBench, NetperfRR, NetperfStream, OpenLoopRR
 from ..workloads.filebench import FilebenchRandomIO
 from .invariants import EngineMonitor
 
@@ -230,6 +230,43 @@ def _scalability_scenario():
     return build
 
 
+def _dc_scale_scenario():
+    def build(seed: int) -> ScenarioResult:
+        tb = build_testbed(TestbedSpec(model="vrio", topology="racks",
+                                       n_racks=2, n_vmhosts=1,
+                                       vms_per_host=1, sidecores=1,
+                                       seed=seed))
+        monitor = EngineMonitor.attach(tb.env)
+        workloads = [
+            OpenLoopRR(tb.env, tb.clients[i], tb.ports[i], tb.costs,
+                       arrivals_rng=tb.rng.stream(f"openloop-{i}-arrivals"),
+                       size_rng=tb.rng.stream(f"openloop-{i}-sizes"),
+                       phase_rng=tb.rng.stream(f"openloop-{i}-phase"),
+                       users=500, diurnal_amplitude=0.3,
+                       diurnal_period_ns=ms(3), burst_factor=2.0,
+                       warmup_ns=_RR_WARMUP_NS)
+            for i in range(len(tb.vms))]
+        _bind_workloads(tb, workloads)
+        tb.env.run(until=_RR_RUN_NS)
+        counters = tb.fabric.counters()
+        extra = {
+            "openloop.offered": sum(w.offered for w in workloads),
+            "openloop.transactions": sum(
+                w.transactions for w in workloads),
+            "openloop.p99_latency_us": max(
+                w.percentile_us(99) for w in workloads),
+            "fabric.ingress": counters["ingress"],
+            "fabric.forwarded": counters["forwarded"],
+            "fabric.flooded": counters["flooded"],
+            "fabric.unknown_dst": counters["unknown_dst"],
+            "fabric.filtered": counters["filtered"],
+            "fabric.trunk_tx_bytes": tb.fabric.trunk_tx_bytes(),
+        }
+        return _finish("dc_scale", tb, workloads, monitor, extra)
+
+    return build
+
+
 def _fault_scenario(campaign_name: str):
     def build(seed: int) -> ScenarioResult:
         # Lazy: repro.faults pulls in the experiment executor; the scenario
@@ -289,6 +326,9 @@ def _build_registry() -> Dict[str, Scenario]:
     add("scalability_vrio",
         "one IOhost serving 2 VMhosts x 2 VMs (Fig. 13 topology)",
         _scalability_scenario(), "net", "scalability", "vrio")
+    add("dc_scale",
+        "2-rack leaf/spine fabric under open-loop cross-rack load",
+        _dc_scale_scenario(), "net", "fabric", "openloop", "vrio")
     add("fault_iohost_crash",
         "IOhost crash detected via §4.5 timeouts, §4.6 failover to "
         "local virtio",

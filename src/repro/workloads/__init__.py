@@ -1,11 +1,14 @@
-"""The paper's five benchmark workloads (§5 Methodology)."""
+"""The paper's five benchmark workloads (§5 Methodology), plus the
+open-loop session generator used by datacenter-scale runs."""
 
 from .filebench import FilebenchRandomIO, WebserverPersonality
 from .netperf import NetperfRR, NetperfStream
+from .openloop import OpenLoopRR, bounded_pareto
 from .transactional import ApacheBench, Memslap, TransactionalWorkload
 
 __all__ = [
     "NetperfRR", "NetperfStream",
+    "OpenLoopRR", "bounded_pareto",
     "TransactionalWorkload", "ApacheBench", "Memslap",
     "FilebenchRandomIO", "WebserverPersonality",
 ]

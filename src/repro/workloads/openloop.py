@@ -1,0 +1,210 @@
+"""Open-loop session load for datacenter-scale runs.
+
+The paper's netperf harness is *closed-loop*: each client waits for its
+response before issuing the next request, so offered load self-throttles
+exactly when the system congests — the regime where p99 matters most is
+the regime a closed loop refuses to enter.  :class:`OpenLoopRR` issues
+requests on an arrival process that does not care whether earlier
+requests completed, the way real user populations do.
+
+The arrival process is a thinned non-homogeneous Poisson process
+(Lewis–Shedler): candidate arrivals are drawn at the peak rate and
+accepted with probability ``rate(t) / peak``, which keeps the draw
+count — and therefore the RNG stream consumption — independent of the
+rate curve's shape.  The instantaneous rate composes three factors:
+
+* a base session rate, ``users × rate_per_user_hz`` (the *users* axis of
+  a ``dc_scale`` sweep scales offered load without touching topology);
+* a diurnal curve — a sinusoid with configurable amplitude and a
+  time-compressed period so a millisecond-scale run sees whole cycles;
+* a 2-state MMPP burst modulator: a background Markov chain flips
+  between a calm state and one ``burst_factor`` hotter, with
+  exponentially distributed dwell times.
+
+Response sizes are bounded-Pareto (heavy-tailed objects, truncated so a
+single draw cannot exceed the wire's sanity), drawn client-side and
+carried to the server in request metadata so the echo path stays
+stateless.  All randomness comes from three dedicated substreams
+(``arrivals``, ``sizes``, ``phase``) that callers mint from the run's
+:class:`repro.sim.RngRegistry` — one draw order, bit-identical replays.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, Optional
+
+from ..iomodels.base import ExternalEndpoint, NetMessage, NetPort
+from ..iomodels.costs import CostModel, DEFAULT_COSTS
+from ..sim import Environment, Histogram
+
+__all__ = ["OpenLoopRR", "bounded_pareto"]
+
+_NS_PER_S = 1_000_000_000
+
+
+def bounded_pareto(rng: random.Random, alpha: float, low: float,
+                   high: float) -> float:
+    """One bounded-Pareto(alpha, L=low, H=high) variate via inversion."""
+    u = rng.random()
+    la, ha = low ** -alpha, high ** -alpha
+    return (la - u * (la - ha)) ** (-1.0 / alpha)
+
+
+class OpenLoopRR:
+    """One open-loop request source driving one VM port.
+
+    ``users`` sessions each offer ``rate_per_user_hz`` requests/s on
+    average; the generator is their superposition (a single thinned
+    NHPP at ``users × rate_per_user_hz``, rate-modulated as described in
+    the module docstring).  Requests are fired without waiting for
+    responses; per-request latency is matched up by request id.
+
+    Telemetry: ``latency_ns`` (histogram) and ``transactions`` (progress
+    counter) follow the workload-attribute naming the registry binds
+    automatically; ``offered`` counts requests sent (post-warmup), so
+    ``offered - transactions`` is the in-flight/abandoned backlog.
+    """
+
+    def __init__(self, env: Environment, client: ExternalEndpoint,
+                 port: NetPort, costs: CostModel = DEFAULT_COSTS, *,
+                 arrivals_rng: random.Random,
+                 size_rng: random.Random,
+                 phase_rng: random.Random,
+                 users: int = 1,
+                 rate_per_user_hz: float = 50.0,
+                 diurnal_amplitude: float = 0.0,
+                 diurnal_period_ns: int = 2_000_000,
+                 burst_factor: float = 1.0,
+                 burst_dwell_ns: int = 200_000,
+                 request_bytes: int = 64,
+                 size_alpha: float = 1.3,
+                 size_low: int = 64,
+                 size_high: int = 16_384,
+                 warmup_ns: int = 1_000_000):
+        if users <= 0:
+            raise ValueError(f"need at least one user, got {users}")
+        if rate_per_user_hz <= 0:
+            raise ValueError(f"rate must be positive: {rate_per_user_hz}")
+        if not 0.0 <= diurnal_amplitude < 1.0:
+            raise ValueError(
+                f"diurnal amplitude must be in [0, 1): {diurnal_amplitude}")
+        if burst_factor < 1.0:
+            raise ValueError(
+                f"burst factor must be >= 1: {burst_factor}")
+        if not 0 < size_low <= size_high:
+            raise ValueError(
+                f"need 0 < size_low <= size_high, got "
+                f"{size_low}..{size_high}")
+        self.env = env
+        self.client = client
+        self.port = port
+        self.costs = costs
+        self.users = users
+        self.base_rate_hz = users * rate_per_user_hz
+        self.diurnal_amplitude = diurnal_amplitude
+        self.diurnal_period_ns = diurnal_period_ns
+        self.burst_factor = burst_factor
+        self.burst_dwell_ns = burst_dwell_ns
+        self.request_bytes = request_bytes
+        self.size_alpha = size_alpha
+        self.size_low = size_low
+        self.size_high = size_high
+        self.warmup_ns = warmup_ns
+        self._arrivals_rng = arrivals_rng
+        self._size_rng = size_rng
+        self._phase_rng = phase_rng
+        self.latency_ns = Histogram("openloop_latency_ns")
+        self.transactions = 0        # responses received post-warmup
+        self.offered = 0             # requests sent post-warmup
+        self._burst_state = 0
+        self._next_req = 0
+        self._sent_ns: Dict[int, int] = {}
+        port.receive_handler = self._serve
+        client.receive_handler = self._on_response
+        env.process(self._arrival_loop(),
+                    name=f"openloop:{port.vm.name}")
+        if burst_factor > 1.0:
+            env.process(self._burst_modulator(),
+                        name=f"openloop-mmpp:{port.vm.name}")
+
+    # -- rate curve ---------------------------------------------------------
+
+    @property
+    def peak_rate_hz(self) -> float:
+        """The thinning envelope: every factor at its maximum."""
+        return (self.base_rate_hz * (1.0 + self.diurnal_amplitude)
+                * self.burst_factor)
+
+    def rate_hz(self, now_ns: int) -> float:
+        """The instantaneous offered rate at simulation time ``now_ns``."""
+        rate = self.base_rate_hz
+        if self.diurnal_amplitude:
+            phase = 2.0 * math.pi * now_ns / self.diurnal_period_ns
+            rate *= 1.0 + self.diurnal_amplitude * math.sin(phase)
+        if self._burst_state:
+            rate *= self.burst_factor
+        return rate
+
+    def _burst_modulator(self):
+        """2-state MMPP: exponential dwell in calm, then in burst."""
+        rng = self._phase_rng
+        while True:
+            yield self.env.timeout(
+                max(1, round(rng.expovariate(1.0 / self.burst_dwell_ns))))
+            self._burst_state ^= 1
+
+    # -- client side --------------------------------------------------------
+
+    def _arrival_loop(self):
+        env = self.env
+        rng = self._arrivals_rng
+        peak = self.peak_rate_hz
+        mean_gap_ns = _NS_PER_S / peak
+        while True:
+            # Lewis–Shedler thinning: candidates at the peak rate,
+            # accepted with probability rate(now)/peak.
+            gap = max(1, round(rng.expovariate(1.0) * mean_gap_ns))
+            yield env.timeout(gap)
+            if rng.random() * peak > self.rate_hz(env.now):
+                continue
+            self._fire()
+
+    def _fire(self) -> None:
+        req = self._next_req
+        self._next_req += 1
+        resp_bytes = max(self.size_low, min(self.size_high, round(
+            bounded_pareto(self._size_rng, self.size_alpha,
+                           self.size_low, self.size_high))))
+        self._sent_ns[req] = self.env.now
+        if self.env.now >= self.warmup_ns:
+            self.offered += 1
+        self.client.send(self.port.mac, self.request_bytes, kind="ol_req",
+                         meta={"req": req, "resp_bytes": resp_bytes})
+
+    def _on_response(self, message: NetMessage) -> None:
+        sent = self._sent_ns.pop(message.meta["req"], None)
+        if sent is None or sent < self.warmup_ns:
+            return
+        self.latency_ns.add(self.env.now - sent)
+        self.transactions += 1
+
+    # -- guest side: echo server --------------------------------------------
+
+    def _serve(self, message: NetMessage) -> None:
+        self.env.process(self._serve_path(message))
+
+    def _serve_path(self, message: NetMessage):
+        cycles = self.port.app_cycles(self.costs.netperf_rr_server_cycles)
+        yield self.port.vm.compute(cycles, tag="openloop_server")
+        self.port.send(message.src, message.meta["resp_bytes"],
+                       kind="ol_resp", meta=dict(message.meta))
+
+    # -- results ------------------------------------------------------------
+
+    def mean_latency_us(self) -> float:
+        return self.latency_ns.mean() / 1_000.0
+
+    def percentile_us(self, q: float) -> float:
+        return self.latency_ns.percentile(q) / 1_000.0

@@ -1,0 +1,283 @@
+"""Unit tests for the switch datapath rewrite and leaf/spine fabrics.
+
+Covers the bugfix batch (flood-by-default, strict mode, hairpin filter,
+egress batching timing) and the LeafSpineFabric wiring invariants
+(loop-free floods, MAC-table convergence, frame conservation).
+"""
+
+import pytest
+
+from repro.hw import LeafSpineFabric, Link, Switch, UnknownDestinationError
+from repro.net import EthernetFrame, MacAddress
+from repro.sim import Environment, wire_time_ns
+
+
+def make_frame(src, dst, size=1232, kind="data"):
+    # 1232 payload + 18 header = 1250 wire bytes -> 1000 ns at 10 Gbps.
+    return EthernetFrame(src=src, dst=dst, payload=None,
+                         payload_bytes=size, kind=kind)
+
+
+def wire_switch(env, n_hosts, **switch_kw):
+    """A switch with ``n_hosts`` host links; returns (switch, endpoints,
+    macs, arrival lists)."""
+    switch = Switch(env, **switch_kw)
+    ends, macs, arrivals = [], [], []
+    for i in range(n_hosts):
+        link = Link(env, gbps=10.0, propagation_ns=0, name=f"h{i}")
+        end = switch.add_port(link)
+        got = []
+        end.attach_receiver(lambda f, got=got: got.append((env.now, f)))
+        ends.append(end)
+        macs.append(MacAddress(f"h{i}"))
+        arrivals.append(got)
+    return switch, ends, macs, arrivals
+
+
+# ---------------------------------------------------------------------------
+# Switch datapath: flood / strict / hairpin / learning
+# ---------------------------------------------------------------------------
+
+def test_unknown_dst_floods_to_all_other_ports():
+    env = Environment()
+    switch, ends, macs, arrivals = wire_switch(env, 3)
+    ends[0].transmit(make_frame(macs[0], macs[1]))
+    env.run()
+    assert len(arrivals[0]) == 0          # never back out the ingress port
+    assert len(arrivals[1]) == 1
+    assert len(arrivals[2]) == 1
+    assert switch.ingress.value == 1
+    assert switch.unknown_dst.value == 1
+    assert switch.flooded.value == 2      # copies
+    assert switch.flood_frames == 1       # frames
+    assert switch.forwarded.value == 0
+    assert switch.frames_in == (switch.forwarded.value
+                                + switch.flood_frames
+                                + switch.filtered.value)
+
+
+def test_strict_switch_raises_on_unknown_dst():
+    env = Environment()
+    switch, ends, macs, _ = wire_switch(env, 2, strict=True)
+    ends[0].transmit(make_frame(macs[0], macs[1]))
+    with pytest.raises(UnknownDestinationError):
+        env.run()
+    assert switch.unknown_dst.value == 1
+
+
+def test_strict_mode_rejects_learning():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Switch(env, learning=True, strict=True)
+
+
+def test_hairpin_to_ingress_port_is_filtered():
+    env = Environment()
+    switch, ends, macs, arrivals = wire_switch(env, 2)
+    # Both MACs provisioned behind port 0: a frame from port 0 to the
+    # other MAC would hairpin, so the switch filters it.
+    switch.learn(macs[0], switch.ports[0])
+    switch.learn(macs[1], switch.ports[0])
+    ends[0].transmit(make_frame(macs[0], macs[1]))
+    env.run()
+    assert arrivals[0] == [] and arrivals[1] == []
+    assert switch.filtered.value == 1
+    assert switch.frames_dropped == 1
+    assert switch.forwarded.value == 0
+
+
+def test_flood_with_no_eligible_port_counts_filtered():
+    env = Environment()
+    switch, ends, macs, arrivals = wire_switch(env, 1)
+    ends[0].transmit(make_frame(macs[0], MacAddress("nowhere")))
+    env.run()
+    assert arrivals[0] == []
+    assert switch.unknown_dst.value == 1
+    assert switch.flooded.value == 0
+    assert switch.filtered.value == 1
+    assert switch.frames_in == (switch.forwarded.value
+                                + switch.flood_frames
+                                + switch.filtered.value)
+
+
+def test_mac_learning_converges_to_unicast():
+    env = Environment()
+    switch, ends, macs, arrivals = wire_switch(env, 3, learning=True)
+    ends[0].transmit(make_frame(macs[0], macs[1]))   # floods, learns h0
+    env.run()
+    ends[1].transmit(make_frame(macs[1], macs[0]))   # unicast, learns h1
+    env.run()
+    ends[0].transmit(make_frame(macs[0], macs[1]))   # unicast now
+    env.run()
+    assert switch.unknown_dst.value == 1             # only the first frame
+    assert switch.forwarded.value == 2
+    assert len(arrivals[2]) == 1                     # saw only the flood
+
+
+def test_learn_rejects_foreign_port():
+    env = Environment()
+    switch, _, macs, _ = wire_switch(env, 1)
+    other = Link(env, name="foreign")
+    with pytest.raises(ValueError):
+        switch.learn(macs[0], other.side_a)
+
+
+def test_add_port_rejects_bad_side():
+    env = Environment()
+    switch = Switch(env)
+    with pytest.raises(ValueError):
+        switch.add_port(Link(env), side="c")
+
+
+# ---------------------------------------------------------------------------
+# Egress batching: same-(port, due) forwards share one flush, timing exact
+# ---------------------------------------------------------------------------
+
+def test_unicast_timing_is_wire_plus_forwarding_latency():
+    env = Environment()
+    latency = 800
+    switch, ends, macs, arrivals = wire_switch(
+        env, 2, forwarding_latency_ns=latency)
+    switch.learn(macs[1], switch.ports[1])
+    ends[0].transmit(make_frame(macs[0], macs[1]))
+    env.run()
+    ser = wire_time_ns(1250, 10.0)                   # 1000 ns per hop
+    assert arrivals[1] == [(ser + latency + ser, arrivals[1][0][1])]
+
+
+def test_coincident_forwards_batch_without_changing_timing():
+    env = Environment()
+    latency = 800
+    switch, ends, macs, arrivals = wire_switch(
+        env, 3, forwarding_latency_ns=latency)
+    switch.learn(macs[2], switch.ports[2])
+    # Two same-size frames from different ingress links arrive at the
+    # switch at the same instant and share one egress flush; the egress
+    # link then serializes them FIFO.
+    ends[0].transmit(make_frame(macs[0], macs[2]))
+    ends[1].transmit(make_frame(macs[1], macs[2]))
+    env.run()
+    ser = 1000
+    times = [t for t, _ in arrivals[2]]
+    assert times == [ser + latency + ser, ser + latency + 2 * ser]
+    assert switch.forwarded.value == 2
+
+
+def test_flush_pool_recycles_across_windows():
+    env = Environment()
+    switch, ends, macs, arrivals = wire_switch(env, 2)
+    switch.learn(macs[1], switch.ports[1])
+    for _ in range(5):
+        ends[0].transmit(make_frame(macs[0], macs[1], size=100))
+        env.run()
+    assert len(arrivals[1]) == 5
+    assert not switch._pending                       # all flushes drained
+    assert len(switch._flush_pool) >= 1              # and were recycled
+
+
+# ---------------------------------------------------------------------------
+# LeafSpineFabric
+# ---------------------------------------------------------------------------
+
+def wire_fabric(env, n_leaves, n_spines, **kw):
+    fabric = LeafSpineFabric(env, n_leaves, n_spines, **kw)
+    ends, macs, arrivals = [], [], []
+    for r in range(n_leaves):
+        link = Link(env, gbps=10.0, propagation_ns=0, name=f"host{r}")
+        end = fabric.host_port(r, link)
+        got = []
+        end.attach_receiver(lambda f, got=got: got.append((env.now, f)))
+        ends.append(end)
+        macs.append(MacAddress(f"fh{r}"))
+        arrivals.append(got)
+    return fabric, ends, macs, arrivals
+
+
+def test_trunk_provisioning_follows_oversubscription():
+    env = Environment()
+    fabric = LeafSpineFabric(env, 4, 2, downlinks_per_leaf=4,
+                             downlink_gbps=10.0, oversubscription=4.0)
+    assert fabric.trunk_gbps == pytest.approx(4 * 10.0 / (4.0 * 2))
+    assert len(fabric.trunk_links) == 4 * 2
+    assert len(fabric.switches) == 6
+
+
+def test_single_leaf_fabric_builds_no_trunks():
+    env = Environment()
+    fabric = LeafSpineFabric(env, 1)
+    assert fabric.trunk_links == {}
+
+
+@pytest.mark.parametrize("kw", [
+    {"n_leaves": 0}, {"n_leaves": 2, "n_spines": 0},
+    {"n_leaves": 2, "downlinks_per_leaf": 0},
+    {"n_leaves": 2, "oversubscription": 0.0},
+])
+def test_fabric_validation(kw):
+    env = Environment()
+    n_leaves = kw.pop("n_leaves")
+    n_spines = kw.pop("n_spines", 1)
+    with pytest.raises(ValueError):
+        LeafSpineFabric(env, n_leaves, n_spines, **kw)
+
+
+def test_flood_reaches_every_other_host_exactly_once():
+    # 3 leaves, 2 spines: the redundant spine-1 uplinks are no_flood, the
+    # spine relays, leaf split horizon stops the climb back — one copy
+    # per remote host, zero copies back to the sender, no loops.
+    env = Environment()
+    fabric, ends, macs, arrivals = wire_fabric(env, 3, 2)
+    ends[0].transmit(make_frame(macs[0], MacAddress("unknown")))
+    env.run()
+    assert [len(a) for a in arrivals] == [0, 1, 1]
+    assert fabric.spines[0].ingress.value == 1
+    assert fabric.spines[1].ingress.value == 0       # no_flood uplink
+    assert fabric.check_conservation() == []
+
+
+def test_cross_rack_traffic_converges_to_unicast():
+    env = Environment()
+    fabric, ends, macs, arrivals = wire_fabric(env, 3, 1)
+    ends[0].transmit(make_frame(macs[0], macs[1]))   # floods fabric-wide
+    env.run()
+    # Every switch on the flood path misses the dst once: leaf0, the
+    # spine, and both remote leaves.
+    assert fabric.counters()["unknown_dst"] == 4
+    ends[1].transmit(make_frame(macs[1], macs[0]))   # reply unicasts
+    env.run()
+    ends[0].transmit(make_frame(macs[0], macs[1]))   # and so does this
+    env.run()
+    assert fabric.counters()["unknown_dst"] == 4     # no new floods
+    assert len(arrivals[0]) == 1 and len(arrivals[1]) == 2
+    assert len(arrivals[2]) == 1                     # only the first flood
+    assert fabric.check_conservation() == []
+
+
+def test_statically_learned_same_rack_hosts_never_flood():
+    env = Environment()
+    fabric = LeafSpineFabric(env, 1)
+    links = [Link(env, gbps=10.0, propagation_ns=0, name=f"s{i}")
+             for i in range(2)]
+    ends = [fabric.host_port(0, link) for link in links]
+    macs = [MacAddress(f"sh{i}") for i in range(2)]
+    for mac, link in zip(macs, links):
+        fabric.learn_host(0, mac, link)
+    got = []
+    ends[1].attach_receiver(lambda f: got.append(f))
+    ends[0].transmit(make_frame(macs[0], macs[1]))
+    env.run()
+    assert len(got) == 1
+    assert fabric.counters()["unknown_dst"] == 0
+    assert fabric.counters()["flooded"] == 0
+
+
+def test_trunk_tx_bytes_counts_both_directions():
+    env = Environment()
+    fabric, ends, macs, _ = wire_fabric(env, 2, 1)
+    ends[0].transmit(make_frame(macs[0], macs[1]))
+    env.run()
+    ends[1].transmit(make_frame(macs[1], macs[0]))
+    env.run()
+    # Each frame serializes onto two trunk segments (leaf -> spine,
+    # then spine -> leaf), once per direction of the exchange.
+    assert fabric.trunk_tx_bytes() == 4 * 1250

@@ -1,0 +1,86 @@
+"""Unit tests for the multi-rack ``racks`` topology builder."""
+
+import pytest
+
+from repro.cluster import TOPOLOGIES, TestbedSpec, build_testbed
+from repro.sim import ms
+from repro.workloads import NetperfRR
+
+
+def racks_spec(**overrides):
+    base = dict(model="vrio", topology="racks", n_racks=2, n_vmhosts=2,
+                vms_per_host=1, sidecores=1)
+    base.update(overrides)
+    return TestbedSpec(**base)
+
+
+def test_racks_testbed_shape():
+    tb = build_testbed(racks_spec(n_racks=3, n_vmhosts=2, vms_per_host=2))
+    assert len(tb.vms) == 3 * 2 * 2
+    assert len(tb.ports) == len(tb.vms)
+    assert len(tb.clients) == len(tb.vms)
+    # One IOhost per rack instead of the single-rack tb.iohost.
+    assert tb.iohost is None
+    assert len(tb.iohosts) == 3
+    assert len(tb.fabric.leaves) == 3
+    assert len(tb.fabric.spines) == 1
+
+
+def test_racks_spine_and_oversubscription_flow_into_fabric():
+    tb = build_testbed(racks_spec(n_racks=2, n_spines=2,
+                                  oversubscription=4.0))
+    assert len(tb.fabric.spines) == 2
+    assert tb.fabric.oversubscription == 4.0
+
+
+def test_clients_are_placed_on_the_next_rack():
+    # Rack r's VMs are exercised from rack (r+1) % n's load generator,
+    # so every request/response crosses the fabric.
+    tb = build_testbed(racks_spec(n_racks=2, n_vmhosts=1))
+    names = [client.core.name for client in tb.clients]
+    assert names[0].startswith("rack1/loadgen")
+    assert names[1].startswith("rack0/loadgen")
+
+
+def test_cross_rack_traffic_flows_and_conserves_frames():
+    tb = build_testbed(racks_spec(n_racks=2, n_vmhosts=1))
+    workloads = [NetperfRR(tb.env, client, port, warmup_ns=0,
+                           rng=tb.rng.stream(f"rr-client-{i}"))
+                 for i, (client, port) in enumerate(zip(tb.clients,
+                                                        tb.ports))]
+    tb.env.run(until=ms(2))
+    assert all(w.transactions > 0 for w in workloads)
+    assert tb.fabric.check_conservation() == []
+    counters = tb.fabric.counters()
+    assert counters["forwarded"] > counters["flooded"]
+
+
+def test_spec_round_trips_rack_fields():
+    spec = racks_spec(n_racks=4, n_spines=2, oversubscription=3.0)
+    data = spec.to_dict()
+    assert data["n_racks"] == 4
+    assert data["n_spines"] == 2
+    assert data["oversubscription"] == 3.0
+    assert TestbedSpec.from_dict(data) == spec
+
+
+def test_unknown_topology_error_lists_valid_ids():
+    with pytest.raises(ValueError) as err:
+        build_testbed(TestbedSpec(topology="mesh"))
+    message = str(err.value)
+    assert "'mesh'" in message
+    for topology in TOPOLOGIES:
+        assert topology in message
+
+
+def test_racks_topology_is_vrio_only():
+    with pytest.raises(ValueError, match="vRIO-only"):
+        build_testbed(racks_spec(model="elvis"))
+
+
+@pytest.mark.parametrize("overrides", [
+    {"n_racks": 0}, {"n_spines": 0}, {"oversubscription": 0.0},
+])
+def test_racks_validation(overrides):
+    with pytest.raises(ValueError):
+        build_testbed(racks_spec(**overrides))

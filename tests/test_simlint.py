@@ -197,6 +197,24 @@ def test_rng_registry_may_construct_random():
                         only=["SIM102"]).findings == []
 
 
+def test_identity_derived_stream_name_fires_sim102():
+    source = ("def build(rng, port):\n"
+              "    return rng.stream(f'openloop-{id(port)}-arrivals')\n")
+    result = lint_sources({"repro/workloads/gen.py": source},
+                          only=["SIM102"])
+    assert len(result.findings) == 1
+    assert "substream name" in result.findings[0].message
+
+
+def test_stable_stream_names_pass_sim102():
+    source = ("def build(rng, i):\n"
+              "    a = rng.stream(f'openloop-{i}-arrivals')\n"
+              "    b = rng.stream('openloop-' + str(i) + '-sizes')\n"
+              "    return a, b\n")
+    assert lint_sources({"repro/workloads/gen.py": source},
+                        only=["SIM102"]).findings == []
+
+
 def test_sorted_iteration_passes_sim104():
     source = ("def total(d):\n"
               "    return sum(d[k] for k in sorted(d))\n")
