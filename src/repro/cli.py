@@ -4,15 +4,19 @@ Commands
 --------
 list
     Show every reproducible artifact and its description.
-run ARTIFACT [--quick] [--chart] [--jobs N] [--no-cache] [--cache-dir D]
+run ARTIFACT [--quick] [--chart] [--models A,B,...] [--jobs N]
+             [--no-cache] [--cache-dir D]
     Regenerate one artifact (e.g. ``fig7``, ``tab3``, ``energy``) — or
     ``all`` of them — and print the reproduced rows; ``--chart`` adds an
-    ASCII chart for the series-valued figures.  ``--jobs`` fans sweep
-    points out over worker processes; results are byte-identical at any
-    job count.  Unchanged sweep points replay from the persistent result
-    cache (disable with ``--no-cache``).
-models
-    Describe the five I/O model configurations.
+    ASCII chart for the series-valued figures.  ``--models`` restricts a
+    model-comparison artifact to a comma-separated subset of registered
+    model ids (unknown ids exit 2 with the valid listing).  ``--jobs``
+    fans sweep points out over worker processes; results are
+    byte-identical at any job count.  Unchanged sweep points replay from
+    the persistent result cache (disable with ``--no-cache``).
+models [--list | --json]
+    Describe every I/O model in the registry: one-line description and
+    capability flags, generated from ``repro.iomodels.registry``.
 costs
     Dump the calibrated cost-model constants.
 verify [--scenario NAME] [--update-goldens] [--list] [--telemetry]
@@ -173,6 +177,14 @@ ARTIFACTS: Dict[str, Tuple[str, Callable]] = {
     "dc_scale": ("multi-rack fabric under open-loop load (extension)",
                  _dc_scale),
 }
+
+# Artifacts whose run_* functions take a ``models=`` registry filter, so
+# ``repro run FIG --models a,b,c`` can restrict the cast.  The remaining
+# artifacts have fixed casts (price models, vRIO-only topologies, the
+# vrio-vs-optimum latency-gap study, ...).
+MODEL_FILTERABLE = frozenset((
+    "tab3", "fig5", "fig7", "tab4", "fig9", "fig10", "fig12",
+    "fig14", "fig14ssd"))
 
 
 def _jobs_arg(value: str) -> Union[int, str]:
@@ -737,20 +749,80 @@ def _observe_command(args) -> int:
     return 0
 
 
-_MODEL_HELP = """The five I/O model configurations (paper §2):
+def _model_flags(info) -> str:
+    """One-line capability summary for a registered model."""
+    caps = info.capabilities
+    flags = []
+    if caps.net:
+        flags.append("net")
+    if caps.block:
+        flags.append("block")
+    if caps.polling:
+        flags.append("polling")
+    flags.append("exitless" if caps.exitless else "interrupt-driven")
+    if caps.ablation:
+        flags.append("ablation")
+    flags.append("topologies=" + ",".join(caps.topologies))
+    return " ".join(flags)
 
-baseline     KVM/virtio trap-and-emulate.  3 exits + 2 injections per
-             request-response; vhost threads on a shared I/O core.
-elvis        Local sidecores polling virtio rings, ELI completions,
-             interrupt-driven physical NIC.  State of the art.
-optimum      SRIOV + ELI direct assignment.  Fastest, but interposition
-             is impossible (no migration, metering, SDN, ...).
-vrio         THE PAPER.  Remote sidecores at an IOhost over an SRIOV
-             Ethernet channel; NIC polling; fully interposable at the
-             event cost of the optimum.
-vrio_nopoll  vRIO with interrupt-driven IOhost NICs (4 extra IOhost
-             interrupts per request-response) — Table 3/Figure 5's
-             ablation."""
+
+def _format_model_help() -> str:
+    """Registry-generated replacement for the old hand-written model help."""
+    from .iomodels.registry import all_models
+    import textwrap
+
+    infos = all_models()
+    lines = [f"The {len(infos)} registered I/O model configurations "
+             f"(paper §2 + ROADMAP item 3; see DESIGN.md §14):", ""]
+    for info in infos:
+        body = textwrap.wrap(info.description, width=66)
+        lines.append(f"{info.name:12s} {body[0]}")
+        for continuation in body[1:]:
+            lines.append(f"{'':12s} {continuation}")
+        lines.append(f"{'':12s} [{_model_flags(info)}]")
+    return "\n".join(lines)
+
+
+def _models_command(args) -> int:
+    from .iomodels.registry import all_models, model_names
+
+    if args.list:
+        for name in model_names():
+            print(name)
+        return 0
+    if args.json:
+        import json
+        payload = [{"name": info.name,
+                    "description": info.description,
+                    "net": info.capabilities.net,
+                    "block": info.capabilities.block,
+                    "polling": info.capabilities.polling,
+                    "exitless": info.capabilities.exitless,
+                    "ablation": info.capabilities.ablation,
+                    "topologies": list(info.capabilities.topologies)}
+                   for info in all_models()]
+        print(json.dumps(payload, indent=2))
+        return 0
+    print(_format_model_help())
+    return 0
+
+
+def _parse_models_filter(spec: str) -> Union[Tuple[str, ...], int]:
+    """Parse/validate a ``--models a,b,c`` value; 2 on a usage error."""
+    from .iomodels.registry import model_names
+
+    selected = tuple(m.strip() for m in spec.split(",") if m.strip())
+    if not selected:
+        print("--models needs at least one model id", file=sys.stderr)
+        print(f"valid models: {', '.join(model_names())}", file=sys.stderr)
+        return 2
+    unknown = [m for m in selected if m not in model_names()]
+    if unknown:
+        print(f"unknown model{'s' if len(unknown) > 1 else ''}: "
+              f"{', '.join(unknown)}", file=sys.stderr)
+        print(f"valid models: {', '.join(model_names())}", file=sys.stderr)
+        return 2
+    return selected
 
 
 def main(argv: Optional[list] = None) -> int:
@@ -766,7 +838,13 @@ def _main(argv: Optional[list] = None) -> int:
         prog="repro", description="vRIO (ASPLOS'16) reproduction toolkit")
     sub = parser.add_subparsers(dest="command")
     sub.add_parser("list", help="list reproducible artifacts")
-    sub.add_parser("models", help="describe the five I/O models")
+    models_parser = sub.add_parser(
+        "models", help="describe the registered I/O models")
+    models_parser.add_argument("--list", action="store_true",
+                               help="print just the model ids, one per line")
+    models_parser.add_argument("--json", action="store_true",
+                               help="dump the registry (names, descriptions, "
+                                    "capability flags) as JSON")
     sub.add_parser("costs", help="dump the calibrated cost constants")
     sub.add_parser("trace", help="trace one request-response through vRIO")
     run_parser = sub.add_parser(
@@ -779,6 +857,10 @@ def _main(argv: Optional[list] = None) -> int:
     run_parser.add_argument("--chart", action="store_true",
                             help="also render an ASCII chart (series "
                                  "figures only)")
+    run_parser.add_argument("--models", metavar="A,B,...", default=None,
+                            help="restrict a model-comparison artifact to "
+                                 "these registered model ids (comma-"
+                                 "separated; see 'repro models --list')")
     _add_sweep_flags(run_parser)
     verify_parser = sub.add_parser(
         "verify", help="run the verification harness")
@@ -921,8 +1003,7 @@ def _main(argv: Optional[list] = None) -> int:
             print(f"{name:10s} {ARTIFACTS[name][0]}")
         return 0
     if args.command == "models":
-        print(_MODEL_HELP)
-        return 0
+        return _models_command(args)
     if args.command == "costs":
         from dataclasses import fields
         for f in fields(DEFAULT_COSTS):
@@ -948,12 +1029,28 @@ def _main(argv: Optional[list] = None) -> int:
             print(f"valid artifacts: all, {', '.join(sorted(ARTIFACTS))}",
                   file=sys.stderr)
             return 2
+        models = None
+        if args.models is not None:
+            models = _parse_models_filter(args.models)
+            if isinstance(models, int):
+                return models
+            if args.artifact != "all" \
+                    and args.artifact not in MODEL_FILTERABLE:
+                print(f"{args.artifact} does not take a --models filter",
+                      file=sys.stderr)
+                print(f"filterable artifacts: "
+                      f"{', '.join(sorted(MODEL_FILTERABLE))}",
+                      file=sys.stderr)
+                return 2
         kw = {"jobs": args.jobs, "cache": _make_cache(args)}
         names = sorted(ARTIFACTS) if args.artifact == "all" \
             else [args.artifact]
         for i, name in enumerate(names):
             _description, runner = ARTIFACTS[name]
-            text, points = runner(args.quick, **kw)
+            if models is not None and name in MODEL_FILTERABLE:
+                text, points = runner(args.quick, models=models, **kw)
+            else:
+                text, points = runner(args.quick, **kw)
             if args.artifact == "all":
                 if i:
                     print()

@@ -31,16 +31,14 @@ from ..guest.vm import Vm
 from ..hw.cpu import Core
 from ..hw.link import Link
 from ..iomodels import (
-    BaselineModel,
     DEFAULT_COSTS,
-    ElvisModel,
     IoEventStats,
     NetPort,
-    OptimumModel,
     VrioModel,
 )
 from ..iomodels.base import ExternalEndpoint
 from ..iomodels.costs import CostModel
+from ..iomodels.registry import get_model, model_names
 from ..hw.storage import StorageDevice, make_ramdisk
 from ..sim import Environment, RngRegistry
 from ..telemetry import bind_testbed, register_storage_device
@@ -49,6 +47,8 @@ from .host import IoHostMachine, LoadGenHost, VmHostMachine
 __all__ = [
     "Testbed",
     "TestbedSpec",
+    "SimpleTopologyContext",
+    "ConsolidationContext",
     "build_testbed",
     "MODEL_NAMES",
     "TOPOLOGIES",
@@ -58,7 +58,10 @@ __all__ = [
     "build_switched_setup",
 ]
 
-MODEL_NAMES = ("baseline", "elvis", "optimum", "vrio", "vrio_nopoll")
+# Derived from the model registry (importing ..iomodels above registered
+# every model module): the catalog is the single source of truth, this
+# tuple is a snapshot taken at import time for the historical name.
+MODEL_NAMES = model_names()
 # TOPOLOGIES is derived from _TOPOLOGY_BUILDERS below — one registry,
 # so the error message for an unknown topology can never drift from the
 # set of builders that actually exist.
@@ -208,31 +211,29 @@ class TestbedSpec:
 
 
 def _check_model_name(model_name: str) -> None:
-    if model_name not in MODEL_NAMES:
-        raise ValueError(
-            f"unknown model {model_name!r}; expected one of {MODEL_NAMES}")
+    get_model(model_name)  # raises ValueError listing the valid ids
 
 
 def build_testbed(spec: TestbedSpec) -> Testbed:
     """Assemble the testbed a :class:`TestbedSpec` describes.
 
-    Validates the spec, dispatches on topology, binds telemetry, and —
-    when the spec carries a fault plan — arms a
-    :class:`repro.faults.FaultInjector` so the planned faults fire as
-    simulation events during the run.
+    Validates the spec against the model registry's capability flags,
+    dispatches on topology, binds telemetry, and — when the spec carries
+    a fault plan — arms a :class:`repro.faults.FaultInjector` so the
+    planned faults fire as simulation events during the run.
     """
-    _check_model_name(spec.model)
+    info = get_model(spec.model)
     if spec.topology not in _TOPOLOGY_BUILDERS:
         raise ValueError(
             f"unknown topology {spec.topology!r}; "
             f"valid topologies: {', '.join(TOPOLOGIES)}")
-    if spec.topology in ("scalability", "switched", "racks") \
-            and spec.model != "vrio":
+    if spec.topology not in info.capabilities.topologies:
+        if spec.topology == "consolidation":
+            raise ValueError(f"{spec.model} is not part of this experiment")
+        # The remaining multi-host topologies are hard-wired IOhost
+        # studies (scalability/switched/racks), which only vRIO declares.
         raise ValueError(
             f"the {spec.topology} topology is vRIO-only, got {spec.model!r}")
-    if spec.topology == "consolidation" and spec.model in ("optimum",
-                                                           "vrio_nopoll"):
-        raise ValueError(f"{spec.model} is not part of this experiment")
     if spec.topology == "simple" and spec.n_vmhosts != 1:
         raise ValueError("the simple topology has exactly one VMhost")
     if spec.n_vmhosts <= 0 or spec.vms_per_host <= 0:
@@ -260,9 +261,97 @@ def build_testbed(spec: TestbedSpec) -> Testbed:
     return testbed
 
 
+@dataclass
+class SimpleTopologyContext:
+    """What a registered model's simple-topology builder works with.
+
+    The testbed creates the VMhost and its VMs first (their creation
+    order is part of the reproducible surface), then hands this context
+    to the model's ``build_simple``.  The builder wires NICs, service
+    cores, and — for remote models — an IOhost and channel links, using
+    only the factories here, so model modules never import the cluster
+    layer.
+    """
+
+    env: Environment
+    spec: TestbedSpec
+    costs: CostModel
+    stats: IoEventStats
+    rng: RngRegistry
+    vmhost: VmHostMachine
+    vms: List[Vm]
+    iohost: Optional[IoHostMachine] = None
+    lg_endpoint: Optional[object] = None
+    links: Dict[str, Link] = field(default_factory=dict)
+    channels: List[object] = field(default_factory=list)
+
+    def new_iohost(self, name: str = "iohost") -> IoHostMachine:
+        """Create the setup's IOhost (remote-sidecore models only)."""
+        self.iohost = IoHostMachine(self.env, name, self.costs)
+        return self.iohost
+
+    def new_link(self, name: str, gbps: float, loss: float = 0.0) -> Link:
+        """A named fabric link; lossy links draw from ``{name}-loss``."""
+        link = Link(self.env, gbps=gbps,
+                    propagation_ns=self.costs.propagation_ns,
+                    loss_probability=loss,
+                    rng=self.rng.stream(f"{name}-loss") if loss else None,
+                    name=name)
+        self.links[name] = link
+        return link
+
+    def wire_loadgen(self, nic) -> None:
+        """Hang the load-generator link off ``nic`` (the model-facing
+        side of the client fabric; the LoadGenHost itself is attached by
+        the testbed afterwards iff the spec asks for clients)."""
+        lg_link = Link(self.env, gbps=self.costs.link_gbps,
+                       propagation_ns=self.costs.propagation_ns, name="lg")
+        self.links["lg"] = lg_link
+        nic.attach(lg_link.side_a)
+        self.lg_endpoint = lg_link.side_b
+
+
+@dataclass
+class ConsolidationContext:
+    """What a registered model's consolidation builder works with.
+
+    Unlike the simple topology, VMhosts and VMs are created *by* the
+    builder (per-host wiring order differs across models), through the
+    factories here.
+    """
+
+    env: Environment
+    spec: TestbedSpec
+    costs: CostModel
+    stats: IoEventStats
+    rng: RngRegistry
+    vmhosts: List[VmHostMachine] = field(default_factory=list)
+    iohost: Optional[IoHostMachine] = None
+    links: Dict[str, Link] = field(default_factory=dict)
+    channels: List[object] = field(default_factory=list)
+
+    def new_vmhost(self, index: int) -> VmHostMachine:
+        vmhost = VmHostMachine(self.env, f"vmhost{index}", self.costs)
+        self.vmhosts.append(vmhost)
+        return vmhost
+
+    def new_iohost(self, name: str = "iohost") -> IoHostMachine:
+        self.iohost = IoHostMachine(self.env, name, self.costs)
+        return self.iohost
+
+    def new_link(self, name: str, gbps: float, loss: float = 0.0) -> Link:
+        link = Link(self.env, gbps=gbps,
+                    propagation_ns=self.costs.propagation_ns,
+                    loss_probability=loss,
+                    rng=self.rng.stream(f"{name}-loss") if loss else None,
+                    name=name)
+        self.links[name] = link
+        return link
+
+
 def _build_simple(spec: TestbedSpec) -> Testbed:
-    """The Figure 6 setup for any of the five model names."""
-    model_name = spec.model
+    """The Figure 6 setup for any registered model."""
+    info = get_model(spec.model)
     n_vms = spec.vms_per_host
     costs = spec.costs if spec.costs is not None else DEFAULT_COSTS
     env = Environment()
@@ -270,98 +359,31 @@ def _build_simple(spec: TestbedSpec) -> Testbed:
 
     vmhost = VmHostMachine(env, "vmhost0", costs)
     vms = [vmhost.new_vm() for _ in range(n_vms)]
-    stats = IoEventStats(model_name)
+    stats = IoEventStats(spec.model)
 
-    # -- fabric: load generator on one side ---------------------------------
-    lg_nic_host = None
+    ctx = SimpleTopologyContext(env=env, spec=spec, costs=costs,
+                                stats=stats, rng=rng, vmhost=vmhost, vms=vms)
+    wiring = info.build_simple(ctx)
+
     loadgens: List[LoadGenHost] = []
     clients: List[ExternalEndpoint] = []
-
-    iohost: Optional[IoHostMachine] = None
-    service_cores: List[Core] = []
-    models: List[object] = []
-    links: Dict[str, Link] = {}
-    channels: List[object] = []
-
-    if model_name in ("vrio", "vrio_nopoll"):
-        poll = model_name == "vrio"
-        iohost = IoHostMachine(env, "iohost", costs)
-        workers = [iohost.new_worker(poll_mode=poll,
-                                     idle_policy=spec.worker_idle_policy)
-                   for _ in range(spec.sidecores)]
-        service_cores = workers
-        model = VrioModel(env, workers, costs=costs, stats=stats, poll=poll,
-                          channel_mtu=spec.channel_mtu,
-                          channel_rx_ring=spec.channel_rx_ring,
-                          pump_window=spec.pump_window,
-                          steering_policy=spec.steering_policy,
-                          steering_rng=(rng.stream("steering")
-                                        if spec.steering_policy == "random"
-                                        else None))
-        models.append(model)
-        # Channel link: VMhost <-> IOhost.
-        channel_loss = spec.channel_loss
-        channel_link = Link(env, gbps=costs.channel_gbps,
-                            propagation_ns=costs.propagation_ns,
-                            loss_probability=channel_loss,
-                            rng=rng.stream("channel-loss") if channel_loss else None,
-                            name="channel")
-        links["channel"] = channel_link
-        vmhost_nic = vmhost.new_nic("channel")
-        vmhost_nic.attach(channel_link.side_a)
-        iohost_channel_nic = iohost.new_nic("channel")
-        iohost_channel_nic.attach(channel_link.side_b)
-        channel = model.connect_vmhost("vmhost0", vmhost_nic,
-                                       iohost_channel_nic)
-        channels.append(channel)
-        # External link: load generator <-> IOhost.
-        external_nic = iohost.new_nic("external")
-        lg_link = Link(env, gbps=costs.link_gbps,
-                       propagation_ns=costs.propagation_ns, name="lg")
-        links["lg"] = lg_link
-        external_nic.attach(lg_link.side_a)
-        lg_nic_host = lg_link.side_b
-        ports = [model.attach_vm(vm, channel, external_nic) for vm in vms]
-    else:
-        host_nic = vmhost.new_nic("external")
-        lg_link = Link(env, gbps=costs.link_gbps,
-                       propagation_ns=costs.propagation_ns, name="lg")
-        links["lg"] = lg_link
-        host_nic.attach(lg_link.side_a)
-        lg_nic_host = lg_link.side_b
-        if model_name == "elvis":
-            cores = [vmhost.new_sidecore() for _ in range(spec.sidecores)]
-            service_cores = cores
-            model = ElvisModel(env, host_nic, cores, costs=costs, stats=stats)
-            ports = [model.attach_vm(vm) for vm in vms]
-        elif model_name == "baseline":
-            io_core = vmhost.new_io_core()
-            service_cores = [io_core]
-            model = BaselineModel(env, host_nic, io_core, costs=costs,
-                                  stats=stats)
-            ports = [model.attach_vm(vm) for vm in vms]
-        else:  # optimum
-            model = OptimumModel(env, costs=costs, stats=stats)
-            ports = [model.attach_vm(vm, host_nic) for vm in vms]
-        models.append(model)
-
     if spec.with_clients:
         from ..hw.nic import Nic
-        lg_nic = Nic(env, "loadgen/nic", endpoint=lg_nic_host)
+        lg_nic = Nic(env, "loadgen/nic", endpoint=ctx.lg_endpoint)
         loadgen = LoadGenHost(env, "loadgen0", lg_nic, costs)
         loadgens.append(loadgen)
         clients = [loadgen.new_client_endpoint() for _ in range(n_vms)]
 
-    # The optimum's attach_block_device itself raises NotImplementedError
-    # ("there is no such thing as an SRIOV ramdisk"), so every model routes
-    # through the same map.
-    model_by_vm = {vm.name: model for vm in vms}
-    return Testbed(env=env, costs=costs, model_name=model_name, vms=vms,
-                   ports=ports, clients=clients, stats=stats,
-                   service_cores=service_cores, rng=rng, vmhosts=[vmhost],
-                   iohost=iohost, loadgens=loadgens, models=models,
-                   links=links, channels=channels,
-                   _model_by_vm=model_by_vm)
+    # Models without host-managed block devices (the optimum) raise from
+    # attach_block_device itself ("there is no such thing as an SRIOV
+    # ramdisk"), so every model routes through the same map.
+    model_by_vm = {vm.name: wiring.model for vm in vms}
+    return Testbed(env=env, costs=costs, model_name=spec.model, vms=vms,
+                   ports=wiring.ports, clients=clients, stats=stats,
+                   service_cores=wiring.service_cores, rng=rng,
+                   vmhosts=[vmhost], iohost=ctx.iohost, loadgens=loadgens,
+                   models=[wiring.model], links=ctx.links,
+                   channels=ctx.channels, _model_by_vm=model_by_vm)
 
 
 def _build_scalability(spec: TestbedSpec) -> Testbed:
@@ -508,79 +530,28 @@ def _build_switched(spec: TestbedSpec) -> Testbed:
 def _build_consolidation(spec: TestbedSpec) -> Testbed:
     """The Figure 15/16 topology: several VMhosts running block workloads.
 
-    Elvis/baseline get ``sidecores`` local service cores per VMhost; vRIO
-    gets ``sidecores`` consolidated workers at one IOhost.
+    Host-local models (Elvis, baseline, …) get ``sidecores`` local
+    service cores per VMhost; vRIO gets ``sidecores`` consolidated
+    workers at one IOhost.  Per-model wiring lives with the model's
+    registry entry.
     """
-    model_name = spec.model
+    info = get_model(spec.model)
     costs = spec.costs if spec.costs is not None else DEFAULT_COSTS
     env = Environment()
     rng = RngRegistry(spec.seed)
-    stats = IoEventStats(model_name)
+    stats = IoEventStats(spec.model)
 
-    vms: List[Vm] = []
-    ports: List[NetPort] = []
-    vmhosts: List[VmHostMachine] = []
-    models: List[object] = []
-    service_cores: List[Core] = []
-    iohost: Optional[IoHostMachine] = None
-    links: Dict[str, Link] = {}
-    channels: List[object] = []
-    model_by_vm: Dict[str, object] = {}
+    ctx = ConsolidationContext(env=env, spec=spec, costs=costs,
+                               stats=stats, rng=rng)
+    wiring = info.build_consolidation(ctx)
 
-    if model_name == "vrio":
-        iohost = IoHostMachine(env, "iohost", costs)
-        worker_cores = [iohost.new_worker() for _ in range(spec.sidecores)]
-        service_cores = worker_cores
-        model = VrioModel(env, worker_cores, costs=costs, stats=stats)
-        models.append(model)
-        for h in range(spec.n_vmhosts):
-            vmhost = VmHostMachine(env, f"vmhost{h}", costs)
-            vmhosts.append(vmhost)
-            channel_link = Link(env, gbps=costs.channel_gbps,
-                                propagation_ns=costs.propagation_ns,
-                                name=f"channel{h}")
-            links[f"channel{h}"] = channel_link
-            vmhost_nic = vmhost.new_nic("channel")
-            vmhost_nic.attach(channel_link.side_a)
-            iohost_channel_nic = iohost.new_nic(f"channel{h}")
-            iohost_channel_nic.attach(channel_link.side_b)
-            channel = model.connect_vmhost(f"vmhost{h}", vmhost_nic,
-                                           iohost_channel_nic)
-            channels.append(channel)
-            external_nic = iohost.new_nic(f"external{h}")
-            for _ in range(spec.vms_per_host):
-                vm = vmhost.new_vm()
-                vms.append(vm)
-                ports.append(model.attach_vm(vm, channel, external_nic))
-                model_by_vm[vm.name] = model
-    else:
-        for h in range(spec.n_vmhosts):
-            vmhost = VmHostMachine(env, f"vmhost{h}", costs)
-            vmhosts.append(vmhost)
-            nic = vmhost.new_nic("external")  # unused by block workloads
-            if model_name == "elvis":
-                cores = [vmhost.new_sidecore()
-                         for _ in range(spec.sidecores)]
-                service_cores.extend(cores)
-                model = ElvisModel(env, nic, cores, costs=costs, stats=stats)
-            else:
-                io_core = vmhost.new_io_core()
-                service_cores.append(io_core)
-                model = BaselineModel(env, nic, io_core, costs=costs,
-                                      stats=stats)
-            models.append(model)
-            for _ in range(spec.vms_per_host):
-                vm = vmhost.new_vm()
-                vms.append(vm)
-                ports.append(model.attach_vm(vm))
-                model_by_vm[vm.name] = model
-
-    return Testbed(env=env, costs=costs, model_name=model_name, vms=vms,
-                   ports=ports, clients=[], stats=stats,
-                   service_cores=service_cores, rng=rng, vmhosts=vmhosts,
-                   iohost=iohost, loadgens=[], models=models,
-                   links=links, channels=channels,
-                   _model_by_vm=model_by_vm)
+    return Testbed(env=env, costs=costs, model_name=spec.model,
+                   vms=wiring.vms, ports=wiring.ports, clients=[],
+                   stats=stats, service_cores=wiring.service_cores,
+                   rng=rng, vmhosts=ctx.vmhosts, iohost=ctx.iohost,
+                   loadgens=[], models=wiring.models, links=ctx.links,
+                   channels=ctx.channels,
+                   _model_by_vm=wiring.model_by_vm)
 
 
 def _build_racks(spec: TestbedSpec) -> Testbed:

@@ -18,6 +18,7 @@ from typing import Dict, List, Optional, Sequence
 
 from ..cluster import TestbedSpec, build_testbed
 from ..hw.storage import make_sata_ssd
+from ..iomodels.registry import filter_models
 from ..sim import ms
 from ..workloads import FilebenchRandomIO
 from .runner import SweepCache, sweep
@@ -25,7 +26,9 @@ from .runner import SweepCache, sweep
 __all__ = ["run_fig14", "format_fig14", "FIG14_MIXES",
            "run_fig14_ssd", "format_fig14_ssd"]
 
-FIG14_MODELS = ("elvis", "vrio", "baseline")
+# Every headline model with host-managed block devices (the optimum has
+# none; vrio_nopoll is an ablation), in the figure's series order.
+FIG14_MODELS = filter_models(block=True, ablation=False, order="block")
 FIG14_MIXES = {
     "1 reader": (1, 0),
     "1 pair": (1, 1),
@@ -60,12 +63,15 @@ def _fig14_point(params: dict) -> dict:
 def run_fig14(vm_counts: Sequence[int] = range(1, 8),
               run_ns: int = ms(40),
               jobs: int = 1,
-              cache: Optional[SweepCache] = None) -> Dict[str, List[dict]]:
+              cache: Optional[SweepCache] = None,
+              models: Optional[Sequence[str]] = None) -> Dict[str, List[dict]]:
     """Aggregate filebench ops/sec per mix, model, and VM count."""
     points = [{"mix": mix_name, "readers": readers, "writers": writers,
                "model": model_name, "n_vms": int(n), "run_ns": run_ns}
               for mix_name, (readers, writers) in FIG14_MIXES.items()
-              for model_name in FIG14_MODELS for n in vm_counts]
+              for model_name in (models if models is not None
+                                 else FIG14_MODELS)
+              for n in vm_counts]
     rows = sweep(points, _fig14_point, jobs=jobs,
                  artifact="fig14", cache=cache)
     result: Dict[str, List[dict]] = {mix: [] for mix in FIG14_MIXES}
@@ -96,36 +102,44 @@ def _fig14_ssd_point(params: dict) -> float:
 def run_fig14_ssd(vm_counts: Sequence[int] = (1, 4, 7),
                   run_ns: int = ms(60),
                   jobs: int = 1,
-                  cache: Optional[SweepCache] = None) -> List[dict]:
+                  cache: Optional[SweepCache] = None,
+                  models: Optional[Sequence[str]] = None) -> List[dict]:
     """The §5 SATA-SSD remark: single-reader throughput relative to Elvis.
 
     A slow medium dominates the service time, so the remote hop matters
     far less than on a ramdisk: baseline and vRIO land within 75–95% of
     Elvis instead of ~40%.
     """
+    if models is None:
+        models = FIG14_MODELS
+    if "elvis" not in models:
+        models = ("elvis",) + tuple(models)  # the figure's reference series
     points = [{"model": model_name, "n_vms": int(n), "run_ns": run_ns}
-              for n in vm_counts for model_name in FIG14_MODELS]
+              for n in vm_counts for model_name in models]
     values = sweep(points, _fig14_ssd_point, jobs=jobs,
                    artifact="fig14ssd", cache=cache)
     ops = {(p["model"], p["n_vms"]): v for p, v in zip(points, values)}
     rows = []
     for n in vm_counts:
-        rows.append({
-            "n_vms": int(n),
-            "elvis_ops": ops[("elvis", n)],
-            "vrio_rel": ops[("vrio", n)] / ops[("elvis", n)],
-            "baseline_rel": ops[("baseline", n)] / ops[("elvis", n)],
-        })
+        row = {"n_vms": int(n), "elvis_ops": ops[("elvis", n)]}
+        for model_name in models:
+            if model_name == "elvis":
+                continue
+            row[f"{model_name}_rel"] = (ops[(model_name, n)]
+                                        / ops[("elvis", n)])
+        rows.append(row)
     return rows
 
 
 def format_fig14_ssd(rows: List[dict]) -> str:
+    models = [k[:-len("_rel")] for k in rows[0] if k.endswith("_rel")]
     lines = ["Figure 14 variant (SATA SSD, 1 reader): throughput relative "
              "to Elvis",
-             f"{'N':>3s} {'elvis ops/s':>12s} {'vrio':>7s} {'baseline':>9s}"]
+             f"{'N':>3s} {'elvis ops/s':>12s} "
+             + " ".join(f"{m:>9s}" for m in models)]
     for r in rows:
         lines.append(f"{r['n_vms']:3d} {r['elvis_ops']:12.0f} "
-                     f"{r['vrio_rel']:7.0%} {r['baseline_rel']:9.0%}")
+                     + " ".join(f"{r[m + '_rel']:9.0%}" for m in models))
     return "\n".join(lines)
 
 
@@ -135,7 +149,7 @@ def format_fig14(result: Dict[str, List[dict]]) -> str:
         ns = sorted({r["n_vms"] for r in rows})
         lines = [f"Figure 14 ({mix_name}): filebench/ramdisk ops per sec",
                  f"{'model':10s} " + " ".join(f"N={n:<7d}" for n in ns)]
-        for model_name in FIG14_MODELS:
+        for model_name in dict.fromkeys(r["model"] for r in rows):
             vals = {r["n_vms"]: r["ops_per_sec"] for r in rows
                     if r["model"] == model_name}
             lines.append(f"{model_name:10s} "

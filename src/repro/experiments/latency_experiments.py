@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
+from ..iomodels.registry import filter_models
 from ..sim import ms
 from .runner import DEFAULT_RUN_NS, SeriesPoint, SweepCache, rr_run, sweep
 
@@ -19,7 +20,10 @@ __all__ = [
     "run_tab04", "format_tab04",
 ]
 
-FIG7_MODELS = ("baseline", "vrio", "elvis", "optimum")
+# Headline (non-ablation) net models, worst-first as the figure stacks
+# its curves: the reverse of the throughput ordering.
+FIG7_MODELS = tuple(reversed(filter_models(net=True, ablation=False,
+                                           order="throughput")))
 
 
 def _fig07_point(params: dict) -> float:
@@ -32,10 +36,13 @@ def _fig07_point(params: dict) -> float:
 def run_fig07(vm_counts: Sequence[int] = range(1, 8),
               run_ns: int = DEFAULT_RUN_NS,
               jobs: int = 1,
-              cache: Optional[SweepCache] = None) -> List[SeriesPoint]:
-    """Fig. 7: netperf RR mean latency (us) vs number of VMs, 4 models."""
+              cache: Optional[SweepCache] = None,
+              models: Optional[Sequence[str]] = None) -> List[SeriesPoint]:
+    """Fig. 7: netperf RR mean latency (us) vs number of VMs."""
     points = [{"model": model_name, "n_vms": int(n), "run_ns": run_ns}
-              for model_name in FIG7_MODELS for n in vm_counts]
+              for model_name in (models if models is not None
+                                 else FIG7_MODELS)
+              for n in vm_counts]
     values = sweep(points, _fig07_point, jobs=jobs,
                    artifact="fig7", cache=cache)
     return [SeriesPoint(p["model"], p["n_vms"], v)
@@ -46,7 +53,7 @@ def format_fig07(points: List[SeriesPoint]) -> str:
     ns = sorted({p.n_vms for p in points})
     lines = ["Figure 7: netperf RR average latency [usec]",
              f"{'model':10s} " + " ".join(f"N={n:<5d}" for n in ns)]
-    for model_name in FIG7_MODELS:
+    for model_name in dict.fromkeys(p.model for p in points):
         vals = {p.n_vms: p.value for p in points if p.model == model_name}
         lines.append(f"{model_name:10s} "
                      + " ".join(f"{vals[n]:7.1f}" for n in ns))
@@ -84,7 +91,10 @@ def format_fig08(rows: List[dict]) -> str:
     return "\n".join(lines)
 
 
-TAB4_MODELS = ("optimum", "elvis", "vrio")
+# Exitless headline models only: the tail-latency comparison is about
+# designs whose steady-state datapath avoids exits and injections.
+TAB4_MODELS = filter_models(net=True, ablation=False, exitless=True,
+                            order="throughput")
 TAB4_PERCENTILES = (99.9, 99.99, 99.999, 100.0)
 
 
@@ -98,7 +108,8 @@ def _tab04_point(params: dict) -> List[list]:
 
 def run_tab04(run_ns: int = ms(400),
               jobs: int = 1,
-              cache: Optional[SweepCache] = None
+              cache: Optional[SweepCache] = None,
+              models: Optional[Sequence[str]] = None
               ) -> Dict[str, Dict[float, float]]:
     """Table 4: tail latency (us) for one VM.
 
@@ -109,7 +120,8 @@ def run_tab04(run_ns: int = ms(400),
     high percentiles are populated.
     """
     points = [{"model": model_name, "run_ns": run_ns}
-              for model_name in TAB4_MODELS]
+              for model_name in (models if models is not None
+                                 else TAB4_MODELS)]
     pairs = sweep(points, _tab04_point, jobs=jobs,
                   artifact="tab4", cache=cache)
     return {p["model"]: {float(q): v for q, v in per_model}
@@ -117,10 +129,11 @@ def run_tab04(run_ns: int = ms(400),
 
 
 def format_tab04(rows: Dict[str, Dict[float, float]]) -> str:
+    models = tuple(rows)
     lines = ["Table 4: tail latency in microseconds for one VM",
-             f"{'percentile':>11s} " + " ".join(f"{m:>9s}" for m in TAB4_MODELS)]
+             f"{'percentile':>11s} " + " ".join(f"{m:>9s}" for m in models)]
     for q in TAB4_PERCENTILES:
         label = f"{q}%"
         lines.append(f"{label:>11s} "
-                     + " ".join(f"{rows[m][q]:9.1f}" for m in TAB4_MODELS))
+                     + " ".join(f"{rows[m][q]:9.1f}" for m in models))
     return "\n".join(lines)

@@ -17,12 +17,15 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from ..cluster import TestbedSpec, build_testbed
+from ..iomodels.registry import filter_models
 from ..sim import ms
 from .runner import SweepCache, sweep
 
 __all__ = ["run_tab03", "format_tab03", "PAPER_TAB03"]
 
-MODEL_ORDER = ("optimum", "vrio", "elvis", "vrio_nopoll", "baseline")
+# Every net-capable model in the registry, in Table-3 row order; the
+# paper's five come first, post-paper contenders after.
+MODEL_ORDER = filter_models(net=True, order="tab")
 
 PAPER_TAB03 = {
     "optimum":     {"exits": 0, "guest_interrupts": 2, "injections": 0,
@@ -66,9 +69,13 @@ def _tab03_point(params: dict) -> dict:
 
 
 def run_tab03(jobs: int = 1,
-              cache: Optional[SweepCache] = None) -> Dict[str, dict]:
-    """Measure Table 3 for all five models."""
-    points = [{"model": model_name} for model_name in MODEL_ORDER]
+              cache: Optional[SweepCache] = None,
+              models: Optional[tuple] = None) -> Dict[str, dict]:
+    """Measure Table 3 for every registered net-capable model (or the
+    ``models`` subset)."""
+    points = [{"model": model_name}
+              for model_name in (models if models is not None
+                                 else MODEL_ORDER)]
     snapshots = sweep(points, _tab03_point, jobs=jobs,
                       artifact="tab3", cache=cache)
     rows = {}
@@ -82,8 +89,7 @@ def format_tab03(rows: Dict[str, dict]) -> str:
     lines = ["Table 3: per request-response virtualization events (measured)",
              f"{'model':13s} {'exits':>6s} {'guest':>6s} {'inject':>7s} "
              f"{'host':>5s} {'iohost':>7s} {'sum':>4s}"]
-    for model_name in MODEL_ORDER:
-        r = rows[model_name]
+    for model_name, r in rows.items():
         lines.append(
             f"{model_name:13s} {r['exits']:6d} {r['guest_interrupts']:6d} "
             f"{r['injections']:7d} {r['host_interrupts']:5d} "

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
+from ..iomodels.registry import filter_models
 from ..sim import ms
 from .runner import (
     DEFAULT_RUN_NS,
@@ -29,8 +30,12 @@ __all__ = [
     "run_fig12", "format_fig12",
 ]
 
-FIG9_MODELS = ("optimum", "elvis", "vrio", "baseline")
-FIG5_MODELS = ("optimum", "vrio", "elvis", "vrio_nopoll", "baseline")
+# Every net-capable model in the registry.  Fig. 9 historically plotted
+# four series (no vrio_nopoll); since the registry redesign it carries
+# all contenders — per-model sweep points are cached independently, so
+# the paper's series are unchanged by the additions.
+FIG9_MODELS = filter_models(net=True, order="throughput")
+FIG5_MODELS = filter_models(net=True, order="tab")
 
 
 def _fig09_point(params: dict) -> float:
@@ -43,10 +48,13 @@ def _fig09_point(params: dict) -> float:
 def run_fig09(vm_counts: Sequence[int] = range(1, 8),
               run_ns: int = DEFAULT_RUN_NS,
               jobs: int = 1,
-              cache: Optional[SweepCache] = None) -> List[SeriesPoint]:
+              cache: Optional[SweepCache] = None,
+              models: Optional[Sequence[str]] = None) -> List[SeriesPoint]:
     """Fig. 9: aggregate netperf 64 B stream throughput (Gbps) vs N."""
     points = [{"model": model_name, "n_vms": int(n), "run_ns": run_ns}
-              for model_name in FIG9_MODELS for n in vm_counts]
+              for model_name in (models if models is not None
+                                 else FIG9_MODELS)
+              for n in vm_counts]
     values = sweep(points, _fig09_point, jobs=jobs,
                    artifact="fig9", cache=cache)
     return [SeriesPoint(p["model"], p["n_vms"], v)
@@ -56,10 +64,10 @@ def run_fig09(vm_counts: Sequence[int] = range(1, 8),
 def format_fig09(points: List[SeriesPoint]) -> str:
     ns = sorted({p.n_vms for p in points})
     lines = ["Figure 9: netperf stream throughput [Gbps]",
-             f"{'model':10s} " + " ".join(f"N={n:<5d}" for n in ns)]
-    for model_name in FIG9_MODELS:
+             f"{'model':12s} " + " ".join(f"N={n:<5d}" for n in ns)]
+    for model_name in dict.fromkeys(p.model for p in points):
         vals = {p.n_vms: p.value for p in points if p.model == model_name}
-        lines.append(f"{model_name:10s} "
+        lines.append(f"{model_name:12s} "
                      + " ".join(f"{vals[n]:7.2f}" for n in ns))
     return "\n".join(lines)
 
@@ -87,7 +95,8 @@ def _fig10_point(params: dict) -> dict:
 
 def run_fig10(run_ns: int = DEFAULT_RUN_NS,
               jobs: int = 1,
-              cache: Optional[SweepCache] = None) -> List[dict]:
+              cache: Optional[SweepCache] = None,
+              models: Optional[Sequence[str]] = None) -> List[dict]:
     """Fig. 10: per-packet processing cycles with one VM, netperf stream.
 
     "Packet" is one 64 B application message.  The headline column counts
@@ -95,11 +104,15 @@ def run_fig10(run_ns: int = DEFAULT_RUN_NS,
     added processing time incurred by the vRIO driver", i.e. to the
     sender's side; the total column adds the remote IOhost workers.
     """
+    if models is None:
+        models = filter_models(net=True, ablation=False, order="tab")
     points = [{"model": model_name, "run_ns": run_ns}
-              for model_name in ("optimum", "vrio", "elvis", "baseline")]
+              for model_name in models]
     rows = sweep(points, _fig10_point, jobs=jobs,
                  artifact="fig10", cache=cache)
-    reference = rows[0]["cycles_per_packet"]   # optimum comes first
+    by_model = {row["model"]: row for row in rows}
+    reference_row = by_model.get("optimum", rows[0])
+    reference = reference_row["cycles_per_packet"]
     for row in rows:
         row["relative_to_optimum"] = row["cycles_per_packet"] / reference - 1.0
     return rows
@@ -160,11 +173,14 @@ def _macro_point(params: dict) -> float:
 def run_fig05(vm_counts: Sequence[int] = range(1, 8),
               run_ns: int = ms(30),
               jobs: int = 1,
-              cache: Optional[SweepCache] = None) -> List[SeriesPoint]:
-    """Fig. 5: ApacheBench aggregate requests/sec for all five models."""
+              cache: Optional[SweepCache] = None,
+              models: Optional[Sequence[str]] = None) -> List[SeriesPoint]:
+    """Fig. 5: ApacheBench aggregate requests/sec for every model."""
     points = [{"benchmark": "apache", "model": model_name,
                "n_vms": int(n), "run_ns": run_ns}
-              for model_name in FIG5_MODELS for n in vm_counts]
+              for model_name in (models if models is not None
+                                 else FIG5_MODELS)
+              for n in vm_counts]
     values = sweep(points, _macro_point, jobs=jobs,
                    artifact="fig5", cache=cache)
     return [SeriesPoint(p["model"], p["n_vms"], v)
@@ -175,7 +191,7 @@ def format_fig05(points: List[SeriesPoint]) -> str:
     ns = sorted({p.n_vms for p in points})
     lines = ["Figure 5: ApacheBench aggregate requests/sec",
              f"{'model':12s} " + " ".join(f"N={n:<7d}" for n in ns)]
-    for model_name in FIG5_MODELS:
+    for model_name in dict.fromkeys(p.model for p in points):
         vals = {p.n_vms: p.value for p in points if p.model == model_name}
         lines.append(f"{model_name:12s} "
                      + " ".join(f"{vals[n]:9.0f}" for n in ns))
@@ -185,14 +201,17 @@ def format_fig05(points: List[SeriesPoint]) -> str:
 def run_fig12(vm_counts: Sequence[int] = range(1, 8),
               run_ns: int = ms(30),
               jobs: int = 1,
-              cache: Optional[SweepCache] = None
+              cache: Optional[SweepCache] = None,
+              models: Optional[Sequence[str]] = None
               ) -> Dict[str, List[SeriesPoint]]:
-    """Fig. 12: memcached and Apache transactions/sec vs N, 4 models."""
+    """Fig. 12: memcached and Apache transactions/sec vs N."""
     benchmarks = ("memcached", "apache")
     points = [{"benchmark": benchmark, "model": model_name,
                "n_vms": int(n), "run_ns": run_ns}
               for benchmark in benchmarks
-              for model_name in FIG9_MODELS for n in vm_counts]
+              for model_name in (models if models is not None
+                                 else FIG9_MODELS)
+              for n in vm_counts]
     values = sweep(points, _macro_point, jobs=jobs,
                    artifact="fig12", cache=cache)
     result: Dict[str, List[SeriesPoint]] = {b: [] for b in benchmarks}
@@ -207,7 +226,7 @@ def format_fig12(result: Dict[str, List[SeriesPoint]]) -> str:
         ns = sorted({p.n_vms for p in points})
         lines = [f"Figure 12 ({benchmark}): transactions/sec",
                  f"{'model':10s} " + " ".join(f"N={n:<7d}" for n in ns)]
-        for model_name in FIG9_MODELS:
+        for model_name in dict.fromkeys(p.model for p in points):
             vals = {p.n_vms: p.value for p in points if p.model == model_name}
             lines.append(f"{model_name:10s} "
                          + " ".join(f"{vals[n]:9.0f}" for n in ns))

@@ -365,6 +365,48 @@ def _build_campaigns() -> Dict[str, Campaign]:
                 throughput_metric="ops",
                 window_ns=ms(18) // _RECOVERY_WINDOWS)),
         Campaign(
+            name="storage_errors_nvme_pt",
+            description=("the same error burst under NVMe queue "
+                         "passthrough: no host software interposes, so "
+                         "errors land in the guest as failed CQEs instead "
+                         "of being retried — completions stall, requests "
+                         "are lost"),
+            spec=TestbedSpec(
+                model="nvme_pt", topology="simple", with_clients=False,
+                costs=fast_costs,
+                fault_plan=_plan(FaultSpec(
+                    kind="storage_error_burst", at_ns=ms(6),
+                    duration_ns=ms(3)))),
+            workload="block", run_ns=ms(18),
+            # Same SLO contract as the vRIO campaign: the burst zeroes
+            # *successful* completions for its whole 3 ms window, so both
+            # clauses breach — and unlike vRIO nothing is recovered.
+            slo=SloSpec(
+                name="storage_block_slo",
+                throughput_floor_per_s=2_000.0,
+                max_downtime_ns=1_500_000,
+                throughput_metric="ops",
+                window_ns=ms(18) // _RECOVERY_WINDOWS)),
+        Campaign(
+            name="storage_errors_flexbso",
+            description=("the same error burst under FlexBSO offload: the "
+                         "engine copies the medium's error status into "
+                         "the used ring verbatim (it offloads the data "
+                         "path, not recovery), so guests eat the errors"),
+            spec=TestbedSpec(
+                model="flexbso", topology="simple", with_clients=False,
+                costs=fast_costs,
+                fault_plan=_plan(FaultSpec(
+                    kind="storage_error_burst", at_ns=ms(6),
+                    duration_ns=ms(3)))),
+            workload="block", run_ns=ms(18),
+            slo=SloSpec(
+                name="storage_block_slo",
+                throughput_floor_per_s=2_000.0,
+                max_downtime_ns=1_500_000,
+                throughput_metric="ops",
+                window_ns=ms(18) // _RECOVERY_WINDOWS)),
+        Campaign(
             name="sidecore_stall",
             description=("the (only) vRIO worker is pinned for 2 ms; "
                          "RR throughput dips and recovers, nothing is "

@@ -1,10 +1,23 @@
-"""The four virtual I/O models compared in the paper (§2, Figure 4).
+"""The virtual I/O models compared in the paper (§2, Figure 4) and the
+registry that catalogs them.
+
+The paper's contenders:
 
 * :class:`BaselineModel` — KVM/virtio trap-and-emulate (state of practice)
 * :class:`ElvisModel` — local sidecores polling virtio rings (state of the art)
 * :class:`OptimumModel` — SRIOV+ELI, non-interposable bare-metal performance
 * :class:`VrioModel` — paravirtual remote I/O (this paper); ``poll=False``
   gives the "vrio w/o poll" variant of Table 3/Figure 5
+
+Post-paper contenders (ROADMAP item 3):
+
+* :class:`NvmePtModel` — NVMe I/O-queue passthrough (arXiv 2304.05148)
+* :class:`FlexbsoModel` — block offload to a per-host engine (arXiv 2409.02381)
+* :class:`SwptModel` — software-only passthrough (arXiv 1508.06367)
+
+Each model module registers itself with :mod:`repro.iomodels.registry` at
+import time; everything downstream (testbed builders, experiment model
+lists, CLI listings) derives from that catalog.
 """
 
 from .base import (
@@ -18,7 +31,19 @@ from .baseline import BaselineBlockHandle, BaselineModel
 from .costs import DEFAULT_COSTS, CostModel
 from .dynamic import DynamicSidecoreAllocator
 from .elvis import ElvisBlockHandle, ElvisModel
+from .flexbso import FlexbsoBlockHandle, FlexbsoModel
+from .nvme_pt import NvmePtBlockHandle, NvmePtModel
+from .registry import (
+    Capabilities,
+    ModelInfo,
+    all_models,
+    filter_models,
+    get_model,
+    model_names,
+    register_model,
+)
 from .sriov import OptimumModel
+from .swpt import SwptBlockHandle, SwptModel
 from .vrio import (
     BlockDeviceError,
     VmhostChannel,
@@ -31,10 +56,15 @@ __all__ = [
     "IoEventStats", "NetMessage", "NetPort", "ExternalEndpoint",
     "message_wire_bytes",
     "CostModel", "DEFAULT_COSTS",
+    "Capabilities", "ModelInfo", "register_model", "get_model",
+    "model_names", "filter_models", "all_models",
     "BaselineModel", "BaselineBlockHandle",
     "ElvisModel", "ElvisBlockHandle",
     "DynamicSidecoreAllocator",
     "OptimumModel",
+    "NvmePtModel", "NvmePtBlockHandle",
+    "FlexbsoModel", "FlexbsoBlockHandle",
+    "SwptModel", "SwptBlockHandle",
     "VrioModel", "VmhostChannel", "VrioClient", "VrioBlockHandle",
     "BlockDeviceError",
 ]

@@ -26,6 +26,13 @@ from ..sim import Environment, Event
 from ..virtio import VirtioRequest, Virtqueue
 from .base import IoEventStats, NetMessage, NetPort, message_wire_bytes
 from .costs import CostModel, DEFAULT_COSTS
+from .registry import (
+    Capabilities,
+    ModelInfo,
+    SimpleWiring,
+    consolidated_per_host,
+    register_model,
+)
 
 __all__ = ["BaselineModel", "BaselineBlockHandle"]
 
@@ -235,3 +242,37 @@ class BaselineModel:
         yield self.io_core.execute(c.injection_cycles, tag="injection")
         yield vm.deliver_interrupt_injected(extra_cycles=c.ring_op_cycles)
         done.succeed(request)
+
+
+# -- registry wiring ----------------------------------------------------------
+
+def _build_simple(ctx) -> SimpleWiring:
+    host_nic = ctx.vmhost.new_nic("external")
+    ctx.wire_loadgen(host_nic)
+    io_core = ctx.vmhost.new_io_core()
+    model = BaselineModel(ctx.env, host_nic, io_core, costs=ctx.costs,
+                          stats=ctx.stats)
+    ports = [model.attach_vm(vm) for vm in ctx.vms]
+    return SimpleWiring(model=model, ports=ports, service_cores=[io_core])
+
+
+def _consolidation_host(ctx, vmhost):
+    nic = vmhost.new_nic("external")  # unused by block workloads
+    io_core = vmhost.new_io_core()
+    model = BaselineModel(ctx.env, nic, io_core, costs=ctx.costs,
+                          stats=ctx.stats)
+    return model, [io_core], model.attach_vm
+
+
+register_model(ModelInfo(
+    name="baseline",
+    description=("KVM/virtio trap-and-emulate with vhost threads "
+                 "(state of practice)"),
+    capabilities=Capabilities(net=True, block=True, polling=False,
+                              topologies=("simple", "consolidation"),
+                              ablation=False, exitless=False),
+    build_simple=_build_simple,
+    build_consolidation=lambda ctx: consolidated_per_host(
+        ctx, _consolidation_host),
+    tab_rank=50, throughput_rank=50, block_rank=30,
+))

@@ -96,6 +96,30 @@ class CostModel:
     # -- sidecore (Elvis) / vhost (baseline) data touch -----------------------
     sidecore_per_byte_cycles: float = 0.25
 
+    # -- NVMe I/O-queue passthrough (nvme_pt, arXiv 2304.05148) ---------------
+    # Data-path submissions ring a *shadow* doorbell: a guest store to a
+    # shared page the device polls, so no exit — just the store plus the
+    # device-side pickup the guest waits out.
+    nvme_shadow_doorbell_cycles: int = 400
+    # Admin commands (queue create/delete, abort) stay trapped: emulation
+    # work in the host on top of the sync-exit cost itself.
+    nvme_admin_cmd_cycles: int = 9_000
+
+    # -- FlexBSO block-storage offload (flexbso, arXiv 2409.02381) ------------
+    # Per-request processing on the offload engine (SmartNIC service core):
+    # virtio descriptor parse, request translation, completion write-back.
+    flexbso_engine_per_req_cycles: int = 3_200
+    # DMA staging of request data through the engine's memory.
+    flexbso_dma_per_byte_cycles: float = 0.12
+    # Doorbell MMIO to the engine: pure PCIe posting latency, no exit.
+    flexbso_doorbell_latency_ns: int = 400
+
+    # -- software-only passthrough (swpt, arXiv 1508.06367) -------------------
+    # Per delivered event on the dedicated host polling core: completion
+    # status read, interrupt classification, queue bookkeeping — the
+    # software stand-in for interrupt-remapping hardware.
+    swpt_poll_per_event_cycles: int = 1_800
+
     # -- application dilation (dimensionless) ---------------------------------
     # Models cache pollution + scheduler noise that exits inflict on guest
     # application work in the trap-and-emulate baseline.

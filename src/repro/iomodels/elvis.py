@@ -23,6 +23,13 @@ from ..sim import Environment, Event
 from ..virtio import VirtioRequest, Virtqueue
 from .base import IoEventStats, NetMessage, NetPort, message_wire_bytes
 from .costs import CostModel, DEFAULT_COSTS
+from .registry import (
+    Capabilities,
+    ModelInfo,
+    SimpleWiring,
+    consolidated_per_host,
+    register_model,
+)
 
 __all__ = ["ElvisModel", "ElvisBlockHandle"]
 
@@ -242,3 +249,36 @@ class ElvisModel:
         # Completion IPI into the guest, then the guest block layer reaps.
         yield vm.deliver_interrupt_exitless(extra_cycles=c.ring_op_cycles)
         done.succeed(request)
+
+
+# -- registry wiring ----------------------------------------------------------
+
+def _build_simple(ctx) -> SimpleWiring:
+    host_nic = ctx.vmhost.new_nic("external")
+    ctx.wire_loadgen(host_nic)
+    cores = [ctx.vmhost.new_sidecore() for _ in range(ctx.spec.sidecores)]
+    model = ElvisModel(ctx.env, host_nic, cores, costs=ctx.costs,
+                       stats=ctx.stats)
+    ports = [model.attach_vm(vm) for vm in ctx.vms]
+    return SimpleWiring(model=model, ports=ports, service_cores=cores)
+
+
+def _consolidation_host(ctx, vmhost):
+    nic = vmhost.new_nic("external")  # unused by block workloads
+    cores = [vmhost.new_sidecore() for _ in range(ctx.spec.sidecores)]
+    model = ElvisModel(ctx.env, nic, cores, costs=ctx.costs, stats=ctx.stats)
+    return model, cores, model.attach_vm
+
+
+register_model(ModelInfo(
+    name="elvis",
+    description=("local sidecores polling virtio rings + ELI exitless "
+                 "completions (state of the art, Har'El et al. ATC'13)"),
+    capabilities=Capabilities(net=True, block=True, polling=True,
+                              topologies=("simple", "consolidation"),
+                              ablation=False, exitless=True),
+    build_simple=_build_simple,
+    build_consolidation=lambda ctx: consolidated_per_host(
+        ctx, _consolidation_host),
+    tab_rank=30, throughput_rank=20, block_rank=10,
+))

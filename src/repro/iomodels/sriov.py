@@ -18,6 +18,7 @@ from ..net.frame import EthernetFrame, STANDARD_MTU
 from ..sim import Environment
 from .base import IoEventStats, NetMessage, NetPort, message_wire_bytes
 from .costs import CostModel, DEFAULT_COSTS
+from .registry import Capabilities, ModelInfo, SimpleWiring, register_model
 
 __all__ = ["OptimumModel"]
 
@@ -119,3 +120,25 @@ class OptimumModel:
                                   vm=vm.name)
             port.deliver(message)
         vf.rearm()
+
+
+# -- registry wiring ----------------------------------------------------------
+
+def _build_simple(ctx) -> SimpleWiring:
+    host_nic = ctx.vmhost.new_nic("external")
+    ctx.wire_loadgen(host_nic)
+    model = OptimumModel(ctx.env, costs=ctx.costs, stats=ctx.stats)
+    ports = [model.attach_vm(vm, host_nic) for vm in ctx.vms]
+    return SimpleWiring(model=model, ports=ports, service_cores=[])
+
+
+register_model(ModelInfo(
+    name="optimum",
+    description=("SRIOV+ELI direct assignment: bare-metal performance, "
+                 "no interposition, no host-managed block devices"),
+    capabilities=Capabilities(net=True, block=False, polling=False,
+                              topologies=("simple",),
+                              ablation=False, exitless=True),
+    build_simple=_build_simple,
+    tab_rank=10, throughput_rank=10, block_rank=100,
+))

@@ -15,6 +15,7 @@ from .transport import (
     transport_rx_cycles,
     transport_tx_cycles,
 )
+from . import wiring  # registers vrio/vrio_nopoll with the model registry
 
 __all__ = [
     "VrioModel", "VmhostChannel", "VrioClient", "VrioBlockHandle",

@@ -1,0 +1,114 @@
+"""Registry entries for vRIO and its no-poll ablation.
+
+The builders here reproduce the historical ``cluster.testbed`` wiring
+order exactly (machine, worker, link, NIC, and VM creation sequence), so
+pre-registry goldens stay byte-identical: the simulator's tie-breaking
+depends on process creation order, which is part of the reproducible
+surface.
+
+vRIO is the only model whose simple-topology wiring inserts a second
+machine: the IOhost, connected to the VMhost by the SRIOV channel link,
+with the load generator hanging off the IOhost's external NIC instead of
+the VMhost's.  The scalability/switched/racks topologies remain
+hard-wired in :mod:`repro.cluster.testbed` — they are vRIO-only studies
+of the IOhost itself, not model comparisons, which is exactly what the
+``topologies`` capability records.
+"""
+
+from __future__ import annotations
+
+from ..registry import (
+    Capabilities,
+    ConsolidationWiring,
+    ModelInfo,
+    SimpleWiring,
+    register_model,
+)
+from .frontend import VrioModel
+
+__all__ = []
+
+
+def _build_simple(ctx, poll: bool) -> SimpleWiring:
+    spec = ctx.spec
+    costs = ctx.costs
+    iohost = ctx.new_iohost()
+    workers = [iohost.new_worker(poll_mode=poll,
+                                 idle_policy=spec.worker_idle_policy)
+               for _ in range(spec.sidecores)]
+    model = VrioModel(ctx.env, workers, costs=costs, stats=ctx.stats,
+                      poll=poll,
+                      channel_mtu=spec.channel_mtu,
+                      channel_rx_ring=spec.channel_rx_ring,
+                      pump_window=spec.pump_window,
+                      steering_policy=spec.steering_policy,
+                      steering_rng=(ctx.rng.stream("steering")
+                                    if spec.steering_policy == "random"
+                                    else None))
+    # Channel link: VMhost <-> IOhost.
+    channel_link = ctx.new_link("channel", gbps=costs.channel_gbps,
+                                loss=spec.channel_loss)
+    vmhost_nic = ctx.vmhost.new_nic("channel")
+    vmhost_nic.attach(channel_link.side_a)
+    iohost_channel_nic = iohost.new_nic("channel")
+    iohost_channel_nic.attach(channel_link.side_b)
+    channel = model.connect_vmhost("vmhost0", vmhost_nic,
+                                   iohost_channel_nic)
+    ctx.channels.append(channel)
+    # External link: load generator <-> IOhost.
+    external_nic = iohost.new_nic("external")
+    ctx.wire_loadgen(external_nic)
+    ports = [model.attach_vm(vm, channel, external_nic) for vm in ctx.vms]
+    return SimpleWiring(model=model, ports=ports, service_cores=workers)
+
+
+def _build_consolidation(ctx) -> ConsolidationWiring:
+    spec = ctx.spec
+    costs = ctx.costs
+    iohost = ctx.new_iohost()
+    workers = [iohost.new_worker() for _ in range(spec.sidecores)]
+    model = VrioModel(ctx.env, workers, costs=costs, stats=ctx.stats)
+    wiring = ConsolidationWiring(models=[model], service_cores=workers)
+    for h in range(spec.n_vmhosts):
+        vmhost = ctx.new_vmhost(h)
+        channel_link = ctx.new_link(f"channel{h}", gbps=costs.channel_gbps)
+        vmhost_nic = vmhost.new_nic("channel")
+        vmhost_nic.attach(channel_link.side_a)
+        iohost_channel_nic = iohost.new_nic(f"channel{h}")
+        iohost_channel_nic.attach(channel_link.side_b)
+        channel = model.connect_vmhost(f"vmhost{h}", vmhost_nic,
+                                       iohost_channel_nic)
+        ctx.channels.append(channel)
+        external_nic = iohost.new_nic(f"external{h}")
+        for _ in range(spec.vms_per_host):
+            vm = vmhost.new_vm()
+            wiring.vms.append(vm)
+            wiring.ports.append(model.attach_vm(vm, channel, external_nic))
+            wiring.model_by_vm[vm.name] = model
+    return wiring
+
+
+register_model(ModelInfo(
+    name="vrio",
+    description=("paravirtual remote I/O: consolidated sidecores at a "
+                 "polling IOhost across an SRIOV channel (this paper)"),
+    capabilities=Capabilities(net=True, block=True, polling=True,
+                              topologies=("simple", "scalability",
+                                          "switched", "consolidation",
+                                          "racks"),
+                              ablation=False, exitless=True),
+    build_simple=lambda ctx: _build_simple(ctx, poll=True),
+    build_consolidation=_build_consolidation,
+    tab_rank=20, throughput_rank=30, block_rank=20,
+))
+
+register_model(ModelInfo(
+    name="vrio_nopoll",
+    description=("vRIO ablation: interrupt-driven IOhost workers instead "
+                 "of polling (Table 3's 'vRIO w/o poll' row)"),
+    capabilities=Capabilities(net=True, block=True, polling=False,
+                              topologies=("simple",),
+                              ablation=True, exitless=True),
+    build_simple=lambda ctx: _build_simple(ctx, poll=False),
+    tab_rank=40, throughput_rank=40, block_rank=100,
+))

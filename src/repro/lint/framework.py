@@ -124,7 +124,7 @@ def register_rule(cls: Type[Rule]) -> Type[Rule]:
 
 def registered_rules() -> Dict[str, Type[Rule]]:
     """The registry, importing the stock rule families on first use."""
-    from . import determinism, events, ledger, telemetry  # noqa: F401
+    from . import determinism, events, ledger, models, telemetry  # noqa: F401
     return dict(_RULES)
 
 

@@ -183,7 +183,7 @@ def _filebench_scenario(model_name: str, channel_loss: float = 0.0,
 
     def build(seed: int) -> ScenarioResult:
         spec = TestbedSpec(model=model_name, with_clients=False, seed=seed)
-        if model_name in ("vrio", "vrio_nopoll"):
+        if model_name.startswith("vrio"):
             spec = spec.copy(channel_loss=channel_loss)
         tb = build_testbed(spec)
         monitor = EngineMonitor.attach(tb.env)

@@ -55,10 +55,71 @@ def test_cli_list(capsys):
 
 
 def test_cli_models(capsys):
+    from repro.iomodels.registry import model_names
     assert main(["models"]) == 0
     out = capsys.readouterr().out
-    for model in ("baseline", "elvis", "optimum", "vrio", "vrio_nopoll"):
+    for model in model_names():
         assert model in out
+    assert "registered I/O model configurations" in out
+
+
+def test_cli_models_list(capsys):
+    from repro.iomodels.registry import model_names
+    assert main(["models", "--list"]) == 0
+    out = capsys.readouterr().out
+    assert tuple(out.split()) == model_names()
+
+
+def test_cli_models_json(capsys):
+    from repro.iomodels.registry import model_names
+    assert main(["models", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert tuple(entry["name"] for entry in payload) == model_names()
+    for entry in payload:
+        assert set(entry) == {"name", "description", "net", "block",
+                              "polling", "exitless", "ablation",
+                              "topologies"}
+
+
+def test_cli_run_models_filter(capsys):
+    assert main(["run", "tab3", "--models", "optimum,swpt"]) == 0
+    lines = capsys.readouterr().out.splitlines()
+    models = [line.split()[0] for line in lines[2:]]
+    assert models == ["optimum", "swpt"]
+
+
+def test_cli_run_rejects_unknown_model(capsys):
+    from repro.iomodels.registry import model_names
+    assert main(["run", "tab3", "--models", "optimum,xen"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown model: xen" in err
+    for model in model_names():
+        assert model in err
+
+
+def test_cli_run_rejects_models_on_fixed_cast_artifact(capsys):
+    assert main(["run", "fig1", "--models", "vrio"]) == 2
+    err = capsys.readouterr().err
+    assert "fig1 does not take a --models filter" in err
+    assert "filterable artifacts:" in err
+
+
+def test_model_filterable_artifacts_accept_the_kwarg():
+    """Every artifact advertised as filterable really threads models=
+    through to its runner (a wrong entry would TypeError at dispatch)."""
+    import inspect
+
+    from repro import experiments as ex
+    from repro.cli import MODEL_FILTERABLE
+
+    runners = {"tab3": ex.run_tab03, "fig5": ex.run_fig05,
+               "fig7": ex.run_fig07, "tab4": ex.run_tab04,
+               "fig9": ex.run_fig09, "fig10": ex.run_fig10,
+               "fig12": ex.run_fig12, "fig14": ex.run_fig14,
+               "fig14ssd": ex.run_fig14_ssd}
+    assert set(runners) == set(MODEL_FILTERABLE)
+    for name, runner in runners.items():
+        assert "models" in inspect.signature(runner).parameters, name
 
 
 def test_cli_costs(capsys):

@@ -144,6 +144,24 @@ def test_storage_error_burst_is_retried_like_loss():
     assert report["unrecovered"] == 0
 
 
+def test_storage_errors_surface_to_guests_under_passthrough():
+    """nvme_pt/flexbso have no host reliability layer: the same burst the
+    vRIO campaign retries through becomes lost guest requests, undetected
+    by the host, with the shared block SLO breached."""
+    for name in ("storage_errors_nvme_pt", "storage_errors_flexbso"):
+        report = execute_campaign(CAMPAIGNS[name], seed=0).report
+        requests = report["requests"]
+        assert requests["lost"] > 0, name
+        assert requests["retransmissions"] == 0, name
+        fault = report["faults"][0]
+        assert fault["detected_ns"] is None, name
+        assert fault["detail"] == "no reliability layer to detect with"
+        assert len(report["slo"]["violations"]) > 0, name
+        # The window still clears on schedule: service resumes by itself.
+        assert report["unrecovered"] == 0, name
+        assert report["throughput"]["after"]["ops"] > 0, name
+
+
 def test_sidecore_stall_dips_and_recovers():
     report = execute_campaign(CAMPAIGNS["sidecore_stall"], seed=0).report
     fault = report["faults"][0]

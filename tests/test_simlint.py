@@ -136,6 +136,11 @@ CASES = {
                   "    return telemetry.bind_timeline(width_ns=250000)\n"},
         "at": ("repro/faults/win.py", 2),
     },
+    "SIM501": {
+        "files": {"repro/experiments/cast.py":
+                  "ROWS = ('vrio', 'elvis', 'baseline')\n"},
+        "at": ("repro/experiments/cast.py", 1),
+    },
 }
 
 
@@ -251,6 +256,33 @@ def test_flushed_and_handed_off_timelines_pass_sim404():
               "    return probe\n")
     assert lint_sources({"repro/x.py": source},
                         only=["SIM404"]).findings == []
+
+
+def test_single_model_per_tuple_and_dicts_pass_sim501():
+    # fig11-style configs (one model name per inner tuple) and paper
+    # reference dicts are not shadow catalogs; only a literal with two or
+    # more model names as *direct* elements is.
+    source = ("CONFIGS = [\n"
+              "    ('elvis', 1, 4),\n"
+              "    ('vrio', 2, 4),\n"
+              "]\n"
+              "PAPER_TAB03 = {'vrio': 2, 'elvis': 4}\n")
+    assert lint_sources({"repro/experiments/cfg.py": source},
+                        only=["SIM501"]).findings == []
+
+
+def test_iomodels_package_may_list_model_names_sim501():
+    source = "SHIM = ('vrio', 'elvis', 'baseline')\n"
+    assert lint_sources({"repro/iomodels/registry.py": source},
+                        only=["SIM501"]).findings == []
+
+
+def test_list_and_set_literals_fire_sim501():
+    source = ("A = ['swpt', 'flexbso']\n"
+              "B = {'nvme_pt', 'optimum'}\n")
+    result = lint_sources({"repro/experiments/lists.py": source},
+                          only=["SIM501"])
+    assert len(result.findings) == 2
 
 
 def test_slospec_and_named_widths_pass_sim405():
