@@ -26,6 +26,10 @@ engine byte-for-byte) on three kinds of rows and writes the results to
 * **Artifact wall times** — end-to-end ``run_scenario`` wall-clock for
   the fig12/fig13 scenario paths under both schedulers, asserting the
   metrics dictionaries are identical (the differential guarantee).
+* **Whole-tree lint** — ``repro lint --project`` over the full tree,
+  cold (fresh symbol cache) and warm (populated cache): wall times,
+  finding count, and the cold/warm ratio the incremental cache buys
+  (``--check`` requires >=5x and no new findings).
 
 ``--check`` compares a fresh measurement against a committed baseline
 and fails on a >10% events/sec regression in any comparable calendar
@@ -385,6 +389,52 @@ def _point_row(name: str, path: str, point_fn: Callable[[dict], Any],
     }
 
 
+def _lint_row() -> Dict[str, Any]:
+    """Whole-tree project-lint wall time, cold vs warm symbol cache.
+
+    Times :func:`repro.lint.build_project` — parse + summary extraction
+    + indexing, the part the incremental symbol cache governs — against
+    a fresh private cache directory: cold extracts every summary, warm
+    replays all of them from the cache.  ``warmup_x`` is the cold/warm
+    ratio the cache is accountable for — the acceptance criterion is
+    >=5x, gated by ``--check``.  The SIM6xx rules then run once over the
+    warm analysis for the finding count (rule evaluation is identical
+    cold or warm, so timing it would only dilute the ratio).
+    """
+    import shutil
+    import tempfile
+    from pathlib import Path
+
+    from .lint import build_project, run_project_rules
+
+    cache_dir = Path(tempfile.mkdtemp(prefix="repro-bench-lint-"))
+    try:
+        t0 = time.perf_counter()
+        cold = build_project(cache_dir=cache_dir)
+        cold_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        warm = build_project(cache_dir=cache_dir)
+        warm_s = time.perf_counter() - t0
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+    if cold.cache_hits or warm.cache_misses:
+        raise RuntimeError(
+            f"lint bench cache not cold/warm as expected: cold hits "
+            f"{cold.cache_hits}, warm misses {warm.cache_misses}")
+    result = run_project_rules(warm)
+    return {
+        "name": "lint_tree",
+        "files": len(warm.summaries),
+        "findings": len(result.all_findings()),
+        "cold_wall_s": round(cold_s, 4),
+        "warm_wall_s": round(warm_s, 4),
+        "warmup_x": round(cold_s / warm_s, 2) if warm_s else 0.0,
+    }
+
+
+LINT_WARMUP_TARGET = 5.0
+
+
 def run_engine_bench(quick: bool = False,
                      progress: Optional[Callable[[str], None]] = None
                      ) -> Dict[str, Any]:
@@ -481,6 +531,9 @@ def run_engine_bench(quick: bool = False,
         say(f"artifact wall time, {scenario} ({path}) ...")
         artifacts.append(_artifact_row(scenario, path))
 
+    say("whole-tree project lint, cold + warm cache ...")
+    lint = _lint_row()
+
     headline = next(r for r in rows if r["name"] == HEADLINE_ROW)
     return {
         "schema": SCHEMA,
@@ -488,6 +541,7 @@ def run_engine_bench(quick: bool = False,
         "python": platform.python_version(),
         "rows": rows,
         "artifacts": artifacts,
+        "lint": lint,
         "headline": {
             "row": HEADLINE_ROW,
             "speedup": headline["speedup"],
@@ -558,6 +612,23 @@ def check_regression(current: Dict[str, Any], baseline: Dict[str, Any],
                 f"{base['name']}: calendar {cur:,.0f} ev/s vs baseline "
                 f"{ref:,.0f} ev/s (-{drop:.1f}%, tolerance "
                 f"{tolerance * 100:.0f}%)")
+    base_lint = baseline.get("lint")
+    cur_lint = current.get("lint")
+    if base_lint is not None:
+        if cur_lint is None:
+            problems.append("lint_tree: in baseline but not measured")
+        else:
+            # Wall times are machine-dependent; what must not regress is
+            # what the tree and the cache are accountable for: a clean
+            # tree stays clean, and warm runs stay >=5x faster than cold.
+            if cur_lint["findings"] > base_lint["findings"]:
+                problems.append(
+                    f"lint_tree: {cur_lint['findings']} finding(s) vs "
+                    f"baseline {base_lint['findings']}")
+            if cur_lint["warmup_x"] < LINT_WARMUP_TARGET:
+                problems.append(
+                    f"lint_tree: warm cache only {cur_lint['warmup_x']:.1f}x "
+                    f"faster than cold (target {LINT_WARMUP_TARGET:.0f}x)")
     return problems
 
 
@@ -597,6 +668,16 @@ def validate_payload(payload: Dict[str, Any]) -> List[str]:
         if art.get("identical_metrics") is not True:
             problems.append(
                 f"artifact {scenario}: metrics differ between schedulers")
+    lint = payload.get("lint")
+    if lint is not None:
+        for key in ("name", "files", "findings", "cold_wall_s",
+                    "warm_wall_s", "warmup_x"):
+            if key not in lint:
+                problems.append(f"lint: missing {key!r}")
+        if lint.get("files", 0) <= 0:
+            problems.append("lint: no files measured")
+        if not isinstance(lint.get("findings"), int):
+            problems.append("lint: findings is not an integer")
     headline = payload.get("headline")
     if not isinstance(headline, dict):
         problems.append("headline missing")
@@ -633,6 +714,13 @@ def _print_report(payload: Dict[str, Any], out=sys.stdout) -> None:
             f"  {art['scenario']:<24} heap {wall['heap']:6.3f} s    "
             f"calendar {wall['calendar']:6.3f} s    "
             f"speedup {art['speedup']:.2f}x{flag}\n")
+    lint = payload.get("lint")
+    if lint is not None:
+        out.write(
+            f"  {lint['name']:<24} cold {lint['cold_wall_s']:6.3f} s    "
+            f"warm {lint['warm_wall_s']:6.3f} s    "
+            f"warmup {lint['warmup_x']:.2f}x  "
+            f"({lint['files']} files, {lint['findings']} findings)\n")
     head = payload["headline"]
     verdict = "pass" if head["pass"] else "BELOW TARGET"
     out.write(f"  headline {head['row']}: {head['speedup']:.2f}x "

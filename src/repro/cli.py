@@ -32,10 +32,17 @@ verify [--scenario NAME] [--update-goldens] [--list] [--telemetry]
     out over ``--jobs`` processes and replay from the result cache when
     the code is unchanged.
 lint [PATH ...] [--json] [--baseline FILE] [--update-baseline]
-     [--only CODE] [--list-rules]
+     [--only CODE] [--list-rules] [--project] [--jobs N] [--no-cache]
+     [--changed]
     Run simlint, the AST-based static analyzer enforcing the simulator's
     invariants: SIM1xx determinism, SIM2xx cycle-ledger integrity,
-    SIM3xx event-callback safety, SIM4xx telemetry hygiene.  Exit 0 when
+    SIM3xx event-callback safety, SIM4xx telemetry hygiene, SIM5xx model
+    catalog.  ``--project`` adds the whole-program SIM6xx rules (module
+    graph, call graph, dataflow: RNG provenance, ledger flow, callback
+    escape, telemetry reachability), with per-file symbol summaries
+    cached by content hash (``--no-cache`` bypasses; ``--jobs`` fans
+    cold parsing out over worker processes).  ``--changed`` lints only
+    files differing from ``git merge-base HEAD main``.  Exit 0 when
     clean, 1 on findings, 2 on usage errors.
 faults [CAMPAIGN ...] [--all] [--list] [--seed N] [--jobs N]
     Run fault-injection campaigns (IOhost crash, link loss/blackout, NIC
@@ -62,9 +69,11 @@ bench [ARTIFACT ...] [--quick] [--jobs N] [--out PATH]
 bench --engine [--quick] [--check] [--out PATH]
     Benchmark the event-scheduler hot path: calendar queue vs the legacy
     heap on completion storms, captured fig12/fig13 schedule replays,
-    and end-to-end artifact wall times; writes ``BENCH_engine.json``.
+    end-to-end artifact wall times, and the whole-tree project lint
+    (cold vs warm symbol cache); writes ``BENCH_engine.json``.
     ``--check`` compares against the committed baseline instead and
-    fails on a >10% calendar events/sec regression.
+    fails on a >10% calendar events/sec regression, a lint cache
+    warm-up below 5x, or new lint findings.
 """
 
 from __future__ import annotations
@@ -401,10 +410,10 @@ def _fault_smoke_line() -> Optional[str]:
 
 
 def _lint_smoke_line() -> Optional[str]:
-    """Run simlint over the tree and print its verdict row."""
+    """Run simlint (per-file + project rules) and print its verdict row."""
     from .lint import lint_tree
 
-    result = lint_tree()
+    result = lint_tree(project=True)
     if result.clean:
         print(f"{'lint':24s} {'ok':>10s}")
         return None

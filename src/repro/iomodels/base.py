@@ -19,13 +19,17 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Any, Callable, Dict, Iterator, Optional
 
 from ..hw.cpu import Core
 from ..hw.nic import NicFunction
 from ..net.frame import ETHERNET_HEADER_BYTES, EthernetFrame, MacAddress, STANDARD_MTU
 from ..net.segmentation import segment_sizes
 from ..sim import Counter, Environment
+
+if TYPE_CHECKING:
+    from ..guest.vm import Vm
+    from ..sim.engine import Event
 
 __all__ = [
     "IoEventStats",
@@ -52,7 +56,7 @@ class IoEventStats:
         self.host_interrupts = Counter("host_interrupts")
         self.iohost_interrupts = Counter("iohost_interrupts")
 
-    def snapshot(self) -> dict:
+    def snapshot(self) -> Dict[str, int]:
         return {col: getattr(self, col).value for col in self.COLUMNS}
 
     def total(self) -> int:
@@ -74,9 +78,9 @@ class NetMessage:
     kind: str = "data"
     message_id: int = field(default_factory=lambda: next(_message_ids))
     created_ns: int = 0
-    meta: dict = field(default_factory=dict)
+    meta: Dict[str, Any] = field(default_factory=dict)
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.size_bytes <= 0:
             raise ValueError(f"message size must be positive: {self.size_bytes}")
 
@@ -99,10 +103,10 @@ class NetPort:
     the guest has paid interrupt + stack costs for its arrival.
     """
 
-    def __init__(self, env: Environment, vm, mac: MacAddress,
+    def __init__(self, env: Environment, vm: "Vm", mac: MacAddress,
                  transmit: Callable[[NetMessage], None],
                  app_dilation: float = 1.0,
-                 per_send_extra_cycles: int = 0):
+                 per_send_extra_cycles: int = 0) -> None:
         self.env = env
         self.vm = vm
         self.mac = mac
@@ -118,7 +122,7 @@ class NetPort:
         self.rx_bytes = Counter("rx_bytes")
 
     def send(self, dst: MacAddress, size_bytes: int, kind: str = "data",
-             meta: Optional[dict] = None) -> NetMessage:
+             meta: Optional[Dict[str, Any]] = None) -> NetMessage:
         """Asynchronously send a message.  Guest-side costs are charged by
         the model's datapath; the call returns immediately."""
         message = NetMessage(src=self.mac, dst=dst, size_bytes=size_bytes,
@@ -150,7 +154,7 @@ class ExternalEndpoint:
 
     def __init__(self, env: Environment, name: str, core: Core,
                  nic_fn: NicFunction, per_msg_cycles: int = 4_500,
-                 mtu: int = STANDARD_MTU):
+                 mtu: int = STANDARD_MTU) -> None:
         self.env = env
         self.name = name
         self.core = core
@@ -165,7 +169,7 @@ class ExternalEndpoint:
         nic_fn.on_notify = self._on_rx
 
     def send(self, dst: MacAddress, size_bytes: int, kind: str = "data",
-             meta: Optional[dict] = None) -> NetMessage:
+             meta: Optional[Dict[str, Any]] = None) -> NetMessage:
         message = NetMessage(src=self.mac, dst=dst, size_bytes=size_bytes,
                              kind=kind, created_ns=self.env.now,
                              meta=meta or {})
@@ -173,7 +177,7 @@ class ExternalEndpoint:
         self.env.process(self._tx_path(message), name=f"{self.name}-tx")
         return message
 
-    def _tx_path(self, message: NetMessage):
+    def _tx_path(self, message: NetMessage) -> Iterator["Event"]:
         yield self.core.execute(self.per_msg_cycles, tag="net_stack")
         frame = EthernetFrame(
             src=self.mac, dst=message.dst, payload=message,
@@ -184,7 +188,7 @@ class ExternalEndpoint:
     def _on_rx(self) -> None:
         self.env.process(self._rx_path(), name=f"{self.name}-rx")
 
-    def _rx_path(self):
+    def _rx_path(self) -> Iterator["Event"]:
         while True:
             ok, frame = self.nic_fn.rx_ring.try_get()
             if not ok:

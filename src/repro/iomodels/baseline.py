@@ -14,7 +14,7 @@ application work (``costs.baseline_app_dilation``, see costs.py).
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
 from ..guest.vm import Vm
 from ..hw.cpu import Core
@@ -40,7 +40,8 @@ __all__ = ["BaselineModel", "BaselineBlockHandle"]
 class BaselineBlockHandle:
     """Paravirtual block device emulated by a vhost thread."""
 
-    def __init__(self, model: "BaselineModel", vm: Vm, device: StorageDevice):
+    def __init__(self, model: "BaselineModel", vm: Vm,
+                 device: StorageDevice) -> None:
         self.model = model
         self.vm = vm
         self.device = device
@@ -64,7 +65,7 @@ class BaselineModel:
                  stats: Optional[IoEventStats] = None,
                  interposers: Optional[InterposerChain] = None,
                  mtu: int = STANDARD_MTU,
-                 tracer=None):
+                 tracer: Optional[Any] = None) -> None:
         self.env = env
         self.nic = nic
         self.io_core = io_core
@@ -77,7 +78,7 @@ class BaselineModel:
         self._port_of: Dict[Vm, NetPort] = {}
         self._tx_vq_of: Dict[Vm, Virtqueue] = {}
 
-    def register_telemetry(self, namespace) -> None:
+    def register_telemetry(self, namespace: Any) -> None:
         """Register this model's instruments into a metrics namespace."""
         namespace.register_gauge("attached_vms",
                                  lambda m=self: len(m._port_of))
@@ -87,10 +88,10 @@ class BaselineModel:
                             "completed", "full_rejections"):
                 ns.register_counter(counter, getattr(vq, counter))
 
-    def add_interposer(self, interposer) -> None:
+    def add_interposer(self, interposer: Any) -> None:
         self.interposers.add(interposer)
 
-    def attach_vm(self, vm: Vm, mac=None) -> NetPort:
+    def attach_vm(self, vm: Vm, mac: Optional[Any] = None) -> NetPort:
         """Create the VM's virtio net device.
 
         ``mac`` pins the device's address — used when a vRIO client falls
@@ -124,7 +125,7 @@ class BaselineModel:
         self.env.process(self._guest_tx(vm, message),
                          name=f"base-tx:{vm.name}")
 
-    def _guest_tx(self, vm: Vm, message: NetMessage):
+    def _guest_tx(self, vm: Vm, message: NetMessage) -> Iterator[Event]:
         c = self.costs
         if self.tracer:
             self.tracer.point(message.message_id, "guest_tx",
@@ -142,7 +143,7 @@ class BaselineModel:
         self.env.process(self._vhost_tx(vm, message),
                          name=f"base-vhost-tx:{vm.name}")
 
-    def _vhost_tx(self, vm: Vm, message: NetMessage):
+    def _vhost_tx(self, vm: Vm, message: NetMessage) -> Iterator[Event]:
         c = self.costs
         # The vhost thread must be scheduled in before it can serve.
         yield self.env.timeout(c.vhost_sched_delay_ns)
@@ -173,7 +174,7 @@ class BaselineModel:
         self.env.process(self._tx_complete_path(vm),
                          name=f"base-txc:{vm.name}")
 
-    def _tx_complete_path(self, vm: Vm):
+    def _tx_complete_path(self, vm: Vm) -> Iterator[Event]:
         c = self.costs
         yield self.io_core.execute(c.host_irq_cycles, tag="host_irq",
                                    high_priority=True)
@@ -188,7 +189,7 @@ class BaselineModel:
         self.stats.host_interrupts.add()
         self.env.process(self._rx_path(vm), name=f"base-rx:{vm.name}")
 
-    def _rx_path(self, vm: Vm):
+    def _rx_path(self, vm: Vm) -> Iterator[Event]:
         c = self.costs
         fn = self._fn_of[vm]
         port = self._port_of[vm]
@@ -227,7 +228,7 @@ class BaselineModel:
     # -- block ---------------------------------------------------------------------
 
     def _blk_path(self, vm: Vm, device: StorageDevice, request: BlockRequest,
-                  done: Event):
+                  done: Event) -> Iterator[Event]:
         c = self.costs
         request.issued_ns = self.env.now
         yield vm.vcpu.execute(c.guest_blk_per_req_cycles + c.ring_op_cycles,
@@ -246,7 +247,7 @@ class BaselineModel:
 
 # -- registry wiring ----------------------------------------------------------
 
-def _build_simple(ctx) -> SimpleWiring:
+def _build_simple(ctx: Any) -> SimpleWiring:
     host_nic = ctx.vmhost.new_nic("external")
     ctx.wire_loadgen(host_nic)
     io_core = ctx.vmhost.new_io_core()
@@ -256,7 +257,9 @@ def _build_simple(ctx) -> SimpleWiring:
     return SimpleWiring(model=model, ports=ports, service_cores=[io_core])
 
 
-def _consolidation_host(ctx, vmhost):
+def _consolidation_host(
+        ctx: Any, vmhost: Any,
+) -> Tuple["BaselineModel", List[Core], Callable[[Vm], NetPort]]:
     nic = vmhost.new_nic("external")  # unused by block workloads
     io_core = vmhost.new_io_core()
     model = BaselineModel(ctx.env, nic, io_core, costs=ctx.costs,

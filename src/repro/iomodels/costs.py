@@ -22,7 +22,8 @@ instability).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from typing import Any
 
 __all__ = ["CostModel", "DEFAULT_COSTS"]
 
@@ -158,7 +159,7 @@ class CostModel:
     # simulated seconds of unbounded exponential waits.
     blk_max_timeout_ns: int = 80_000_000       # 80 ms
 
-    def copy(self, **overrides) -> "CostModel":
+    def copy(self, **overrides: Any) -> "CostModel":
         """A copy of this cost model with selected fields replaced."""
         from dataclasses import replace
         return replace(self, **overrides)

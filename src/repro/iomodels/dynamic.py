@@ -16,10 +16,10 @@ VMhost.
 
 from __future__ import annotations
 
-from typing import List
+from typing import Dict, Iterator, List
 
 from ..hw.cpu import Core
-from ..sim import Counter, Environment
+from ..sim import Counter, Environment, Event
 from .elvis import ElvisModel
 
 __all__ = ["DynamicSidecoreAllocator"]
@@ -45,7 +45,7 @@ class DynamicSidecoreAllocator:
     def __init__(self, env: Environment, model: ElvisModel,
                  spare_cores: List[Core], epoch_ns: int = 2_000_000,
                  grow_threshold: float = 0.8,
-                 shrink_threshold: float = 0.25):
+                 shrink_threshold: float = 0.25) -> None:
         if not 0.0 < shrink_threshold < grow_threshold <= 1.0:
             raise ValueError(
                 f"need 0 < shrink ({shrink_threshold}) < grow "
@@ -58,7 +58,8 @@ class DynamicSidecoreAllocator:
         self.shrink_threshold = shrink_threshold
         self.grow_events = Counter("grow_events")
         self.shrink_events = Counter("shrink_events")
-        self._last_useful = {id(c): 0 for c in model.sidecores + spare_cores}
+        self._last_useful: Dict[int, int] = {
+            id(c): 0 for c in model.sidecores + spare_cores}
         env.process(self._control_loop(), name="sidecore-allocator")
 
     @property
@@ -83,7 +84,7 @@ class DynamicSidecoreAllocator:
             self.model._sidecore_of[vm] = self.model.sidecores[
                 index % len(self.model.sidecores)]
 
-    def _control_loop(self):
+    def _control_loop(self) -> Iterator[Event]:
         env = self.env
         while True:
             yield env.timeout(self.epoch_ns)

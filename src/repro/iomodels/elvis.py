@@ -11,7 +11,7 @@ removes by polling the NICs at the IOhost.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
 from ..guest.vm import Vm
 from ..hw.cpu import Core
@@ -37,7 +37,8 @@ __all__ = ["ElvisModel", "ElvisBlockHandle"]
 class ElvisBlockHandle:
     """Workload-facing paravirtual block device backed by a local sidecore."""
 
-    def __init__(self, model: "ElvisModel", vm: Vm, device: StorageDevice):
+    def __init__(self, model: "ElvisModel", vm: Vm,
+                 device: StorageDevice) -> None:
         self.model = model
         self.vm = vm
         self.device = device
@@ -63,7 +64,7 @@ class ElvisModel:
                  stats: Optional[IoEventStats] = None,
                  interposers: Optional[InterposerChain] = None,
                  mtu: int = STANDARD_MTU,
-                 tracer=None):
+                 tracer: Optional[Any] = None) -> None:
         if not sidecores:
             raise ValueError("Elvis requires at least one sidecore")
         self.env = env
@@ -80,7 +81,7 @@ class ElvisModel:
         self._tx_vq_of: Dict[Vm, Virtqueue] = {}
         self._attach_count = 0
 
-    def register_telemetry(self, namespace) -> None:
+    def register_telemetry(self, namespace: Any) -> None:
         """Register this model's instruments into a metrics namespace."""
         namespace.register_gauge("attached_vms",
                                  lambda m=self: len(m._port_of))
@@ -90,7 +91,7 @@ class ElvisModel:
                             "completed", "full_rejections"):
                 ns.register_counter(counter, getattr(vq, counter))
 
-    def add_interposer(self, interposer) -> None:
+    def add_interposer(self, interposer: Any) -> None:
         self.interposers.add(interposer)
 
     def sidecore_for(self, vm: Vm) -> Core:
@@ -133,7 +134,7 @@ class ElvisModel:
         self.env.process(self._guest_tx(vm, message),
                          name=f"elvis-tx:{vm.name}")
 
-    def _guest_tx(self, vm: Vm, message: NetMessage):
+    def _guest_tx(self, vm: Vm, message: NetMessage) -> Iterator[Event]:
         c = self.costs
         if self.tracer:
             self.tracer.point(message.message_id, "guest_tx",
@@ -150,7 +151,7 @@ class ElvisModel:
         self.env.process(self._sidecore_tx(vm, message),
                          name=f"elvis-sc-tx:{vm.name}")
 
-    def _sidecore_tx(self, vm: Vm, message: NetMessage):
+    def _sidecore_tx(self, vm: Vm, message: NetMessage) -> Iterator[Event]:
         c = self.costs
         sidecore = self._sidecore_of[vm]
         ok, request = self._tx_vq_of[vm].try_get_avail()
@@ -180,7 +181,7 @@ class ElvisModel:
         self.env.process(self._tx_complete_path(vm),
                          name=f"elvis-txc:{vm.name}")
 
-    def _tx_complete_path(self, vm: Vm):
+    def _tx_complete_path(self, vm: Vm) -> Iterator[Event]:
         sidecore = self._sidecore_of[vm]
         yield sidecore.execute(self.costs.host_irq_cycles, tag="host_irq",
                                high_priority=True)
@@ -194,7 +195,7 @@ class ElvisModel:
         self.stats.host_interrupts.add()
         self.env.process(self._rx_path(vm), name=f"elvis-rx:{vm.name}")
 
-    def _rx_path(self, vm: Vm):
+    def _rx_path(self, vm: Vm) -> Iterator[Event]:
         c = self.costs
         sidecore = self._sidecore_of[vm]
         fn = self._fn_of[vm]
@@ -232,7 +233,7 @@ class ElvisModel:
     # -- block -----------------------------------------------------------------
 
     def _blk_path(self, vm: Vm, device: StorageDevice, request: BlockRequest,
-                  done: Event):
+                  done: Event) -> Iterator[Event]:
         c = self.costs
         sidecore = self._sidecore_of[vm]
         request.issued_ns = self.env.now
@@ -253,7 +254,7 @@ class ElvisModel:
 
 # -- registry wiring ----------------------------------------------------------
 
-def _build_simple(ctx) -> SimpleWiring:
+def _build_simple(ctx: Any) -> SimpleWiring:
     host_nic = ctx.vmhost.new_nic("external")
     ctx.wire_loadgen(host_nic)
     cores = [ctx.vmhost.new_sidecore() for _ in range(ctx.spec.sidecores)]
@@ -263,7 +264,9 @@ def _build_simple(ctx) -> SimpleWiring:
     return SimpleWiring(model=model, ports=ports, service_cores=cores)
 
 
-def _consolidation_host(ctx, vmhost):
+def _consolidation_host(
+        ctx: Any, vmhost: Any,
+) -> Tuple["ElvisModel", List[Core], Callable[[Vm], NetPort]]:
     nic = vmhost.new_nic("external")  # unused by block workloads
     cores = [vmhost.new_sidecore() for _ in range(ctx.spec.sidecores)]
     model = ElvisModel(ctx.env, nic, cores, costs=ctx.costs, stats=ctx.stats)

@@ -16,7 +16,7 @@ property Elvis buys with host sidecores, here at SmartNIC prices.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
 from ..guest.vm import Vm
 from ..hw.cpu import Core
@@ -42,7 +42,8 @@ __all__ = ["FlexbsoModel", "FlexbsoBlockHandle"]
 class FlexbsoBlockHandle:
     """Workload-facing paravirtual block device backed by the engine."""
 
-    def __init__(self, model: "FlexbsoModel", vm: Vm, device: StorageDevice):
+    def __init__(self, model: "FlexbsoModel", vm: Vm,
+                 device: StorageDevice) -> None:
         self.model = model
         self.vm = vm
         self.device = device
@@ -68,7 +69,7 @@ class FlexbsoModel:
                  stats: Optional[IoEventStats] = None,
                  interposers: Optional[InterposerChain] = None,
                  mtu: int = STANDARD_MTU,
-                 tracer=None):
+                 tracer: Optional[Any] = None) -> None:
         self.env = env
         self.nic = nic
         self.engine = engine
@@ -83,7 +84,7 @@ class FlexbsoModel:
         self.offloaded_requests = Counter("offloaded_requests")
         self.engine_dma_bytes = Counter("engine_dma_bytes")
 
-    def register_telemetry(self, namespace) -> None:
+    def register_telemetry(self, namespace: Any) -> None:
         """Register this model's instruments into a metrics namespace."""
         namespace.register_gauge("attached_vms",
                                  lambda m=self: len(m._port_of))
@@ -93,7 +94,7 @@ class FlexbsoModel:
         namespace.register_gauge("engine_queue_length",
                                  lambda m=self: m.engine.queue_length)
 
-    def add_interposer(self, interposer) -> None:
+    def add_interposer(self, interposer: Any) -> None:
         self.interposers.add(interposer)
 
     def attach_vm(self, vm: Vm) -> NetPort:
@@ -122,7 +123,7 @@ class FlexbsoModel:
         self.env.process(self._guest_tx(vm, message),
                          name=f"flexbso-tx:{vm.name}")
 
-    def _guest_tx(self, vm: Vm, message: NetMessage):
+    def _guest_tx(self, vm: Vm, message: NetMessage) -> Iterator[Event]:
         c = self.costs
         if self.tracer:
             self.tracer.point(message.message_id, "guest_tx",
@@ -136,7 +137,7 @@ class FlexbsoModel:
         self.env.process(self._engine_tx(vm, message),
                          name=f"flexbso-eng-tx:{vm.name}")
 
-    def _engine_tx(self, vm: Vm, message: NetMessage):
+    def _engine_tx(self, vm: Vm, message: NetMessage) -> Iterator[Event]:
         c = self.costs
         if not self.interposers.admit(message):
             return
@@ -165,7 +166,7 @@ class FlexbsoModel:
         self.env.process(self._tx_complete_path(vm),
                          name=f"flexbso-txc:{vm.name}")
 
-    def _tx_complete_path(self, vm: Vm):
+    def _tx_complete_path(self, vm: Vm) -> Iterator[Event]:
         # Engine writes the used entry back NIC-side and signals the
         # guest exitlessly (posted interrupt).
         yield self.engine.execute(self.costs.ring_op_cycles,
@@ -177,7 +178,7 @@ class FlexbsoModel:
     def _on_nic_rx(self, vm: Vm) -> None:
         self.env.process(self._rx_path(vm), name=f"flexbso-rx:{vm.name}")
 
-    def _rx_path(self, vm: Vm):
+    def _rx_path(self, vm: Vm) -> Iterator[Event]:
         c = self.costs
         fn = self._fn_of[vm]
         port = self._port_of[vm]
@@ -213,7 +214,7 @@ class FlexbsoModel:
     # -- block -----------------------------------------------------------------
 
     def _blk_path(self, vm: Vm, device: StorageDevice, request: BlockRequest,
-                  done: Event):
+                  done: Event) -> Iterator[Event]:
         c = self.costs
         request.issued_ns = self.env.now
         # Guest: virtio-blk post; the doorbell is device MMIO, no exit.
@@ -245,7 +246,7 @@ class FlexbsoModel:
 
 # -- registry wiring ----------------------------------------------------------
 
-def _build_simple(ctx) -> SimpleWiring:
+def _build_simple(ctx: Any) -> SimpleWiring:
     host_nic = ctx.vmhost.new_nic("external")
     ctx.wire_loadgen(host_nic)
     engine = ctx.vmhost.new_sidecore()
@@ -255,7 +256,9 @@ def _build_simple(ctx) -> SimpleWiring:
     return SimpleWiring(model=model, ports=ports, service_cores=[engine])
 
 
-def _consolidation_host(ctx, vmhost):
+def _consolidation_host(
+        ctx: Any, vmhost: Any,
+) -> Tuple["FlexbsoModel", List[Core], Callable[[Vm], NetPort]]:
     nic = vmhost.new_nic("external")
     engine = vmhost.new_sidecore()
     model = FlexbsoModel(ctx.env, nic, engine, costs=ctx.costs,

@@ -17,9 +17,10 @@ exactly what the admin-queue trap path provides.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
 from ..guest.vm import Vm
+from ..hw.cpu import Core
 from ..hw.nic import Nic, NicFunction
 from ..hw.storage import BlockRequest, StorageDevice
 from ..net.frame import EthernetFrame, STANDARD_MTU
@@ -45,7 +46,8 @@ _ADMIN_CMDS_PER_QPAIR = 2
 class NvmePtBlockHandle:
     """Workload-facing block device backed by a passthrough queue pair."""
 
-    def __init__(self, model: "NvmePtModel", vm: Vm, device: StorageDevice):
+    def __init__(self, model: "NvmePtModel", vm: Vm,
+                 device: StorageDevice) -> None:
         self.model = model
         self.vm = vm
         self.device = device
@@ -68,7 +70,7 @@ class NvmePtModel:
     def __init__(self, env: Environment, costs: CostModel = DEFAULT_COSTS,
                  stats: Optional[IoEventStats] = None,
                  mtu: int = STANDARD_MTU,
-                 tracer=None):
+                 tracer: Optional[Any] = None) -> None:
         self.env = env
         self.costs = costs
         self.stats = stats if stats is not None else IoEventStats("nvme_pt")
@@ -80,7 +82,7 @@ class NvmePtModel:
         self.admin_commands = Counter("admin_commands")
         self.data_submissions = Counter("data_submissions")
 
-    def register_telemetry(self, namespace) -> None:
+    def register_telemetry(self, namespace: Any) -> None:
         """Register this model's instruments into a metrics namespace."""
         namespace.register_gauge("attached_vms",
                                  lambda m=self: len(m._port_of))
@@ -120,14 +122,14 @@ class NvmePtModel:
                          name=f"nvmept-admin:{vm.name}")
         return NvmePtBlockHandle(self, vm, device)
 
-    def add_interposer(self, interposer) -> None:
+    def add_interposer(self, interposer: Any) -> None:
         raise NotImplementedError(
             "queue-pair passthrough bypasses the host: interposition is "
             "impossible, as with SRIOV (§2)")
 
     # -- admin path (trapped) --------------------------------------------------
 
-    def _admin_create_qpair(self, vm: Vm):
+    def _admin_create_qpair(self, vm: Vm) -> Iterator[Event]:
         c = self.costs
         for _ in range(_ADMIN_CMDS_PER_QPAIR):
             self.admin_commands.add()
@@ -139,7 +141,7 @@ class NvmePtModel:
         self.env.process(self._tx_path(vm, message),
                          name=f"nvmept-tx:{vm.name}")
 
-    def _tx_path(self, vm: Vm, message: NetMessage):
+    def _tx_path(self, vm: Vm, message: NetMessage) -> Iterator[Event]:
         c = self.costs
         if self.tracer:
             self.tracer.point(message.message_id, "guest_tx",
@@ -162,7 +164,7 @@ class NvmePtModel:
     def _on_rx(self, vm: Vm) -> None:
         self.env.process(self._rx_path(vm), name=f"nvmept-rx:{vm.name}")
 
-    def _rx_path(self, vm: Vm):
+    def _rx_path(self, vm: Vm) -> Iterator[Event]:
         c = self.costs
         vf = self._vf_of[vm]
         port = self._port_of[vm]
@@ -183,7 +185,7 @@ class NvmePtModel:
     # -- block data path (exitless) --------------------------------------------
 
     def _blk_path(self, vm: Vm, device: StorageDevice, request: BlockRequest,
-                  done: Event):
+                  done: Event) -> Iterator[Event]:
         c = self.costs
         request.issued_ns = self.env.now
         self.data_submissions.add()
@@ -211,7 +213,7 @@ class NvmePtModel:
 
 # -- registry wiring ----------------------------------------------------------
 
-def _build_simple(ctx) -> SimpleWiring:
+def _build_simple(ctx: Any) -> SimpleWiring:
     host_nic = ctx.vmhost.new_nic("external")
     ctx.wire_loadgen(host_nic)
     model = NvmePtModel(ctx.env, costs=ctx.costs, stats=ctx.stats)
@@ -219,7 +221,9 @@ def _build_simple(ctx) -> SimpleWiring:
     return SimpleWiring(model=model, ports=ports, service_cores=[])
 
 
-def _consolidation_host(ctx, vmhost):
+def _consolidation_host(
+        ctx: Any, vmhost: Any,
+) -> Tuple["NvmePtModel", List[Core], Callable[[Vm], NetPort]]:
     nic = vmhost.new_nic("external")
     model = NvmePtModel(ctx.env, costs=ctx.costs, stats=ctx.stats)
     return model, [], lambda vm, m=model, n=nic: m.attach_vm(vm, n)

@@ -25,7 +25,7 @@ the cluster layer, so registration stays cycle-free.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 __all__ = [
     "Capabilities",
@@ -81,8 +81,9 @@ class ModelInfo:
     name: str
     description: str
     capabilities: Capabilities
-    build_simple: Callable = field(repr=False)
-    build_consolidation: Optional[Callable] = field(default=None, repr=False)
+    build_simple: Callable[..., Any] = field(repr=False)
+    build_consolidation: Optional[Callable[..., Any]] = field(
+        default=None, repr=False)
     tab_rank: int = 100
     throughput_rank: int = 100
     block_rank: int = 100
@@ -92,25 +93,25 @@ class ModelInfo:
 class SimpleWiring:
     """What a simple-topology builder hands back to the testbed."""
 
-    model: object
-    ports: list
-    service_cores: list = field(default_factory=list)
+    model: Any
+    ports: List[Any]
+    service_cores: List[Any] = field(default_factory=list)
 
 
 @dataclass
 class ConsolidationWiring:
     """What a consolidation builder hands back to the testbed."""
 
-    models: list = field(default_factory=list)
-    vms: list = field(default_factory=list)
-    ports: list = field(default_factory=list)
-    service_cores: list = field(default_factory=list)
-    model_by_vm: dict = field(default_factory=dict)
+    models: List[Any] = field(default_factory=list)
+    vms: List[Any] = field(default_factory=list)
+    ports: List[Any] = field(default_factory=list)
+    service_cores: List[Any] = field(default_factory=list)
+    model_by_vm: Dict[str, Any] = field(default_factory=dict)
 
 
 _REGISTRY: Dict[str, ModelInfo] = {}
 
-_ORDER_KEYS = {
+_ORDER_KEYS: Dict[str, Callable[[ModelInfo], Any]] = {
     "name": lambda info: info.name,
     "tab": lambda info: (info.tab_rank, info.name),
     "throughput": lambda info: (info.throughput_rank, info.name),
@@ -167,7 +168,7 @@ def filter_models(net: Optional[bool] = None,
         raise ValueError(
             f"unknown order {order!r}; expected one of "
             f"{tuple(sorted(_ORDER_KEYS))}")
-    selected = []
+    selected: List[ModelInfo] = []
     for info in _REGISTRY.values():
         caps = info.capabilities
         if net is not None and caps.net != net:
@@ -186,7 +187,11 @@ def filter_models(net: Optional[bool] = None,
     return tuple(info.name for info in sorted(selected, key=key))
 
 
-def consolidated_per_host(ctx, make_host_instance) -> ConsolidationWiring:
+def consolidated_per_host(
+        ctx: Any,
+        make_host_instance: Callable[[Any, Any], Tuple[Any, List[Any],
+                                                       Callable[[Any], Any]]],
+) -> ConsolidationWiring:
     """The shared consolidation shape for host-local models.
 
     Elvis, the baseline, and the locally serviced new models all

@@ -10,12 +10,12 @@ because that is precisely what the paper says SRIOV cannot do.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Any, Dict, Iterator, Optional
 
 from ..guest.vm import Vm
 from ..hw.nic import Nic, NicFunction
 from ..net.frame import EthernetFrame, STANDARD_MTU
-from ..sim import Environment
+from ..sim import Environment, Event
 from .base import IoEventStats, NetMessage, NetPort, message_wire_bytes
 from .costs import CostModel, DEFAULT_COSTS
 from .registry import Capabilities, ModelInfo, SimpleWiring, register_model
@@ -32,7 +32,7 @@ class OptimumModel:
     def __init__(self, env: Environment, costs: CostModel = DEFAULT_COSTS,
                  stats: Optional[IoEventStats] = None,
                  mtu: int = STANDARD_MTU,
-                 tracer=None):
+                 tracer: Optional[Any] = None) -> None:
         self.env = env
         self.costs = costs
         self.stats = stats if stats is not None else IoEventStats("optimum")
@@ -41,7 +41,7 @@ class OptimumModel:
         self._vf_of: Dict[Vm, NicFunction] = {}
         self._port_of: Dict[Vm, NetPort] = {}
 
-    def register_telemetry(self, namespace) -> None:
+    def register_telemetry(self, namespace: Any) -> None:
         """Register this model's instruments into a metrics namespace.
 
         SRIOV has no host datapath, so there is nothing beyond the VF
@@ -64,12 +64,12 @@ class OptimumModel:
         self._port_of[vm] = port
         return port
 
-    def attach_block_device(self, vm: Vm, device) -> None:
+    def attach_block_device(self, vm: Vm, device: Any) -> None:
         raise NotImplementedError(
             "SRIOV cannot expose a host-managed block device "
             "(\"there is no such thing as an SRIOV ramdisk\", paper §5)")
 
-    def add_interposer(self, interposer) -> None:
+    def add_interposer(self, interposer: Any) -> None:
         raise NotImplementedError(
             "SRIOV bypasses the host: interposition is impossible (§2)")
 
@@ -78,7 +78,7 @@ class OptimumModel:
     def _start_tx(self, vm: Vm, message: NetMessage) -> None:
         self.env.process(self._tx_path(vm, message), name=f"opt-tx:{vm.name}")
 
-    def _tx_path(self, vm: Vm, message: NetMessage):
+    def _tx_path(self, vm: Vm, message: NetMessage) -> Iterator[Event]:
         c = self.costs
         if self.tracer:
             self.tracer.point(message.message_id, "guest_tx",
@@ -103,7 +103,7 @@ class OptimumModel:
     def _on_rx(self, vm: Vm) -> None:
         self.env.process(self._rx_path(vm), name=f"opt-rx:{vm.name}")
 
-    def _rx_path(self, vm: Vm):
+    def _rx_path(self, vm: Vm) -> Iterator[Event]:
         c = self.costs
         vf = self._vf_of[vm]
         port = self._port_of[vm]
@@ -124,7 +124,7 @@ class OptimumModel:
 
 # -- registry wiring ----------------------------------------------------------
 
-def _build_simple(ctx) -> SimpleWiring:
+def _build_simple(ctx: Any) -> SimpleWiring:
     host_nic = ctx.vmhost.new_nic("external")
     ctx.wire_loadgen(host_nic)
     model = OptimumModel(ctx.env, costs=ctx.costs, stats=ctx.stats)

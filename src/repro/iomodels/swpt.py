@@ -17,7 +17,7 @@ never queues one VM's completions behind another's.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
 from ..guest.vm import Vm
 from ..hw.cpu import Core
@@ -41,7 +41,8 @@ __all__ = ["SwptModel", "SwptBlockHandle"]
 class SwptBlockHandle:
     """Workload-facing block device on a directly mapped queue."""
 
-    def __init__(self, model: "SwptModel", vm: Vm, device: StorageDevice):
+    def __init__(self, model: "SwptModel", vm: Vm,
+                 device: StorageDevice) -> None:
         self.model = model
         self.vm = vm
         self.device = device
@@ -66,7 +67,7 @@ class SwptModel:
                  costs: CostModel = DEFAULT_COSTS,
                  stats: Optional[IoEventStats] = None,
                  mtu: int = STANDARD_MTU,
-                 tracer=None):
+                 tracer: Optional[Any] = None) -> None:
         self.env = env
         self.nic = nic
         self.costs = costs
@@ -79,7 +80,7 @@ class SwptModel:
         self._port_of: Dict[Vm, NetPort] = {}
         self.polled_events = Counter("polled_events")
 
-    def register_telemetry(self, namespace) -> None:
+    def register_telemetry(self, namespace: Any) -> None:
         """Register this model's instruments into a metrics namespace."""
         namespace.register_gauge("attached_vms",
                                  lambda m=self: len(m._port_of))
@@ -112,7 +113,7 @@ class SwptModel:
             raise ValueError(f"attach_vm({vm.name}) first")
         return SwptBlockHandle(self, vm, device)
 
-    def add_interposer(self, interposer) -> None:
+    def add_interposer(self, interposer: Any) -> None:
         raise NotImplementedError(
             "direct device mapping bypasses the host on the data path: "
             "interposition is impossible, as with SRIOV (§2)")
@@ -123,7 +124,7 @@ class SwptModel:
         self.env.process(self._tx_path(vm, message),
                          name=f"swpt-tx:{vm.name}")
 
-    def _tx_path(self, vm: Vm, message: NetMessage):
+    def _tx_path(self, vm: Vm, message: NetMessage) -> Iterator[Event]:
         c = self.costs
         if self.tracer:
             self.tracer.point(message.message_id, "guest_tx",
@@ -141,7 +142,7 @@ class SwptModel:
     def _on_tx_complete(self, vm: Vm) -> None:
         self.env.process(self._poll_inject(vm), name=f"swpt-txc:{vm.name}")
 
-    def _poll_inject(self, vm: Vm):
+    def _poll_inject(self, vm: Vm) -> Iterator[Event]:
         """The polling thread notices a completion and injects it."""
         c = self.costs
         self.polled_events.add()
@@ -154,7 +155,7 @@ class SwptModel:
     def _on_rx(self, vm: Vm) -> None:
         self.env.process(self._rx_path(vm), name=f"swpt-rx:{vm.name}")
 
-    def _rx_path(self, vm: Vm):
+    def _rx_path(self, vm: Vm) -> Iterator[Event]:
         c = self.costs
         fn = self._fn_of[vm]
         port = self._port_of[vm]
@@ -186,7 +187,7 @@ class SwptModel:
     # -- block -----------------------------------------------------------------
 
     def _blk_path(self, vm: Vm, device: StorageDevice, request: BlockRequest,
-                  done: Event):
+                  done: Event) -> Iterator[Event]:
         c = self.costs
         request.issued_ns = self.env.now
         # Direct submission: the guest drives the whole device stack
@@ -207,7 +208,7 @@ class SwptModel:
 
 # -- registry wiring ----------------------------------------------------------
 
-def _build_simple(ctx) -> SimpleWiring:
+def _build_simple(ctx: Any) -> SimpleWiring:
     host_nic = ctx.vmhost.new_nic("external")
     ctx.wire_loadgen(host_nic)
     # One dedicated polling core per VM — the spec's sidecore count is
@@ -219,7 +220,9 @@ def _build_simple(ctx) -> SimpleWiring:
     return SimpleWiring(model=model, ports=ports, service_cores=cores)
 
 
-def _consolidation_host(ctx, vmhost):
+def _consolidation_host(
+        ctx: Any, vmhost: Any,
+) -> Tuple["SwptModel", List[Core], Callable[[Vm], NetPort]]:
     nic = vmhost.new_nic("external")
     cores = [vmhost.new_sidecore() for _ in range(ctx.spec.vms_per_host)]
     model = SwptModel(ctx.env, nic, cores, costs=ctx.costs, stats=ctx.stats)

@@ -28,6 +28,7 @@ from typing import Optional
 from ...hw.cpu import Core
 from ...hw.nic import Nic
 from ...hw.storage import StorageDevice
+from ...hw.link import LinkEndpoint
 from ...hw.switch_fabric import Switch
 from ...iomodels.baseline import BaselineModel
 from .frontend import VrioClient, VrioModel
@@ -48,8 +49,9 @@ def fail_iohost(model: VrioModel) -> None:
 def fall_back_to_local_virtio(model: VrioModel, client: VrioClient,
                               vmhost_nic: Nic, io_core: Core,
                               switch: Optional[Switch] = None,
-                              switch_port=None,
-                              replica_device: Optional[StorageDevice] = None):
+                              switch_port: Optional["LinkEndpoint"] = None,
+                              replica_device: Optional[StorageDevice] = None,
+                              ) -> BaselineModel:
     """Recover one IOclient after its IOhost died.
 
     Parameters

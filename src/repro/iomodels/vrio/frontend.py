@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Any, Callable, Dict, Iterator, List, Optional
 
 from ...guest.vm import Vm
 from ...hw.cpu import Core
@@ -82,14 +82,14 @@ class VrioClient:
     reliable: Optional[ReliableBlockChannel] = None
     rx_chunks: Dict[int, int] = field(default_factory=dict)
     transport_mode: str = "sriov"   # "virtio" (migration), "virtio-local"
-    local_block_handle: object = None  # set by §4.6 failover recovery
+    local_block_handle: Optional[Any] = None  # set by §4.6 failover recovery
 
 
 class VrioBlockHandle:
     """Workload-facing remote paravirtual block device."""
 
     def __init__(self, model: "VrioModel", client: VrioClient,
-                 device_id: int):
+                 device_id: int) -> None:
         self.model = model
         self.client = client
         self.device_id = device_id
@@ -125,8 +125,8 @@ class VrioModel:
                  external_mtu: int = STANDARD_MTU,
                  pump_window: int = 32,
                  steering_policy: str = "affinity",
-                 steering_rng=None,
-                 tracer=None):
+                 steering_rng: Optional[Any] = None,
+                 tracer: Optional[Any] = None) -> None:
         self.env = env
         self.costs = costs
         self.poll = poll
@@ -148,7 +148,7 @@ class VrioModel:
         self.copied_chunks = Counter("copied_chunks")          # zero-copy misses
         self.zero_copy_chunks = Counter("zero_copy_chunks")
 
-    def register_telemetry(self, namespace) -> None:
+    def register_telemetry(self, namespace: Any) -> None:
         """Register this model's instruments into a metrics namespace."""
         namespace.register_gauge("attached_vms",
                                  lambda m=self: len(m._clients))
@@ -186,7 +186,7 @@ class VrioModel:
 
     # -- wiring -----------------------------------------------------------------
 
-    def add_interposer(self, interposer) -> None:
+    def add_interposer(self, interposer: Any) -> None:
         self.interposers.add(interposer)
 
     @property
@@ -245,7 +245,8 @@ class VrioModel:
             f_fn.on_tx_complete = self._iohost_tx_irq(self._next_irq_core())
         return port
 
-    def attach_bare_metal(self, name: str, core, channel: VmhostChannel,
+    def attach_bare_metal(self, name: str, core: Core,
+                          channel: VmhostChannel,
                           external_nic: Nic) -> NetPort:
         """Attach a non-virtualized OS as an IOclient (§4.6).
 
@@ -284,8 +285,8 @@ class VrioModel:
         handle = VrioBlockHandle(self, client, device_id)
         return handle
 
-    def _iohost_tx_irq(self, core: Core):
-        def fire():
+    def _iohost_tx_irq(self, core: Core) -> Callable[[], None]:
+        def fire() -> None:
             self.stats.iohost_interrupts.add()
             core.execute(self.costs.host_irq_cycles, tag="iohost_irq",
                          high_priority=True)
@@ -311,8 +312,9 @@ class VrioModel:
                                                    self.channel_mtu),
             kind="vrio", created_ns=self.env.now)
 
-    def _chunk_packets(self, client_id: str, direction: str, inner,
-                       size_bytes: int, message_id: int) -> List[ChannelPacket]:
+    def _chunk_packets(self, client_id: str, direction: str, inner: Any,
+                       size_bytes: int,
+                       message_id: int) -> List[ChannelPacket]:
         sizes = chunk_sizes(size_bytes)
         return [ChannelPacket(client_id=client_id, direction=direction,
                               inner=inner, message_id=message_id,
@@ -356,7 +358,8 @@ class VrioModel:
         self.env.process(self._guest_net_tx_path(client_id, message),
                          name=f"vrio-tx:{client_id}")
 
-    def _guest_net_tx_path(self, client_id: str, message: NetMessage):
+    def _guest_net_tx_path(self, client_id: str,
+                           message: NetMessage) -> Iterator[Event]:
         c = self.costs
         client = self._clients[client_id]
         if self.tracer:
@@ -385,11 +388,11 @@ class VrioModel:
     # -- IOhost ingress from the channel ------------------------------------------------
 
     def _channel_ingress(self, packet: ChannelPacket,
-                         done=None) -> None:
+                         done: Optional[Callable[[], None]] = None) -> None:
         self.env.process(self._channel_ingress_path(packet, done),
                          name=f"vrio-ioh-ch:{packet.client_id}")
 
-    def _steer_key(self, packet: ChannelPacket):
+    def _steer_key(self, packet: ChannelPacket) -> Any:
         inner = packet.inner
         if isinstance(inner, BlockChannelOp):
             return ("blk", packet.client_id, inner.device_id)
@@ -408,7 +411,9 @@ class VrioModel:
         client.rx_chunks[packet.message_id] = seen
         return False
 
-    def _channel_ingress_path(self, packet: ChannelPacket, done=None):
+    def _channel_ingress_path(
+            self, packet: ChannelPacket,
+            done: Optional[Callable[[], None]] = None) -> Iterator[Event]:
         client = self._clients.get(packet.client_id)
         if client is None or self.failed:
             if done is not None:
@@ -440,7 +445,7 @@ class VrioModel:
                 done()
 
     def _egress_external(self, worker: Core, client: VrioClient,
-                         message: NetMessage):
+                         message: NetMessage) -> Iterator[Event]:
         c = self.costs
         if not self.interposers.admit(message):
             return
@@ -460,13 +465,15 @@ class VrioModel:
 
     # -- external -> guest (net receive) --------------------------------------------------
 
-    def _external_ingress(self, client_id: str, message: NetMessage,
-                          done=None) -> None:
+    def _external_ingress(
+            self, client_id: str, message: NetMessage,
+            done: Optional[Callable[[], None]] = None) -> None:
         self.env.process(self._external_ingress_path(client_id, message, done),
                          name=f"vrio-ioh-ext:{client_id}")
 
-    def _external_ingress_path(self, client_id: str, message: NetMessage,
-                               done=None):
+    def _external_ingress_path(
+            self, client_id: str, message: NetMessage,
+            done: Optional[Callable[[], None]] = None) -> Iterator[Event]:
         if self.failed:
             if done is not None:
                 done()
@@ -512,7 +519,7 @@ class VrioModel:
         self.env.process(self._guest_channel_rx_path(client_id),
                          name=f"vrio-grx:{client_id}")
 
-    def _guest_channel_rx_path(self, client_id: str):
+    def _guest_channel_rx_path(self, client_id: str) -> Iterator[Event]:
         c = self.costs
         client = self._clients[client_id]
         vm = client.vm
@@ -561,15 +568,17 @@ class VrioModel:
     # -- block datapath ------------------------------------------------------------------------
 
     def _guest_blk_submit(self, client: VrioClient, device_id: int,
-                          request: BlockRequest, done: Event):
+                          request: BlockRequest,
+                          done: Event) -> Iterator[Event]:
         c = self.costs
         request.issued_ns = self.env.now
         request.meta["device_id"] = device_id
         yield client.vm.vcpu.execute(
             c.guest_blk_per_req_cycles + c.ring_op_cycles, tag="blk_submit")
+        assert client.reliable is not None  # created on block attach
         reliable_done = client.reliable.submit(request)
 
-        def finish(_event):
+        def finish(_event: Event) -> None:
             if reliable_done.ok:
                 done.succeed(request)
             else:
@@ -583,7 +592,7 @@ class VrioModel:
                          name=f"vrio-blk-tx:{client_id}")
 
     def _blk_tx_path(self, client_id: str, request: BlockRequest,
-                     xmit_id: int):
+                     xmit_id: int) -> Iterator[Event]:
         c = self.costs
         client = self._clients[client_id]
         if self.tracer:
@@ -607,7 +616,7 @@ class VrioModel:
             client.transport_stats.chunks_sent.add()
 
     def _serve_block_op(self, worker: Core, client: VrioClient,
-                        op: BlockChannelOp):
+                        op: BlockChannelOp) -> Iterator[Event]:
         c = self.costs
         device = client.devices.get(op.device_id)
         if device is None:
@@ -671,6 +680,7 @@ class VrioModel:
         if self.tracer:
             self.tracer.point(resp.xmit_id << 20, "guest_deliver",
                               client=client.client_id, ok=resp.ok)
+        assert client.reliable is not None  # responses imply a block attach
         if resp.ok:
             client.reliable.on_response(resp.request_id, resp.xmit_id, resp)
         else:
@@ -679,7 +689,7 @@ class VrioModel:
     # -- control plane ------------------------------------------------------------------------------
 
     def _serve_control(self, worker: Core, client: VrioClient,
-                       command: ControlCommand):
+                       command: ControlCommand) -> Iterator[Event]:
         yield worker.execute(self.costs.worker_rx_per_msg_cycles, tag="control")
         self._apply_control(client, command)
 

@@ -19,12 +19,12 @@ their steered worker busy (Figure 8's right axis).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
 from ...hw.cpu import Core
 from ...hw.nic import NicFunction
 from ...interpose import InterposerChain
-from ...sim import Counter, Environment
+from ...sim import Counter, Environment, Event
 from ..costs import CostModel
 from .transport import ChannelPacket
 
@@ -44,7 +44,7 @@ class WorkerPool:
     """
 
     def __init__(self, env: Environment, workers: List[Core],
-                 policy: str = "affinity", rng=None):
+                 policy: str = "affinity", rng: Optional[Any] = None) -> None:
         if not workers:
             raise ValueError("worker pool needs at least one core")
         if policy not in ("affinity", "random"):
@@ -58,12 +58,12 @@ class WorkerPool:
         self.workers = workers
         self.policy = policy
         self.rng = rng
-        self._inflight: Dict[object, Tuple[Core, int]] = {}
+        self._inflight: Dict[Any, Tuple[Core, int]] = {}
         self.steered = Counter("steered")
         self.contended = Counter("contended")
         self.affinity_hits = Counter("affinity_hits")
 
-    def acquire(self, device_key: object) -> Core:
+    def acquire(self, device_key: Any) -> Core:
         """Pick the worker for one unit of ``device_key`` work."""
         self.steered.add()
         entry = self._inflight.get(device_key)
@@ -82,7 +82,7 @@ class WorkerPool:
             self.contended.add()
         return worker
 
-    def release(self, device_key: object) -> None:
+    def release(self, device_key: Any) -> None:
         worker, count = self._inflight[device_key]
         if count <= 1:
             del self._inflight[device_key]
@@ -115,11 +115,11 @@ class NicPump:
     """
 
     def __init__(self, env: Environment, fn: NicFunction,
-                 handler: Callable[[object, Callable[[], None]], None],
+                 handler: Callable[[Any, Callable[[], None]], None],
                  poll: bool, costs: CostModel,
                  irq_core: Optional[Core] = None,
                  irq_counter: Optional[Counter] = None,
-                 window: int = 32):
+                 window: int = 32) -> None:
         if window <= 0:
             raise ValueError(f"window must be positive: {window}")
         self.env = env
@@ -131,7 +131,7 @@ class NicPump:
         self.irq_counter = irq_counter
         self.window = window
         self._in_flight = 0
-        self._window_free = None
+        self._window_free: Optional[Event] = None
         if poll:
             fn.notify_mode = "poll"
             env.process(self._poll_pump(), name=f"pump:{fn.name}")
@@ -141,7 +141,7 @@ class NicPump:
             fn.notify_mode = "interrupt"
             fn.on_notify = self._on_interrupt
 
-    def _admit(self, frame) -> None:
+    def _admit(self, frame: Any) -> None:
         self._in_flight += 1
         self.handler(frame.payload, self._release)
 
@@ -150,13 +150,13 @@ class NicPump:
         if self._window_free is not None and not self._window_free.triggered:
             self._window_free.succeed()
 
-    def _wait_for_slot(self):
+    def _wait_for_slot(self) -> Iterator[Event]:
         while self._in_flight >= self.window:
             self._window_free = self.env.event()
             yield self._window_free
-            self._window_free = None
+            self._window_free: Optional[Event] = None
 
-    def _poll_pump(self):
+    def _poll_pump(self) -> Iterator[Event]:
         while True:
             if self._in_flight >= self.window:
                 yield from self._wait_for_slot()
@@ -168,7 +168,8 @@ class NicPump:
             self.irq_counter.add()
         self.env.process(self._irq_drain(), name=f"irq:{self.fn.name}")
 
-    def _irq_drain(self):
+    def _irq_drain(self) -> Iterator[Event]:
+        assert self.irq_core is not None  # enforced in __init__
         yield self.irq_core.execute(self.costs.host_irq_cycles,
                                     tag="iohost_irq", high_priority=True)
         while True:

@@ -19,8 +19,9 @@ for the stop-and-copy downtime.
 
 from __future__ import annotations
 
-from ...hw.nic import Nic
-from ...sim import Environment, Event
+from typing import Iterator
+
+from ...sim import Event
 from .frontend import VmhostChannel, VrioClient, VrioModel
 
 __all__ = ["switch_transport", "live_migrate"]
@@ -45,7 +46,7 @@ def live_migrate(model: VrioModel, client: VrioClient,
     """
     env = model.env
 
-    def migration():
+    def migration() -> Iterator[Event]:
         # Phase 1: fall back to the migratable virtio transport.
         switch_transport(client, "virtio")
         # Phase 2: stop-and-copy blackout.

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Any, Dict, Optional
 
 from ...hw.storage import BlockRequest
 
@@ -19,9 +19,9 @@ class BlockChannelOp:
     device_id: int
     size_bytes: int = 0     # data carried on the wire in this direction
     kind: str = "blk_op"
-    meta: dict = field(default_factory=dict)
+    meta: Dict[str, Any] = field(default_factory=dict)
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         # Writes carry their payload toward the IOhost; reads carry only
         # the (small) command descriptor.
         if self.size_bytes == 0:
@@ -39,7 +39,7 @@ class BlockChannelResp:
     ok: bool
     size_bytes: int         # read data, or a small ack for writes
     kind: str = "blk_resp"
-    meta: dict = field(default_factory=dict)
+    meta: Dict[str, Any] = field(default_factory=dict)
 
 
 @dataclass
@@ -57,4 +57,4 @@ class ControlCommand:
     client_id: str
     size_bytes: int = 64
     kind: str = "control"
-    params: Optional[dict] = None
+    params: Optional[Dict[str, Any]] = None

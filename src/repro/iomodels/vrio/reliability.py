@@ -24,7 +24,7 @@ write can never race a newer write to the same block.
 from __future__ import annotations
 
 import itertools
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, Iterator, List, Optional
 
 from ...hw.storage import BlockRequest
 from ...sim import Counter, Environment, Event
@@ -37,7 +37,7 @@ _xmit_ids = itertools.count(1)
 class BlockDeviceError(Exception):
     """Raised to the guest when a block request exhausts retransmissions."""
 
-    def __init__(self, request: BlockRequest, attempts: int):
+    def __init__(self, request: BlockRequest, attempts: int) -> None:
         super().__init__(
             f"block request {request.request_id} ({request.op} "
             f"sector={request.sector}) failed after {attempts} attempts")
@@ -49,7 +49,7 @@ class _Outstanding:
     __slots__ = ("request", "xmit_id", "timeout_ns", "attempts", "done")
 
     def __init__(self, request: BlockRequest, xmit_id: int,
-                 timeout_ns: int, done: Event):
+                 timeout_ns: int, done: Event) -> None:
         self.request = request
         self.xmit_id = xmit_id
         self.timeout_ns = timeout_ns
@@ -69,7 +69,7 @@ class ReliableBlockChannel:
                  send: Callable[[BlockRequest, int], None],
                  initial_timeout_ns: int = 10_000_000,
                  max_retransmissions: int = 8,
-                 max_timeout_ns: Optional[int] = None):
+                 max_timeout_ns: Optional[int] = None) -> None:
         if initial_timeout_ns <= 0:
             raise ValueError(f"timeout must be positive: {initial_timeout_ns}")
         if max_retransmissions < 0:
@@ -96,14 +96,16 @@ class ReliableBlockChannel:
         # Responses carrying a device error (media fault at the IOhost);
         # the request stays outstanding and the timer drives the retry.
         self.device_errors = Counter("device_errors")
-        self._observers: List[Callable[[str, BlockRequest, int], None]] = []
+        self._observers: List[
+            Callable[[str, Optional[BlockRequest], int], None]] = []
 
     @property
     def outstanding_count(self) -> int:
         return len(self._outstanding)
 
     def add_observer(
-            self, fn: Callable[[str, BlockRequest, int], None]) -> None:
+            self,
+            fn: Callable[[str, Optional[BlockRequest], int], None]) -> None:
         """Subscribe to reliability events.
 
         ``fn(event, request, attempts)`` fires for ``"retransmit"``,
@@ -113,7 +115,7 @@ class ReliableBlockChannel:
         """
         self._observers.append(fn)
 
-    def _notify(self, event: str, request: BlockRequest,
+    def _notify(self, event: str, request: Optional[BlockRequest],
                 attempts: int) -> None:
         for fn in self._observers:
             fn(event, request, attempts)
@@ -174,7 +176,7 @@ class ReliableBlockChannel:
         self._notify("device_error", entry.request, entry.attempts)
         return True
 
-    def _timer(self, entry: _Outstanding):
+    def _timer(self, entry: _Outstanding) -> Iterator[Event]:
         env = self.env
         while True:
             timeout_ns = entry.timeout_ns

@@ -15,7 +15,10 @@ header per fragment beyond the first (the frame object itself carries one).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, List
+from typing import TYPE_CHECKING, Any, Dict, List
+
+if TYPE_CHECKING:
+    from ..costs import CostModel
 
 from ...net.frame import (
     ETHERNET_HEADER_BYTES,
@@ -49,7 +52,7 @@ class ChannelPacket:
     chunk_count: int
     chunk_bytes: int
     fragments: int
-    meta: dict = field(default_factory=dict)
+    meta: Dict[str, Any] = field(default_factory=dict)
 
 
 def chunk_sizes(message_bytes: int) -> List[int]:
@@ -73,7 +76,7 @@ def chunk_wire_payload_bytes(chunk_bytes: int,
             + (fragments - 1) * ETHERNET_HEADER_BYTES)
 
 
-def transport_tx_cycles(costs, chunk_bytes: int,
+def transport_tx_cycles(costs: "CostModel", chunk_bytes: int,
                         mtu: int = JUMBO_MTU_VRIO) -> int:
     """Guest cycles to encapsulate + hand one chunk to the channel VF.
 
@@ -85,7 +88,7 @@ def transport_tx_cycles(costs, chunk_bytes: int,
                + costs.ring_op_cycles)
 
 
-def transport_rx_cycles(costs, chunk_bytes: int,
+def transport_rx_cycles(costs: "CostModel", chunk_bytes: int,
                         mtu: int = JUMBO_MTU_VRIO) -> int:
     """Guest cycles to receive one chunk: reassembly IS software (§4.3)."""
     fragments = chunk_fragments(chunk_bytes, mtu)
@@ -96,7 +99,7 @@ def transport_rx_cycles(costs, chunk_bytes: int,
 class TransportStats:
     """Counters for one IOclient's transport driver."""
 
-    def __init__(self, name: str = "transport"):
+    def __init__(self, name: str = "transport") -> None:
         self.chunks_sent = Counter(f"{name}.chunks_sent")
         self.chunks_received = Counter(f"{name}.chunks_received")
         self.messages_sent = Counter(f"{name}.messages_sent")

@@ -17,6 +17,8 @@ of the IOhost itself, not model comparisons, which is exactly what the
 
 from __future__ import annotations
 
+from typing import Any, List
+
 from ..registry import (
     Capabilities,
     ConsolidationWiring,
@@ -26,10 +28,10 @@ from ..registry import (
 )
 from .frontend import VrioModel
 
-__all__ = []
+__all__: List[str] = []
 
 
-def _build_simple(ctx, poll: bool) -> SimpleWiring:
+def _build_simple(ctx: Any, poll: bool) -> SimpleWiring:
     spec = ctx.spec
     costs = ctx.costs
     iohost = ctx.new_iohost()
@@ -62,7 +64,7 @@ def _build_simple(ctx, poll: bool) -> SimpleWiring:
     return SimpleWiring(model=model, ports=ports, service_cores=workers)
 
 
-def _build_consolidation(ctx) -> ConsolidationWiring:
+def _build_consolidation(ctx: Any) -> ConsolidationWiring:
     spec = ctx.spec
     costs = ctx.costs
     iohost = ctx.new_iohost()

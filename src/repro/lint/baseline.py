@@ -37,8 +37,15 @@ def default_baseline_path() -> Path:
     return Path(__file__).resolve().parents[3] / "LINT_BASELINE.json"
 
 
+def _normalize_path(path: str) -> str:
+    """Baseline keys are separator-agnostic: ``repro\\cli.py`` on a
+    Windows checkout must match the posix ``repro/cli.py`` the linter
+    reports everywhere."""
+    return path.replace("\\", "/")
+
+
 def baseline_keys(findings: Iterable[Finding]) -> Set[BaselineKey]:
-    return {(f.path, f.code, f.message) for f in findings}
+    return {(_normalize_path(f.path), f.code, f.message) for f in findings}
 
 
 def load_baseline(path: Path) -> Set[BaselineKey]:
@@ -50,7 +57,8 @@ def load_baseline(path: Path) -> Set[BaselineKey]:
         raise ValueError(f"{path}: not a simlint baseline file")
     keys: Set[BaselineKey] = set()
     for entry in data["findings"]:
-        keys.add((entry["path"], entry["code"], entry["message"]))
+        keys.add((_normalize_path(entry["path"]), entry["code"],
+                  entry["message"]))
     return keys
 
 

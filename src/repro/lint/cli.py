@@ -3,12 +3,26 @@
 Exposed as ``python -m repro lint`` (see :mod:`repro.cli`) and also
 reachable through ``python -m repro verify --lint``.
 
+Modes
+-----
+* ``repro lint``              — per-file rules (SIM1xx–SIM5xx).
+* ``repro lint --project``    — per-file rules plus the whole-program
+  SIM6xx family (module graph → call graph → dataflow), with the
+  incremental summary cache (``--no-cache`` to disable) and optional
+  ``--jobs N`` parallel parsing.
+* ``repro lint --changed``    — per-file rules over only the files that
+  differ from ``git merge-base HEAD main`` (the pre-commit loop);
+  falls back to the full tree outside a git checkout.  Tree-scoped
+  rules (``Rule.tree_scoped``, e.g. SIM201) are skipped on the subset
+  since their verdicts need the whole tree; ``--only`` re-enables them.
+
 Exit codes: 0 clean, 1 findings, 2 usage/configuration error.
 """
 
 from __future__ import annotations
 
 import argparse
+import subprocess
 from pathlib import Path
 from typing import List, Optional
 
@@ -16,7 +30,7 @@ from .baseline import default_baseline_path, load_baseline, save_baseline
 from .framework import LintResult, default_lint_root, lint_paths
 from .report import render_json, render_rule_list, render_text
 
-__all__ = ["add_lint_arguments", "run_lint", "lint_tree"]
+__all__ = ["add_lint_arguments", "run_lint", "lint_tree", "changed_paths"]
 
 
 def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
@@ -38,17 +52,120 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
                         help="run only these rule codes (repeatable)")
     parser.add_argument("--list-rules", action="store_true",
                         help="list registered rules and exit")
+    parser.add_argument("--project", action="store_true",
+                        help="also run the whole-program SIM6xx rules "
+                             "(module graph, call graph, dataflow)")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="parse files in N parallel workers "
+                             "(project analysis; default 1)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="bypass the incremental summary cache")
+    parser.add_argument("--changed", action="store_true",
+                        help="lint only files differing from "
+                             "git merge-base HEAD main "
+                             "(full tree outside a git checkout)")
+
+
+def changed_paths(root: Optional[Path] = None) -> Optional[List[Path]]:
+    """Python files changed vs ``git merge-base HEAD main``.
+
+    Returns ``None`` when git is unavailable or we are outside a
+    checkout — callers then fall back to the full tree.  An empty list
+    is a real answer: nothing changed.
+    """
+    root = root or default_lint_root()
+    try:
+        base = subprocess.run(
+            ["git", "merge-base", "HEAD", "main"], cwd=root,
+            capture_output=True, text=True, timeout=30)
+        if base.returncode != 0:
+            return None
+        merge_base = base.stdout.strip()
+        diff = subprocess.run(
+            ["git", "diff", "--name-only", merge_base], cwd=root,
+            capture_output=True, text=True, timeout=30)
+        untracked = subprocess.run(
+            ["git", "ls-files", "--others", "--exclude-standard"], cwd=root,
+            capture_output=True, text=True, timeout=30)
+        if diff.returncode != 0:
+            return None
+        top = subprocess.run(
+            ["git", "rev-parse", "--show-toplevel"], cwd=root,
+            capture_output=True, text=True, timeout=30)
+        if top.returncode != 0:
+            return None
+        repo_root = Path(top.stdout.strip())
+    except (OSError, subprocess.SubprocessError):
+        return None
+    names = diff.stdout.splitlines()
+    if untracked.returncode == 0:
+        names += untracked.stdout.splitlines()
+    out: List[Path] = []
+    for name in names:
+        if not name.endswith(".py"):
+            continue
+        candidate = repo_root / name
+        if candidate.is_file():
+            try:
+                candidate.resolve().relative_to(
+                    (root / "repro").resolve())
+            except ValueError:
+                continue
+            out.append(candidate)
+    return sorted(set(out))
+
+
+def _merge_results(per_file: LintResult, project: LintResult) -> LintResult:
+    return LintResult(
+        findings=sorted(per_file.findings + project.findings),
+        suppressed=per_file.suppressed + project.suppressed,
+        baselined=per_file.baselined + project.baselined,
+        files_checked=max(per_file.files_checked, project.files_checked),
+        parse_errors=sorted(set(per_file.parse_errors)
+                            | set(project.parse_errors)))
 
 
 def lint_tree(paths: Optional[List[Path]] = None,
               only: Optional[List[str]] = None,
               baseline_path: Optional[Path] = None,
-              use_baseline: bool = True) -> LintResult:
+              use_baseline: bool = True,
+              project: bool = False,
+              jobs: int = 1,
+              use_cache: bool = True,
+              cache_dir: Optional[Path] = None,
+              skip_tree_scoped: bool = False) -> LintResult:
     """Lint the tree the way the CLI does; importable for tests/verify."""
+    from .project import (build_project, registered_project_rules,
+                          run_project_rules)
+
     baseline = None
     if use_baseline:
         baseline = load_baseline(baseline_path or default_baseline_path())
-    return lint_paths(paths=paths or None, only=only, baseline=baseline)
+    project_codes = set(registered_project_rules())
+    only_file: Optional[List[str]] = None
+    only_project: Optional[List[str]] = None
+    if only is not None:
+        only_file = [c for c in only if c not in project_codes]
+        only_project = [c for c in only if c in project_codes]
+        # Asking for a SIM6xx code implies the project analysis.
+        project = project or bool(only_project)
+    empty = LintResult(findings=[], suppressed=0, baselined=0,
+                       files_checked=0, parse_errors=[])
+    run_per_file = only_file is None or bool(only_file)
+    per_file = lint_paths(paths=paths or None, only=only_file,
+                          baseline=baseline,
+                          skip_tree_scoped=skip_tree_scoped) \
+        if run_per_file else empty
+    if not project:
+        return per_file
+    run_project = only_project is None or bool(only_project)
+    if not run_project:
+        return per_file
+    analysis = build_project(jobs=jobs, use_cache=use_cache,
+                             cache_dir=cache_dir)
+    project_result = run_project_rules(analysis, only=only_project,
+                                       baseline=baseline)
+    return _merge_results(per_file, project_result)
 
 
 def run_lint(args: argparse.Namespace) -> int:
@@ -56,11 +173,28 @@ def run_lint(args: argparse.Namespace) -> int:
         print(render_rule_list())
         return 0
     baseline_path = args.baseline or default_baseline_path()
+    paths: Optional[List[Path]] = list(args.paths) or None
+    # Tree-scoped rules (SIM201) see declarations in one file and uses in
+    # the others; over a --changed subset their verdicts would be false
+    # positives, so the subset restriction also disables them.
+    skip_tree_scoped = False
+    if getattr(args, "changed", False) and not args.paths:
+        changed = changed_paths()
+        if changed is not None:
+            if not changed and not args.project:
+                print("lint: no files changed vs merge-base; nothing to do")
+                return 0
+            paths = changed
+            skip_tree_scoped = True
     try:
-        result = lint_tree(paths=list(args.paths) or None,
+        result = lint_tree(paths=paths,
                            only=args.only,
                            baseline_path=baseline_path,
-                           use_baseline=not args.no_baseline)
+                           use_baseline=not args.no_baseline,
+                           project=getattr(args, "project", False),
+                           jobs=max(1, getattr(args, "jobs", 1)),
+                           use_cache=not getattr(args, "no_cache", False),
+                           skip_tree_scoped=skip_tree_scoped)
     except KeyError as exc:
         print(f"lint: {exc.args[0]}")
         return 2

@@ -1,0 +1,225 @@
+"""Interprocedural taint fixpoint for SIM601 (RNG provenance).
+
+Works entirely on :class:`~repro.lint.symbols.ModuleSummary` facts — no
+AST.  Three monotone per-function summaries are iterated to a fixpoint:
+
+* ``returns_tainted(f)`` — f may return a value derived from a raw
+  ``random.Random(...)``/``random.*`` source (not via
+  ``RngRegistry.stream``).
+* ``param_to_return(f)`` — parameter indices that may flow to f's
+  return value (so taint launders through identity-ish helpers).
+* ``param_to_sink(f)`` — parameter indices that may reach an event
+  scheduling sink (``call_soon``/``schedule_at``/``timeout``/
+  ``add_callback``/…) or a JSON serialization sink, directly or through
+  further calls.
+
+plus one global set ``tainted_attrs`` — attribute names ever written
+with a tainted value (field-sensitive, object-insensitive).
+
+The verdict pass then reports a finding at every call site where a
+tainted value enters a sink.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from .callgraph import ProjectIndex, resolve_callee
+from .symbols import EVENT_SINK_METHODS, JSON_SINKS, CallFact
+
+__all__ = ["TaintState", "TaintFinding", "run_taint_analysis"]
+
+
+@dataclass(frozen=True)
+class TaintFinding:
+    path: str
+    line: int
+    col: int
+    sink: str        # the sink call chain as written
+    detail: str      # what flowed there
+
+
+@dataclass
+class TaintState:
+    returns_tainted: Set[str] = field(default_factory=set)     # fn keys
+    param_to_return: Dict[str, Set[int]] = field(default_factory=dict)
+    param_to_sink: Dict[str, Set[int]] = field(default_factory=dict)
+    tainted_attrs: Set[str] = field(default_factory=set)
+    findings: List[TaintFinding] = field(default_factory=list)
+
+
+def _is_sink_chain(chain: str) -> Optional[str]:
+    last = chain.replace("()", "").rsplit(".", 1)[-1]
+    if last in EVENT_SINK_METHODS:
+        return last
+    if chain in JSON_SINKS:
+        return last
+    return None
+
+
+class _Analysis:
+    def __init__(self, index: ProjectIndex):
+        self.index = index
+        self.state = TaintState()
+        self._resolution_cache: Dict[Tuple[str, str], Tuple[str, ...]] = {}
+
+    def _targets(self, caller: str, chain: str) -> Tuple[str, ...]:
+        key = (caller, chain)
+        cached = self._resolution_cache.get(key)
+        if cached is None:
+            cached = tuple(resolve_callee(self.index, caller, chain).targets)
+            self._resolution_cache[key] = cached
+        return cached
+
+    def _param_index(self, target: str, chain: str, position: int) -> int:
+        """Map a call-site positional index to the callee's parameter.
+
+        A method invoked through an attribute chain receives the
+        receiver as parameter 0, so explicit arguments shift by one.
+        """
+        qualname = target.split("::", 1)[1]
+        if "." in qualname and "." in chain:
+            fn = self.index.functions.get(target)
+            if fn is not None and fn.params and fn.params[0] in (
+                    "self", "cls"):
+                return position + 1
+        return position
+
+    # -- origin evaluation ---------------------------------------------------
+
+    def origin_tainted(self, fnkey: str, origins: FrozenSet[str],
+                       depth: int = 0) -> bool:
+        fn = self.index.functions[fnkey]
+        for origin in origins:
+            if origin.startswith("SRC@"):
+                return True
+            if origin.startswith("ATTR:"):
+                if origin[5:] in self.state.tainted_attrs:
+                    return True
+            elif origin.startswith("RET:") and depth < 8:
+                call = fn.calls[int(origin[4:])]
+                if self.call_result_tainted(fnkey, call, depth + 1):
+                    return True
+        return False
+
+    def origin_params(self, origins: FrozenSet[str]) -> Set[int]:
+        return {int(o[6:]) for o in origins if o.startswith("PARAM:")}
+
+    def call_result_tainted(self, fnkey: str, call: CallFact,
+                            depth: int = 0) -> bool:
+        for target in self._targets(fnkey, call.callee):
+            if target in self.state.returns_tainted:
+                return True
+            flow_params = self.state.param_to_return.get(target)
+            if flow_params:
+                for position, origins in enumerate(call.arg_origins):
+                    if self._param_index(target, call.callee,
+                                         position) in flow_params \
+                            and self.origin_tainted(fnkey, origins, depth):
+                        return True
+        return False
+
+    # -- fixpoint ------------------------------------------------------------
+
+    def run(self) -> TaintState:
+        changed = True
+        while changed:
+            changed = False
+            for fnkey in sorted(self.index.functions):
+                fn = self.index.functions[fnkey]
+                # returns
+                if fnkey not in self.state.returns_tainted:
+                    if any(self.origin_tainted(fnkey, r) for r in fn.returns):
+                        self.state.returns_tainted.add(fnkey)
+                        changed = True
+                ret_params = self.state.param_to_return.setdefault(
+                    fnkey, set())
+                for origins in fn.returns:
+                    new = self.origin_params(origins) - ret_params
+                    if new:
+                        ret_params |= new
+                        changed = True
+                # attribute writes
+                for attr, origins in fn.attr_writes:
+                    if attr not in self.state.tainted_attrs \
+                            and self.origin_tainted(fnkey, origins):
+                        self.state.tainted_attrs.add(attr)
+                        changed = True
+                # parameters reaching sinks (directly or transitively)
+                sink_params = self.state.param_to_sink.setdefault(
+                    fnkey, set())
+                for call in fn.calls:
+                    if _is_sink_chain(call.callee):
+                        for origins in list(call.arg_origins) + [
+                                o for _, o in call.kw_origins]:
+                            new = self.origin_params(origins) - sink_params
+                            if new:
+                                sink_params |= new
+                                changed = True
+                        continue
+                    for target in self._targets(fnkey, call.callee):
+                        callee_sinks = self.state.param_to_sink.get(target)
+                        if not callee_sinks:
+                            continue
+                        for position, origins in enumerate(call.arg_origins):
+                            if self._param_index(
+                                    target, call.callee,
+                                    position) not in callee_sinks:
+                                continue
+                            new = self.origin_params(origins) - sink_params
+                            if new:
+                                sink_params |= new
+                                changed = True
+        return self.state
+
+    # -- verdicts ------------------------------------------------------------
+
+    def emit_findings(self) -> None:
+        for fnkey in sorted(self.index.functions):
+            fn = self.index.functions[fnkey]
+            path = fnkey.split("::", 1)[0]
+            for call in fn.calls:
+                sink = _is_sink_chain(call.callee)
+                if sink is not None:
+                    for origins in list(call.arg_origins) + [
+                            o for _, o in call.kw_origins]:
+                        if self.origin_tainted(fnkey, origins):
+                            self.state.findings.append(TaintFinding(
+                                path=path, line=call.lineno, col=call.col,
+                                sink=call.callee,
+                                detail=(f"value derived from a raw RNG "
+                                        f"reaches {call.callee}(...) without "
+                                        f"flowing through "
+                                        f"RngRegistry.stream()")))
+                            break
+                    continue
+                for target in self._targets(fnkey, call.callee):
+                    callee_sinks = self.state.param_to_sink.get(target)
+                    if not callee_sinks:
+                        continue
+                    hit = False
+                    for position, origins in enumerate(call.arg_origins):
+                        if self._param_index(target, call.callee,
+                                             position) in callee_sinks \
+                                and self.origin_tainted(fnkey, origins):
+                            callee_name = target.split("::", 1)[1]
+                            self.state.findings.append(TaintFinding(
+                                path=path, line=call.lineno, col=call.col,
+                                sink=call.callee,
+                                detail=(f"value derived from a raw RNG is "
+                                        f"passed to {callee_name}(), which "
+                                        f"forwards it to an event/JSON sink "
+                                        f"(no RngRegistry.stream() on the "
+                                        f"path)")))
+                            hit = True
+                            break
+                    if hit:
+                        break
+
+
+def run_taint_analysis(index: ProjectIndex) -> TaintState:
+    analysis = _Analysis(index)
+    analysis.run()
+    analysis.emit_findings()
+    return analysis.state

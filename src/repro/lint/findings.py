@@ -10,16 +10,23 @@ Inline suppressions use the conventional comment form::
     # simlint: disable=SIM104,SIM302   (several codes)
     # simlint: disable                 (every code on this line)
 
-A suppression applies to findings anchored on its physical line.
+A suppression applies to findings anchored anywhere in the statement
+containing its physical line: a comment on the first (or last) line of a
+multi-line call, decorator, or comprehension covers findings reported on
+any of its continuation lines (:func:`expand_suppressions`).  For
+compound statements (``def``/``for``/``if``/…) only the header span is
+covered, so a suppression on a ``for`` line does not blanket the body.
 """
 
 from __future__ import annotations
 
+import ast
 import re
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set
 
-__all__ = ["Finding", "parse_suppressions", "is_suppressed"]
+__all__ = ["Finding", "parse_suppressions", "expand_suppressions",
+           "is_suppressed"]
 
 _SUPPRESS_RE = re.compile(
     r"#\s*simlint:\s*disable(?:=(?P<codes>[A-Z0-9, ]+))?")
@@ -61,6 +68,60 @@ def parse_suppressions(source: str) -> Dict[int, Optional[Set[str]]]:
             out[lineno] = None
         else:
             out[lineno] = {c.strip() for c in codes.split(",") if c.strip()}
+    return out
+
+
+def _statement_spans(tree: ast.Module) -> List[range]:
+    """Line spans of statements, each a candidate suppression scope.
+
+    Simple statements span ``lineno..end_lineno``.  Compound statements
+    contribute only their header (decorators + signature/test up to the
+    line before the first body statement) so a suppression comment on a
+    ``def``/``for``/``if`` line never silences its whole body.
+    """
+    spans: List[range] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.stmt):
+            continue
+        end = getattr(node, "end_lineno", None) or node.lineno
+        body = getattr(node, "body", None)
+        if body and isinstance(body, list) and isinstance(body[0], ast.stmt):
+            end = max(node.lineno, body[0].lineno - 1)
+        start = node.lineno
+        decorators = getattr(node, "decorator_list", None)
+        if decorators:
+            start = min(start, decorators[0].lineno)
+        spans.append(range(start, end + 1))
+    return spans
+
+
+def expand_suppressions(
+        tree: ast.Module,
+        line_suppressions: Dict[int, Optional[Set[str]]],
+) -> Dict[int, Optional[Set[str]]]:
+    """Widen line-scoped suppressions to their full statement span."""
+    out: Dict[int, Optional[Set[str]]] = {
+        line: (None if codes is None else set(codes))
+        for line, codes in line_suppressions.items()}
+    if not line_suppressions:
+        return out
+    for span in _statement_spans(tree):
+        hits = [line_suppressions[line] for line in span
+                if line in line_suppressions]
+        if not hits:
+            continue
+        merged: Optional[Set[str]] = set()
+        for codes in hits:
+            if codes is None:
+                merged = None
+                break
+            merged.update(codes)  # type: ignore[union-attr]
+        for line in span:
+            existing = out.get(line, set())
+            if merged is None or existing is None:
+                out[line] = None
+            else:
+                out[line] = set(existing) | merged
     return out
 
 

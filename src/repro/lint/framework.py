@@ -31,7 +31,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple, Type
 
-from .findings import Finding, is_suppressed, parse_suppressions
+from .findings import (Finding, expand_suppressions, is_suppressed,
+                       parse_suppressions)
 
 __all__ = [
     "FileContext",
@@ -76,11 +77,16 @@ class Rule:
 
     Subclasses set ``code`` (``SIMxxx``), ``name`` (kebab-case slug) and
     ``rationale`` (one sentence: the invariant the rule protects).
+    ``tree_scoped = True`` marks a rule whose verdict is only sound over
+    the complete tree (it collects declarations in one file and uses in
+    all the others); such rules are skipped when linting a partial file
+    set (``--changed``) unless explicitly requested via ``--only``.
     """
 
     code: str = ""
     name: str = ""
     rationale: str = ""
+    tree_scoped: bool = False
 
     def __init__(self) -> None:
         self.findings: List[Finding] = []
@@ -162,13 +168,19 @@ class LintResult:
 class ProjectLinter:
     """Runs every registered rule over a set of sources in one pass each."""
 
-    def __init__(self, only: Optional[Iterable[str]] = None):
+    def __init__(self, only: Optional[Iterable[str]] = None,
+                 skip_tree_scoped: bool = False):
         registry = registered_rules()
         codes = sorted(registry) if only is None else sorted(only)
         unknown = [c for c in codes if c not in registry]
         if unknown:
             raise KeyError(f"unknown rule code(s): {', '.join(unknown)}; "
                            f"known: {', '.join(sorted(registry))}")
+        if skip_tree_scoped and only is None:
+            # A partial file set can't support whole-tree verdicts (a
+            # use in an unlinted file would read as dead); an explicit
+            # --only request still wins.
+            codes = [c for c in codes if not registry[c].tree_scoped]
         self.rules: List[Rule] = [registry[c]() for c in codes]
         self._contexts: List[FileContext] = []
         self._parse_errors: List[Finding] = []
@@ -184,7 +196,8 @@ class ProjectLinter:
             return
         annotate_parents(tree)
         ctx = FileContext(path=path, source=source, tree=tree,
-                          suppressions=parse_suppressions(source))
+                          suppressions=expand_suppressions(
+                              tree, parse_suppressions(source)))
         self._contexts.append(ctx)
         for rule in self.rules:
             rule.begin_file(ctx)
@@ -224,10 +237,10 @@ class ProjectLinter:
 
 def lint_sources(files: Mapping[str, str],
                  only: Optional[Iterable[str]] = None,
-                 baseline: Optional[Set[Tuple[str, str, str]]] = None
-                 ) -> LintResult:
+                 baseline: Optional[Set[Tuple[str, str, str]]] = None,
+                 skip_tree_scoped: bool = False) -> LintResult:
     """Lint in-memory sources (``{path: source}``) — the test entry point."""
-    linter = ProjectLinter(only=only)
+    linter = ProjectLinter(only=only, skip_tree_scoped=skip_tree_scoped)
     for path in sorted(files):
         linter.add_source(path, files[path])
     return linter.run(baseline=baseline)
@@ -251,13 +264,13 @@ def iter_python_files(paths: Iterable[Path]) -> List[Path]:
 def lint_paths(paths: Optional[Iterable[Path]] = None,
                root: Optional[Path] = None,
                only: Optional[Iterable[str]] = None,
-               baseline: Optional[Set[Tuple[str, str, str]]] = None
-               ) -> LintResult:
+               baseline: Optional[Set[Tuple[str, str, str]]] = None,
+               skip_tree_scoped: bool = False) -> LintResult:
     """Lint files on disk.  Defaults to the whole ``repro`` package."""
     root = root or default_lint_root()
     if paths is None:
         paths = [root / "repro"]
-    linter = ProjectLinter(only=only)
+    linter = ProjectLinter(only=only, skip_tree_scoped=skip_tree_scoped)
     for file_path in iter_python_files(Path(p) for p in paths):
         try:
             rel = file_path.resolve().relative_to(root.resolve()).as_posix()

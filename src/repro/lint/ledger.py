@@ -40,6 +40,7 @@ class DeadCostFieldRule(Rule):
     rationale = ("Every CostModel field is a calibration input; a field "
                  "nothing reads silently drifts from the code it claims to "
                  "describe and bloats the sweep-cache fingerprint.")
+    tree_scoped = True  # fields declared in costs.py, read anywhere
 
     def __init__(self) -> None:
         super().__init__()

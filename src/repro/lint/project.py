@@ -1,0 +1,469 @@
+"""Whole-program analysis: module graph → symbols → call graph → rules.
+
+This is the ``repro lint --project`` layer.  It extracts one pickleable
+:class:`~repro.lint.symbols.ModuleSummary` per file (with an incremental
+content-addressed cache and optional ``--jobs`` parallel parsing), builds
+the :class:`~repro.lint.callgraph.CallGraph`, and runs the SIM6xx
+interprocedural rule family that per-file rules cannot express.
+
+Caching
+-------
+Per-file, keyed like the PR-3 sweep cache: content address =
+SHA-256 over the extractor version and the file's source, stored as a
+pickle under ``$REPRO_CACHE_DIR`` (or ``.repro_cache/``) in
+``lint_symbols/``.  A warm whole-tree run therefore re-parses nothing —
+it unpickles summaries and re-runs only the (cheap) graph analysis.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple, Type
+
+from ..envvars import cache_dir_override, pythonpath_for_spawn
+from .callgraph import (CallGraph, ProjectIndex, build_callgraph,
+                        build_index, module_edges, resolve_callee)
+from .dataflow import run_taint_analysis
+from .findings import Finding, is_suppressed
+from .framework import LintResult, default_lint_root, iter_python_files
+from .symbols import SYMBOLS_VERSION, ModuleSummary, extract_module
+
+__all__ = [
+    "ProjectAnalysis",
+    "ProjectRule",
+    "register_project_rule",
+    "registered_project_rules",
+    "build_project",
+    "build_project_from_sources",
+    "run_project_rules",
+    "default_symbol_cache_dir",
+]
+
+_CACHE_DIRNAME = ".repro_cache"
+_CACHE_SUBDIR = "lint_symbols"
+
+
+# ---------------------------------------------------------------------------
+# Project container
+
+
+@dataclass
+class ProjectAnalysis:
+    """Everything the SIM6xx rules consume."""
+
+    index: ProjectIndex
+    graph: CallGraph
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    @property
+    def summaries(self) -> Dict[str, ModuleSummary]:
+        return self.index.summaries
+
+    def module_graph(self) -> Dict[str, Set[str]]:
+        return module_edges(self.index)
+
+
+# ---------------------------------------------------------------------------
+# Incremental summary cache
+
+
+def default_symbol_cache_dir() -> Path:
+    root = Path(cache_dir_override() or _CACHE_DIRNAME)
+    return root / _CACHE_SUBDIR
+
+
+def _source_digest(source: str) -> str:
+    hasher = hashlib.sha256()
+    hasher.update(f"simlint-symbols/v{SYMBOLS_VERSION}\0".encode())
+    hasher.update(source.encode("utf-8"))
+    return hasher.hexdigest()
+
+
+def _cache_load(cache_dir: Path, digest: str) -> Optional[ModuleSummary]:
+    entry = cache_dir / f"{digest}.pkl"
+    try:
+        with entry.open("rb") as handle:
+            summary = pickle.load(handle)
+    except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+            ImportError, IndexError):
+        return None
+    return summary if isinstance(summary, ModuleSummary) else None
+
+
+def _cache_store(cache_dir: Path, digest: str,
+                 summary: ModuleSummary) -> None:
+    try:
+        cache_dir.mkdir(parents=True, exist_ok=True)
+        tmp = cache_dir / f".{digest}.tmp"
+        with tmp.open("wb") as handle:
+            pickle.dump(summary, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        tmp.replace(cache_dir / f"{digest}.pkl")
+    except OSError:
+        pass  # caching is best-effort; analysis correctness never depends on it
+
+
+def _extract_worker(item: Tuple[str, str]) -> Tuple[str, ModuleSummary]:
+    """Module-level so it pickles under the spawn start method."""
+    rel_path, source = item
+    return rel_path, extract_module(rel_path, source)
+
+
+def _extract_parallel(items: List[Tuple[str, str]], jobs: int
+                      ) -> List[Tuple[str, ModuleSummary]]:
+    import multiprocessing
+
+    src_root = str(default_lint_root())
+    ctx = multiprocessing.get_context("spawn")
+    with pythonpath_for_spawn(src_root):
+        with ctx.Pool(processes=min(jobs, len(items))) as pool:
+            return pool.map(_extract_worker, items)
+
+
+def build_project(root: Optional[Path] = None,
+                  jobs: int = 1,
+                  use_cache: bool = True,
+                  cache_dir: Optional[Path] = None) -> ProjectAnalysis:
+    """Summarize the whole tree (cached, optionally parallel) and index it."""
+    root = root or default_lint_root()
+    cache_dir = cache_dir or default_symbol_cache_dir()
+    files = iter_python_files([root / "repro"])
+
+    sources: Dict[str, str] = {}
+    digests: Dict[str, str] = {}
+    for file_path in files:
+        try:
+            rel = file_path.resolve().relative_to(root.resolve()).as_posix()
+        except ValueError:
+            rel = file_path.as_posix()
+        source = file_path.read_text(encoding="utf-8")
+        sources[rel] = source
+        digests[rel] = _source_digest(source)
+
+    summaries: Dict[str, ModuleSummary] = {}
+    hits = 0
+    if use_cache:
+        for rel in sorted(digests):
+            digest = digests[rel]
+            cached = _cache_load(cache_dir, digest)
+            if cached is not None and cached.path == rel:
+                summaries[rel] = cached
+                hits += 1
+
+    missing = [(rel, sources[rel]) for rel in sorted(sources)
+               if rel not in summaries]
+    if missing:
+        if jobs > 1 and len(missing) > 1:
+            extracted = _extract_parallel(missing, jobs)
+        else:
+            extracted = [_extract_worker(item) for item in missing]
+        for rel, summary in extracted:
+            summaries[rel] = summary
+            if use_cache:
+                _cache_store(cache_dir, digests[rel], summary)
+
+    index = build_index(summaries)
+    graph = build_callgraph(index)
+    return ProjectAnalysis(index=index, graph=graph, cache_hits=hits,
+                           cache_misses=len(missing))
+
+
+def build_project_from_sources(files: Mapping[str, str]) -> ProjectAnalysis:
+    """In-memory variant — the fixture/test entry point."""
+    summaries = {path: extract_module(path, files[path])
+                 for path in sorted(files)}
+    index = build_index(summaries)
+    return ProjectAnalysis(index=index, graph=build_callgraph(index),
+                           cache_misses=len(summaries))
+
+
+# ---------------------------------------------------------------------------
+# Project rule registry (separate from the per-file registry: these rules
+# consume a ProjectAnalysis, not an AST walk)
+
+
+class ProjectRule:
+    """Base class for whole-program (SIM6xx) rules."""
+
+    code: str = ""
+    name: str = ""
+    rationale: str = ""
+
+    def run(self, project: ProjectAnalysis) -> List[Finding]:
+        raise NotImplementedError
+
+
+_PROJECT_RULES: Dict[str, Type[ProjectRule]] = {}
+
+
+def register_project_rule(cls: Type[ProjectRule]) -> Type[ProjectRule]:
+    if not cls.code or not cls.name:
+        raise ValueError(f"rule {cls.__name__} needs code and name")
+    if cls.code in _PROJECT_RULES:
+        raise ValueError(f"duplicate rule code {cls.code}")
+    _PROJECT_RULES[cls.code] = cls
+    return cls
+
+
+def registered_project_rules() -> Dict[str, Type[ProjectRule]]:
+    return dict(_PROJECT_RULES)
+
+
+def run_project_rules(project: ProjectAnalysis,
+                      only: Optional[Iterable[str]] = None,
+                      baseline: Optional[Set[Tuple[str, str, str]]] = None
+                      ) -> LintResult:
+    """Run the SIM6xx family and fold in suppressions + baseline."""
+    registry = registered_project_rules()
+    codes = sorted(registry) if only is None else sorted(only)
+    unknown = [c for c in codes if c not in registry]
+    if unknown:
+        raise KeyError(f"unknown project rule code(s): {', '.join(unknown)}; "
+                       f"known: {', '.join(sorted(registry))}")
+    parse_errors = [
+        Finding(path=s.path, line=s.parse_error[0], col=s.parse_error[1],
+                code="SIM000",
+                message=f"file does not parse: {s.parse_error[2]}")
+        for s in (project.summaries[p] for p in sorted(project.summaries))
+        if s.parse_error is not None]
+    active: List[Finding] = []
+    suppressed = baselined = 0
+    for code in codes:
+        for finding in registry[code]().run(project):
+            summary = project.summaries.get(finding.path)
+            suppressions = summary.suppressions if summary else {}
+            if is_suppressed(finding, suppressions):
+                suppressed += 1
+            elif baseline and (finding.path, finding.code,
+                               finding.message) in baseline:
+                baselined += 1
+            else:
+                active.append(finding)
+    return LintResult(findings=sorted(active), suppressed=suppressed,
+                      baselined=baselined,
+                      files_checked=len(project.summaries),
+                      parse_errors=sorted(parse_errors))
+
+
+# ---------------------------------------------------------------------------
+# SIM601 — RNG provenance
+
+
+@register_project_rule
+class RngProvenanceRule(ProjectRule):
+    code = "SIM601"
+    name = "rng-provenance"
+    rationale = ("every random stream that reaches the scheduler, an event "
+                 "callback, or serialized output must come from "
+                 "RngRegistry.stream() — a raw random.Random laundered "
+                 "through helpers still breaks bit-identical replay")
+
+    def run(self, project: ProjectAnalysis) -> List[Finding]:
+        state = run_taint_analysis(project.index)
+        return [Finding(path=t.path, line=t.line, col=t.col, code=self.code,
+                        message=t.detail)
+                for t in state.findings]
+
+
+# ---------------------------------------------------------------------------
+# SIM602 — cycle-ledger flow
+
+# Where datapath execution enters the model layer: public functions and
+# methods in these packages are treated as entry points.  iomodels/* is
+# the paper's datapath proper; the surrounding packages (workload
+# drivers, cluster wiring, guest/hw plumbing, fault injectors) are the
+# code that invokes it, so their public surface counts as entry too —
+# otherwise every field consumed by the load generator would read as
+# dead.
+DATAPATH_PREFIXES: Tuple[str, ...] = (
+    "repro/iomodels/", "repro/workloads/", "repro/cluster/",
+    "repro/guest/", "repro/hw/", "repro/net/", "repro/virtio/",
+    "repro/faults/", "repro/interpose/")
+
+_COSTS_PATH = "repro/iomodels/costs.py"
+_COSTS_CLASS = "CostModel"
+
+
+def _datapath_roots(project: ProjectAnalysis) -> List[str]:
+    roots: List[str] = []
+    for fnkey in project.index.functions:
+        path, qualname = fnkey.split("::", 1)
+        if not path.startswith(DATAPATH_PREFIXES):
+            continue
+        last = qualname.rsplit(".", 1)[-1]
+        if last == "<module>" or not last.startswith("_") \
+                or last in ("__init__", "__call__"):
+            roots.append(fnkey)
+    return roots
+
+
+@register_project_rule
+class LedgerFlowRule(ProjectRule):
+    code = "SIM602"
+    name = "ledger-flow"
+    rationale = ("every CostModel field must reach a Core.execute/Core.stall "
+                 "charge (or a simulated-time delay) along some call path "
+                 "from a datapath entry point, and every iomodels charge "
+                 "site must be reachable from one — otherwise the ledger "
+                 "and the calibrated catalog have silently diverged")
+
+    def run(self, project: ProjectAnalysis) -> List[Finding]:
+        index = project.index
+        costs = index.summaries.get(_COSTS_PATH)
+        if costs is None or _COSTS_CLASS not in costs.classes:
+            return []
+        fields = costs.classes[_COSTS_CLASS].class_fields
+        roots = _datapath_roots(project)
+        reachable = project.graph.reachable(roots)
+
+        sinkers = {fnkey for fnkey, fn in index.functions.items()
+                   if fn.charge_lines or fn.time_sink_lines}
+
+        # Class-cohesive flow: a field read anywhere in a class whose
+        # methods reach a charge counts (e.g. stored by __init__, spent
+        # by a later method).
+        cohort: Dict[str, List[str]] = {}
+        for fnkey in index.functions:
+            path, qualname = fnkey.split("::", 1)
+            owner = f"{path}::{qualname.split('.', 1)[0]}" \
+                if "." in qualname else fnkey
+            cohort.setdefault(owner, []).append(fnkey)
+
+        def _owner(fnkey: str) -> str:
+            path, qualname = fnkey.split("::", 1)
+            return f"{path}::{qualname.split('.', 1)[0]}" \
+                if "." in qualname else fnkey
+
+        # CHARGERS: every function whose forward closure contains a
+        # charge/time sink (one reverse BFS from the sinkers).
+        reverse: Dict[str, List[str]] = {}
+        for src, dsts in project.graph.edges.items():
+            for dst in dsts:
+                reverse.setdefault(dst, []).append(src)
+        chargers: Set[str] = set()
+        stack = list(sinkers)
+        while stack:
+            fnkey = stack.pop()
+            if fnkey in chargers:
+                continue
+            chargers.add(fnkey)
+            stack.extend(reverse.get(fnkey, ()))
+
+        def charges_flow_from(fnkey: str) -> bool:
+            # The reader itself (or a class-mate) reaches a charge, or
+            # the value it computes returns to a caller that does —
+            # the ``cycles = helper(costs); core.execute(cycles)`` shape.
+            group = cohort.get(_owner(fnkey), [fnkey])
+            if any(member in chargers for member in group):
+                return True
+            return any(caller in chargers
+                       for caller in reverse.get(fnkey, ()))
+
+        live: Set[str] = set()
+        for fnkey in reachable:
+            fn = index.functions[fnkey]
+            touched = fn.attr_reads.intersection(fields)
+            if touched and charges_flow_from(fnkey):
+                live |= touched
+
+        findings: List[Finding] = []
+        field_lines = costs.classes[_COSTS_CLASS].field_lines
+        for name in fields:
+            if name not in live:
+                findings.append(Finding(
+                    path=_COSTS_PATH, line=field_lines.get(name, 1), col=0,
+                    code=self.code,
+                    message=(f"CostModel.{name} never reaches a "
+                             f"Core.execute/Core.stall charge or a "
+                             f"simulated-time delay along any call path "
+                             f"from a datapath entry point")))
+
+        for fnkey, fn in index.functions.items():
+            path, qualname = fnkey.split("::", 1)
+            if not path.startswith(DATAPATH_PREFIXES) or not fn.charge_lines:
+                continue
+            if fnkey not in reachable:
+                findings.append(Finding(
+                    path=path, line=fn.charge_lines[0], col=0,
+                    code=self.code,
+                    message=(f"charge site in {qualname}() is unreachable "
+                             f"from every datapath entry point — cycles "
+                             f"charged here can never appear in a run")))
+        return findings
+
+
+# ---------------------------------------------------------------------------
+# SIM603 — event-callback escape
+
+
+@register_project_rule
+class CallbackEscapeRule(ProjectRule):
+    code = "SIM603"
+    name = "callback-escape"
+    rationale = ("a callback handed to the event system runs later: if it "
+                 "captures a local that is reassigned after the "
+                 "subscription point, it will observe the new value, not "
+                 "the one in scope when it was scheduled — bind with a "
+                 "default (lambda v=v: ...) or pass the value explicitly")
+
+    def run(self, project: ProjectAnalysis) -> List[Finding]:
+        findings: List[Finding] = []
+        for path, summary in project.summaries.items():
+            for fn in summary.functions.values():
+                for escape in fn.escapes:
+                    findings.append(Finding(
+                        path=path, line=escape.lineno, col=escape.col,
+                        code=self.code,
+                        message=(f"callback passed to {escape.sink}() "
+                                 f"captures local '{escape.variable}', "
+                                 f"which is reassigned at line "
+                                 f"{escape.mutated_at} after the "
+                                 f"subscription point")))
+        return findings
+
+
+# ---------------------------------------------------------------------------
+# SIM604 — telemetry reachability
+
+
+@register_project_rule
+class TelemetryReachabilityRule(ProjectRule):
+    code = "SIM604"
+    name = "telemetry-reachability"
+    rationale = ("a register_telemetry() hook only runs if its class is "
+                 "instantiated by some registered ModelInfo builder — a "
+                 "hook on an orphan class silently exports nothing")
+
+    def run(self, project: ProjectAnalysis) -> List[Finding]:
+        index = project.index
+        roots: List[str] = []
+        for path, summary in index.summaries.items():
+            caller = f"{path}::<module>"
+            for name, _line in summary.registered_builders:
+                roots.extend(
+                    resolve_callee(index, caller, name).targets)
+        if not roots:
+            return []
+        reachable = project.graph.reachable(roots)
+        instantiated = project.graph.instantiated_from(reachable)
+
+        findings: List[Finding] = []
+        for clskey, cls in index.classes.items():
+            if "register_telemetry" not in cls.methods:
+                continue
+            if clskey in instantiated:
+                continue
+            path = clskey.split("::", 1)[0]
+            hook = index.functions.get(
+                f"{path}::{cls.name}.register_telemetry")
+            line = hook.lineno if hook is not None else cls.lineno
+            findings.append(Finding(
+                path=path, line=line, col=0, code=self.code,
+                message=(f"{cls.name}.register_telemetry() is defined but "
+                         f"{cls.name} is never instantiated from any "
+                         f"registered ModelInfo builder — the hook can "
+                         f"never run")))
+        return findings

@@ -55,8 +55,15 @@ def render_json(result: LintResult, root: str = "") -> str:
 
 
 def render_rule_list() -> str:
-    """One line per registered rule: code, slug, rationale."""
-    registry = registered_rules()
+    """One line per registered rule: code, slug, rationale.
+
+    Covers both registries: the per-file rules and the whole-program
+    (``--project``) SIM6xx family.
+    """
+    from .project import registered_project_rules
+
+    registry: Dict[str, type] = dict(registered_rules())
+    registry.update(registered_project_rules())
     lines = []
     for code in sorted(registry):
         cls = registry[code]

@@ -185,14 +185,14 @@ class LatencyAttribution:
 
     def to_folded(self) -> str:
         """Collapsed-stack lines: ``request;<kind>;<stage> <total_ns>``."""
-        lines = []
+        lines: List[str] = []
         for name, histogram in self.stages.items():
             total = int(sum(histogram.samples))
             lines.append(f"request;{stage_kind(name)};{name} {total}")
         return "\n".join(lines) + ("\n" if lines else "")
 
 
-def attribute(tracer, trace_ids: Optional[List[Any]] = None
+def attribute(tracer: Any, trace_ids: Optional[List[Any]] = None
               ) -> LatencyAttribution:
     """Build the attribution over ``trace_ids`` (default: every trace)."""
     attribution = LatencyAttribution()
@@ -206,7 +206,7 @@ def attribute(tracer, trace_ids: Optional[List[Any]] = None
 # -- simulated cycles per component ----------------------------------------
 
 
-def cycles_by_component(testbed) -> List[Tuple[str, str, str, int]]:
+def cycles_by_component(testbed: Any) -> List[Tuple[str, str, str, int]]:
     """Flatten every core's cycle ledger into stack tuples.
 
     Returns ``(group, core, tag, cycles)`` rows in deterministic order,
@@ -215,7 +215,7 @@ def cycles_by_component(testbed) -> List[Tuple[str, str, str, int]]:
     """
     rows: List[Tuple[str, str, str, int]] = []
 
-    def emit(group: str, label: str, core) -> None:
+    def emit(group: str, label: str, core: Any) -> None:
         for tag in sorted(core.cycles_by_tag):
             cycles = core.cycles_by_tag[tag]
             if cycles:
@@ -230,7 +230,7 @@ def cycles_by_component(testbed) -> List[Tuple[str, str, str, int]]:
     return rows
 
 
-def to_folded_stacks(testbed) -> str:
+def to_folded_stacks(testbed: Any) -> str:
     """Cycles-per-component flamegraph in collapsed-stack format.
 
     One line per ``(component group; core; cost tag)`` stack, weighted by
@@ -242,7 +242,7 @@ def to_folded_stacks(testbed) -> str:
     return "\n".join(lines) + ("\n" if lines else "")
 
 
-def to_speedscope(source, name: str = "repro") -> Dict[str, Any]:
+def to_speedscope(source: Any, name: str = "repro") -> Dict[str, Any]:
     """Speedscope sampled-profile JSON.
 
     ``source`` is either a :class:`LatencyAttribution` (stacks are

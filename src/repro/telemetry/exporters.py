@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import json
 import math
-from typing import Dict, List
+from typing import Any, Dict, List
 
 from .stages import stage_breakdown
 
@@ -54,12 +54,12 @@ def to_metrics_csv(snapshot: Dict[str, float]) -> str:
     return "\n".join(lines) + "\n"
 
 
-def to_chrome_trace_json(tracer) -> str:
+def to_chrome_trace_json(tracer: Any) -> str:
     """The tracer's records as a Chrome ``trace_event`` JSON document."""
     return json.dumps(tracer.to_chrome_trace(), indent=1)
 
 
-def text_report(telemetry, title: str = "") -> str:
+def text_report(telemetry: Any, title: str = "") -> str:
     """Human-readable run report: stages, models, sidecores, headline I/O."""
     lines: List[str] = []
     if title:
@@ -100,12 +100,12 @@ def validate_metrics(snapshot: Dict[str, float]) -> None:
             raise ValueError(f"metric {name!r} is not finite: {value!r}")
 
 
-def to_timeline_json(timeline, indent: int = 2) -> str:
+def to_timeline_json(timeline: Any, indent: int = 2) -> str:
     """A timeline's windows as a ``repro-timeline/v1`` JSON document."""
     return json.dumps(timeline.to_payload(), indent=indent, sort_keys=True)
 
 
-def to_timeline_csv(timeline) -> str:
+def to_timeline_csv(timeline: Any) -> str:
     """Long-form CSV: one row per (window, metric series).
 
     Columns: window index, start/end, series kind, metric name, and the
@@ -114,7 +114,8 @@ def to_timeline_csv(timeline) -> str:
     """
     lines = ["window,start_ns,end_ns,kind,metric,value,extra"]
 
-    def row(window, kind, name, value, extra="") -> None:
+    def row(window: Dict[str, Any], kind: str, name: str, value: Any,
+            extra: str = "") -> None:
         rendered = repr(value) if isinstance(value, float) else str(value)
         lines.append(f"{window['index']},{window['start_ns']},"
                      f"{window['end_ns']},{kind},{name},{rendered},{extra}")
@@ -191,7 +192,7 @@ def validate_timeline(payload: dict) -> None:
     json.loads(json.dumps(payload))
 
 
-def _check_cell(index: int, group: str, name: str, cell) -> None:
+def _check_cell(index: int, group: str, name: str, cell: Any) -> None:
     if group == "gauges":
         values = {name: cell}
     elif not isinstance(cell, dict):

@@ -11,7 +11,7 @@ with and without a recorder are bit-identical.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, List, Optional, Tuple
+from typing import Any, Deque, List, Optional, Tuple
 
 __all__ = ["FlightRecorder", "FlightEntry"]
 
@@ -19,7 +19,7 @@ __all__ = ["FlightRecorder", "FlightEntry"]
 FlightEntry = Tuple[int, int, str, str]
 
 
-def _describe(item) -> Tuple[str, str]:
+def _describe(item: Any) -> Tuple[str, str]:
     """Classify one scheduler item into a (source, detail) pair."""
     name = getattr(item, "name", None)
     if name is not None and hasattr(item, "generator"):
@@ -35,18 +35,18 @@ class FlightRecorder:
     # Pinned annotations kept outside the ring (see note(pin=True)).
     PINNED_CAPACITY = 64
 
-    def __init__(self, capacity: int = 256):
+    def __init__(self, capacity: int = 256) -> None:
         if capacity <= 0:
             raise ValueError(f"recorder capacity must be positive: {capacity}")
         self.capacity = capacity
         self._entries: Deque[FlightEntry] = deque(maxlen=capacity)
         self._pinned: List[FlightEntry] = []
         self._seq = 0
-        self._env = None
+        self._env: Optional[Any] = None
 
     # -- engine monitor interface ------------------------------------------
 
-    def attach(self, env) -> "FlightRecorder":
+    def attach(self, env: Any) -> "FlightRecorder":
         env.add_monitor(self)
         self._env = env
         return self
@@ -56,7 +56,7 @@ class FlightRecorder:
             self._env.remove_monitor(self)
             self._env = None
 
-    def on_step(self, now: int, item) -> None:
+    def on_step(self, now: int, item: Any) -> None:
         source, detail = _describe(item)
         self._seq += 1
         self._entries.append((self._seq, now, source, detail))

@@ -16,9 +16,9 @@ appear.
 
 from __future__ import annotations
 
-from typing import Iterable, List
+from typing import Any, Iterable, Iterator, List
 
-from ..sim import Environment, TimeSeries
+from ..sim import Environment, Event, TimeSeries
 from .registry import MetricsRegistry
 
 __all__ = [
@@ -31,7 +31,8 @@ __all__ = [
 ]
 
 
-def register_core(registry: MetricsRegistry, prefix: str, core) -> None:
+def register_core(registry: MetricsRegistry, prefix: str,
+                  core: Any) -> None:
     """One core's utilization, cycle ledger, and queue depth."""
     ns = registry.namespace(prefix)
     ns.register_utilization("util", core.util)
@@ -40,7 +41,8 @@ def register_core(registry: MetricsRegistry, prefix: str, core) -> None:
     ns.register_gauge("energy_joules", lambda c=core: c.energy_joules())
 
 
-def register_nic(registry: MetricsRegistry, prefix: str, nic) -> None:
+def register_nic(registry: MetricsRegistry, prefix: str,
+                 nic: Any) -> None:
     """One NIC port: per-port aggregates over its PF/VF functions, plus
     the attached link endpoint's frame counters."""
     ns = registry.namespace(prefix)
@@ -56,7 +58,8 @@ def register_nic(registry: MetricsRegistry, prefix: str, nic) -> None:
         ns.register_gauge("link_tx_dropped", lambda e=endpoint: e.tx_dropped)
 
 
-def register_switch(registry: MetricsRegistry, prefix: str, switch) -> None:
+def register_switch(registry: MetricsRegistry, prefix: str,
+                    switch: Any) -> None:
     """One switch's datapath counters.
 
     ``unknown_dst``/``flooded`` are the mis-wiring signal: a fabric whose
@@ -69,16 +72,17 @@ def register_switch(registry: MetricsRegistry, prefix: str, switch) -> None:
         ns.register_counter(counter, getattr(switch, counter))
 
 
-def register_storage_device(registry: MetricsRegistry, device) -> None:
+def register_storage_device(registry: MetricsRegistry,
+                            device: Any) -> None:
     """One block device's operation and byte counters."""
     ns = registry.namespace(f"storage.{device.name}")
     for counter in ("reads", "writes", "bytes_read", "bytes_written"):
         ns.register_counter(counter, getattr(device, counter))
 
 
-def _unique_cores(cores: Iterable) -> List:
+def _unique_cores(cores: Iterable[Any]) -> List[Any]:
     seen = set()
-    out = []
+    out: List[Any] = []
     for core in cores:
         if id(core) not in seen:
             seen.add(id(core))
@@ -86,7 +90,8 @@ def _unique_cores(cores: Iterable) -> List:
     return out
 
 
-def instrument_testbed(testbed, registry: MetricsRegistry) -> MetricsRegistry:
+def instrument_testbed(testbed: Any,
+                       registry: MetricsRegistry) -> MetricsRegistry:
     """Register every component of ``testbed`` into ``registry``."""
     env = testbed.env
     registry.register_gauge("sim.now_ns", lambda e=env: e.now)
@@ -141,7 +146,8 @@ def instrument_testbed(testbed, registry: MetricsRegistry) -> MetricsRegistry:
     return registry
 
 
-def sample_utilization(env: Environment, cores, interval_ns: int,
+def sample_utilization(env: Environment, cores: List[Any],
+                       interval_ns: int,
                        process_name: str = "utilization-sampler"
                        ) -> List[TimeSeries]:
     """Periodically sample each core's useful-cycle utilization (%).
@@ -154,7 +160,7 @@ def sample_utilization(env: Environment, cores, interval_ns: int,
     series = [TimeSeries(core.name) for core in cores]
     last = [0] * len(cores)
 
-    def sampler():
+    def sampler() -> Iterator[Event]:
         while True:
             yield env.timeout(interval_ns)
             for idx, core in enumerate(cores):

@@ -21,7 +21,7 @@ hierarchy.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..sim import Counter, Histogram, TimeWeighted, UtilizationTracker
 
@@ -43,12 +43,12 @@ def _check_name(name: str) -> str:
 class MetricsRegistry:
     """Namespaced registry of measurement instruments."""
 
-    def __init__(self):
-        self._instruments: Dict[str, Tuple[str, object]] = {}
+    def __init__(self) -> None:
+        self._instruments: Dict[str, Tuple[str, Any]] = {}
 
     # -- registration ------------------------------------------------------
 
-    def _register(self, name: str, kind: str, instrument: object):
+    def _register(self, name: str, kind: str, instrument: Any) -> Any:
         _check_name(name)
         assert kind in _KINDS
         if name in self._instruments:
@@ -102,7 +102,7 @@ class MetricsRegistry:
     def kind_of(self, name: str) -> str:
         return self._instruments[name][0]
 
-    def get(self, name: str) -> object:
+    def get(self, name: str) -> Any:
         """The registered instrument object (or gauge callable)."""
         return self._instruments[name][1]
 
@@ -147,7 +147,7 @@ class MetricsNamespace:
     so a component can instrument itself without global-name knowledge.
     """
 
-    def __init__(self, registry: MetricsRegistry, prefix: str):
+    def __init__(self, registry: MetricsRegistry, prefix: str) -> None:
         self.registry = registry
         self.prefix = prefix
 

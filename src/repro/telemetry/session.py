@@ -16,7 +16,7 @@ I/O models, and a flight recorder watching the engine.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from ..sim import Histogram, Tracer
 from .attribution import LatencyAttribution, attribute
@@ -44,8 +44,8 @@ class TestbedTelemetry:
     keeps its monitor-free fast path.
     """
 
-    def __init__(self, testbed, tracer_capacity: int = 100_000,
-                 flight_capacity: int = 256):
+    def __init__(self, testbed: Any, tracer_capacity: int = 100_000,
+                 flight_capacity: int = 256) -> None:
         self.testbed = testbed
         self.registry = MetricsRegistry()
         self.tracer = Tracer(testbed.env, capacity=tracer_capacity)
@@ -111,7 +111,7 @@ class TestbedTelemetry:
 
     # -- reading -----------------------------------------------------------
 
-    def snapshot(self) -> dict:
+    def snapshot(self) -> Dict[str, float]:
         return self.registry.snapshot()
 
     def stages(self) -> StageBreakdown:
@@ -121,7 +121,7 @@ class TestbedTelemetry:
         """Queueing-vs-service latency attribution over every trace."""
         return attribute(self.tracer)
 
-    def chrome_trace(self) -> dict:
+    def chrome_trace(self) -> Dict[str, Any]:
         return self.tracer.to_chrome_trace()
 
     def report(self, title: str = "") -> str:
@@ -142,7 +142,7 @@ class TelemetrySession:
     def __init__(self, tracer_capacity: int = 100_000,
                  flight_capacity: int = 256,
                  timeline_width_ns: Optional[int] = None,
-                 slos: Optional[Sequence[SloSpec]] = None):
+                 slos: Optional[Sequence[SloSpec]] = None) -> None:
         self.tracer_capacity = tracer_capacity
         self.flight_capacity = flight_capacity
         self.timeline_width_ns = timeline_width_ns
@@ -153,12 +153,12 @@ class TelemetrySession:
         _active.append(self)
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: Any) -> None:
         _active.remove(self)
         for telemetry in self.bound:
             telemetry.finish()
 
-    def bind(self, testbed) -> TestbedTelemetry:
+    def bind(self, testbed: Any) -> TestbedTelemetry:
         telemetry = TestbedTelemetry(testbed,
                                      tracer_capacity=self.tracer_capacity,
                                      flight_capacity=self.flight_capacity)
@@ -169,7 +169,7 @@ class TelemetrySession:
         self.bound.append(telemetry)
         return telemetry
 
-    def for_testbed(self, testbed) -> Optional[TestbedTelemetry]:
+    def for_testbed(self, testbed: Any) -> Optional[TestbedTelemetry]:
         for telemetry in self.bound:
             if telemetry.testbed is testbed:
                 return telemetry
@@ -181,7 +181,7 @@ def active_session() -> Optional[TelemetrySession]:
     return _active[-1] if _active else None
 
 
-def bind_testbed(testbed) -> Optional[TestbedTelemetry]:
+def bind_testbed(testbed: Any) -> Optional[TestbedTelemetry]:
     """Instrument ``testbed`` under the active session (no-op without one).
 
     Called by every cluster builder just before it returns.

@@ -109,7 +109,7 @@ class SloProbe:
         self._downtime_ns = 0
         self._callbacks: List[Callable[[SloViolation], None]] = []
 
-    def attach(self, timeline) -> "SloProbe":
+    def attach(self, timeline: Any) -> "SloProbe":
         """Subscribe to ``timeline``; evaluation then runs per window."""
         timeline.subscribe(self._on_window)
         return self
@@ -121,7 +121,7 @@ class SloProbe:
 
     # -- evaluation --------------------------------------------------------
 
-    def _on_window(self, timeline, window: Dict[str, Any]) -> None:
+    def _on_window(self, timeline: Any, window: Dict[str, Any]) -> None:
         self.windows_evaluated += 1
         spec = self.spec
         if spec.p99_latency_ceiling_ns is not None:

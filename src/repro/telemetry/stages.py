@@ -26,7 +26,7 @@ __all__ = ["StageBreakdown", "stage_breakdown", "trace_markers"]
 END_TO_END = "end_to_end"
 
 
-def trace_markers(tracer, trace_id) -> List[Tuple[int, str]]:
+def trace_markers(tracer: Any, trace_id: Any) -> List[Tuple[int, str]]:
     """The time-ordered ``(at_ns, label)`` markers of one trace.
 
     Ties on the clock are broken by recording order (events before the
@@ -57,7 +57,7 @@ def _stage_name(prev: str, nxt: str) -> str:
 class StageBreakdown:
     """Aggregated stage durations across many traces."""
 
-    def __init__(self):
+    def __init__(self) -> None:
         # Insertion-ordered: stages appear in first-seen datapath order.
         self.stages: Dict[str, Histogram] = {}
         self.end_to_end = Histogram(END_TO_END)
@@ -103,7 +103,7 @@ class StageBreakdown:
         return "\n".join(lines)
 
 
-def stage_breakdown(tracer, trace_ids: Optional[List[Any]] = None
+def stage_breakdown(tracer: Any, trace_ids: Optional[List[Any]] = None
                     ) -> StageBreakdown:
     """Build the breakdown over ``trace_ids`` (default: every trace)."""
     breakdown = StageBreakdown()

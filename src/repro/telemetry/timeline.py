@@ -32,7 +32,7 @@ named constant — simlint SIM405 rejects inline numeric widths elsewhere.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..sim.stats import percentile
 
@@ -227,7 +227,7 @@ class Timeline:
 
     def metric_names(self) -> List[str]:
         """Every metric name appearing in any window, sorted."""
-        names = set()
+        names: Set[str] = set()
         for window in self._windows:
             for group in ("counters", "gauges", "histograms",
                           "utilization", "rates"):

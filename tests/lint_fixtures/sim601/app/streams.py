@@ -1,0 +1,15 @@
+# Seeded bug for SIM601: a helper mints a raw random.Random and hands it
+# to a caller, which feeds a draw into the scheduler.  The per-file
+# SIM102 check in the caller's file sees only an opaque helper call —
+# catching this requires interprocedural taint.
+import random
+
+
+def make_stream(seed):
+    # BAD: raw constructor (not RngRegistry.stream)
+    return random.Random(seed)
+
+
+def forward_stream(seed):
+    # Laundering through a second helper must not wash the taint.
+    return make_stream(seed)

@@ -1,0 +1,16 @@
+# The sink side of the SIM601 seeded bug: the raw stream built in
+# streams.py reaches Environment scheduling and JSON output here.
+import json
+
+from app.streams import forward_stream
+
+
+def kick(env):
+    rng = forward_stream(7)
+    env.call_soon(lambda: None, rng.uniform(0, 5))      # finding: sink
+
+
+def export(env, registry):
+    clean = registry.stream("arrivals")                 # sanctioned
+    env.schedule_at(int(clean.random() * 10), lambda: None)  # quiet
+    return json.dumps({"jitter": clean.random()})       # quiet

@@ -1,0 +1,11 @@
+# Seeded bugs for SIM602, field side: dead_knob_cycles is read by no
+# function whose value ever reaches a charge or a simulated-time delay.
+from dataclasses import dataclass
+
+
+@dataclass
+class CostModel:
+    used_cycles: int = 4_000        # charged directly by ToyModel.run
+    helper_cycles: int = 2_500      # returned by a helper, charged by caller
+    window_delay_ns: int = 1_000    # consumed as a timeout delay (sanctioned)
+    dead_knob_cycles: int = 999     # finding: reaches nothing

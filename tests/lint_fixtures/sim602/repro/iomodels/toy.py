@@ -1,0 +1,26 @@
+# Seeded bugs for SIM602, charge-site side: _orphan_path charges cycles
+# but no datapath entry point can reach it.
+from .costs import CostModel
+
+
+def _helper_cost(costs):
+    # Read here, charged by the caller: the flow criterion must credit
+    # the ``cycles = helper(costs); core.execute(cycles)`` shape.
+    return costs.helper_cycles * 2
+
+
+class ToyModel:
+    def __init__(self, env, core, costs):
+        self.env = env
+        self.core = core
+        self.costs = costs
+
+    def run(self, n):
+        yield self.core.execute(self.costs.used_cycles, tag="work")
+        cycles = _helper_cost(self.costs)
+        yield self.core.execute(cycles, tag="helper")
+        yield self.env.timeout(self.costs.window_delay_ns)
+
+    def _orphan_path(self):
+        # finding: unreachable from every public entry point
+        yield self.core.execute(123, tag="never")

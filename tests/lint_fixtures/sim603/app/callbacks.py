@@ -1,0 +1,29 @@
+# Seeded bug for SIM603: the first callback captures ``target`` by
+# reference and ``target`` is reassigned after the subscription point,
+# so the callback will observe the new value when the event fires.
+# The second function uses the sanctioned default-binding idiom.
+
+
+def schedule_bad(env):
+    target = 10
+    env.call_soon(lambda: print(target), 0)     # finding
+    target = 20
+    return target
+
+
+def schedule_ok(env):
+    target = 10
+    env.call_soon(lambda t=target: print(t), 0)  # quiet: bound at def time
+    target = 20
+    return target
+
+
+def subscribe_bad(event):
+    total = 0
+
+    def on_fire():
+        print(total)
+
+    event.add_callback(on_fire)                  # finding
+    total = 1
+    return total

@@ -1,0 +1,17 @@
+# Minimal registry mirror for the SIM604 fixture (shape matches
+# src/repro/iomodels/registry.py).
+
+
+class ModelInfo:
+    def __init__(self, **kwargs):
+        self.kwargs = kwargs
+
+
+def register_model(info):
+    return info
+
+
+def consolidated_per_host(ctx, make_host_instance):
+    # Higher-order indirection: builders pass a factory by name, so
+    # reachability needs address-taken reference edges.
+    return [make_host_instance(ctx, host) for host in ctx.hosts]

@@ -37,6 +37,9 @@ def _payload(cal_b32=4_000_000.0, cal_replay=900_000.0):
 
     rows = [row("completion_storm_b32", "poll-batch-storm", cal_b32, 32),
             row("replay_fig12", "captured-replay", cal_replay)]
+    lint = {"name": "lint_tree", "files": 116, "findings": 0,
+            "cold_wall_s": 0.5, "warm_wall_s": 0.06,
+            "warmup_x": round(0.5 / 0.06, 2)}
     return {
         "schema": SCHEMA,
         "quick": False,
@@ -48,6 +51,7 @@ def _payload(cal_b32=4_000_000.0, cal_replay=900_000.0):
             "wall_s": {"heap": 0.6, "calendar": 0.6},
             "speedup": 1.0, "identical_metrics": True,
         }],
+        "lint": lint,
         "headline": {"row": "completion_storm_b32",
                      "speedup": rows[0]["speedup"],
                      "target_x": HEADLINE_TARGET,
@@ -95,6 +99,30 @@ def test_gate_skips_rows_at_different_scale():
     assert check_regression(current, baseline) == []
 
 
+def test_gate_fails_on_new_lint_findings():
+    baseline = _payload()
+    current = _payload()
+    current["lint"]["findings"] = 2
+    problems = check_regression(current, baseline)
+    assert any("lint_tree" in p and "finding" in p for p in problems)
+
+
+def test_gate_fails_on_lost_cache_warmup():
+    baseline = _payload()
+    current = _payload()
+    current["lint"].update(warm_wall_s=0.4, warmup_x=1.25)
+    problems = check_regression(current, baseline)
+    assert any("lint_tree" in p and "warm cache" in p for p in problems)
+
+
+def test_gate_reports_lint_missing_from_current():
+    baseline = _payload()
+    current = _payload()
+    del current["lint"]
+    problems = check_regression(current, baseline)
+    assert any("lint_tree" in p and "not measured" in p for p in problems)
+
+
 def test_gate_tolerance_is_configurable():
     baseline = _payload(cal_b32=4_000_000.0)
     current = _payload(cal_b32=3_800_000.0)
@@ -118,6 +146,8 @@ def test_validate_accepts_fabricated_payload():
     (lambda p: p["artifacts"][0].update(identical_metrics=False),
      "metrics differ"),
     (lambda p: p["headline"].update(row="nonexistent"), "not in rows"),
+    (lambda p: p["lint"].pop("warmup_x"), "warmup_x"),
+    (lambda p: p["lint"].update(files=0), "no files"),
 ])
 def test_validate_flags_broken_payloads(mutate, needle):
     payload = copy.deepcopy(_payload())
@@ -134,6 +164,10 @@ def test_committed_baseline_is_valid_and_meets_target():
     assert payload["quick"] is False
     assert payload["headline"]["pass"] is True
     assert payload["headline"]["speedup"] >= HEADLINE_TARGET
+    # The committed lint row: clean tree, cache pulling its weight.
+    from repro.bench_engine import LINT_WARMUP_TARGET
+    assert payload["lint"]["findings"] == 0
+    assert payload["lint"]["warmup_x"] >= LINT_WARMUP_TARGET
 
 
 # -- CLI wiring --------------------------------------------------------------
@@ -181,4 +215,5 @@ def test_quick_bench_subprocess_smoke(tmp_path):
     assert payload["quick"] is True
     names = {r["name"] for r in payload["rows"]}
     assert {"completion_storm_b32", "replay_fig12", "replay_fig13"} <= names
+    assert payload["lint"]["files"] > 0
     assert all(a["identical_metrics"] for a in payload["artifacts"])
